@@ -1,0 +1,326 @@
+//! # xheal-baselines
+//!
+//! Baseline self-healing strategies the paper's Related Work section compares
+//! Xheal against, all implementing [`xheal_core::Healer`]:
+//!
+//! - [`NoHeal`]: deletion removes the node and nothing else (the network may
+//!   disconnect — this is the "do nothing" control);
+//! - [`CycleHeal`]: connect the deleted node's ex-neighbors in a cycle
+//!   (constant degree increase, linear worst-case stretch and `O(1/n)`
+//!   expansion on the star attack);
+//! - [`StarHeal`]: attach all ex-neighbors to one survivor (best stretch,
+//!   unbounded degree increase — the paper's star-topology cautionary tale in
+//!   reverse);
+//! - [`BinaryTreeHeal`]: replace the deleted node with a balanced binary tree
+//!   of its ex-neighbors — the real-node simplification of *Forgiving Tree*
+//!   [PODC 2008];
+//! - [`ForgivingLike`]: the same tree patch but ordered by current degree
+//!   (low-degree nodes near the root), approximating *Forgiving Graph*
+//!   [PODC 2009]'s degree-balancing. See DESIGN.md §6 for why these
+//!   simplifications preserve the comparison the paper makes (tree-shaped
+//!   patches produce poor cuts regardless of virtual-node bookkeeping).
+//!
+//! # Examples
+//!
+//! ```
+//! use xheal_baselines::CycleHeal;
+//! use xheal_core::Healer;
+//! use xheal_graph::{components, generators, NodeId};
+//!
+//! let mut h = CycleHeal::new(&generators::star(10));
+//! h.on_delete(NodeId::new(0))?; // hub dies
+//! assert!(components::is_connected(h.graph()));
+//! # Ok::<(), xheal_core::HealError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use xheal_core::{HealError, Healer};
+use xheal_graph::{Graph, NodeId};
+
+/// Shared adversary-event plumbing for the baselines.
+#[derive(Clone, Debug)]
+struct BaseState {
+    graph: Graph,
+}
+
+impl BaseState {
+    fn new(initial: &Graph) -> Self {
+        BaseState { graph: initial.clone() }
+    }
+
+    fn insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
+        if self.graph.contains_node(v) {
+            return Err(HealError::NodeExists(v));
+        }
+        for &u in neighbors {
+            if !self.graph.contains_node(u) {
+                return Err(HealError::NeighborMissing(u));
+            }
+        }
+        self.graph.add_node(v).expect("fresh");
+        for &u in neighbors {
+            if u != v {
+                let _ = self.graph.add_black_edge(v, u);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes `v`, returning its ex-neighbors sorted ascending.
+    fn delete(&mut self, v: NodeId) -> Result<Vec<NodeId>, HealError> {
+        if !self.graph.contains_node(v) {
+            return Err(HealError::NodeMissing(v));
+        }
+        let incident = self.graph.remove_node(v).expect("checked");
+        Ok(incident.into_iter().map(|(u, _)| u).collect())
+    }
+}
+
+macro_rules! baseline_common {
+    ($ty:ident, $name:literal) => {
+        impl $ty {
+            /// Wraps an initial network.
+            pub fn new(initial: &Graph) -> Self {
+                $ty { base: BaseState::new(initial) }
+            }
+        }
+
+        impl Healer for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn graph(&self) -> &Graph {
+                &self.base.graph
+            }
+
+            fn on_insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
+                self.base.insert(v, neighbors)
+            }
+
+            fn on_delete(&mut self, v: NodeId) -> Result<(), HealError> {
+                let nbrs = self.base.delete(v)?;
+                self.patch(&nbrs);
+                Ok(())
+            }
+        }
+    };
+}
+
+/// The "do nothing" control: deletions are not repaired at all.
+#[derive(Clone, Debug)]
+pub struct NoHeal {
+    base: BaseState,
+}
+
+impl NoHeal {
+    fn patch(&mut self, _nbrs: &[NodeId]) {}
+}
+
+baseline_common!(NoHeal, "no-heal");
+
+/// Repairs by connecting the ex-neighbors in a cycle (+2 degree max).
+#[derive(Clone, Debug)]
+pub struct CycleHeal {
+    base: BaseState,
+}
+
+impl CycleHeal {
+    fn patch(&mut self, nbrs: &[NodeId]) {
+        if nbrs.len() < 2 {
+            return;
+        }
+        if nbrs.len() == 2 {
+            let _ = self.base.graph.add_black_edge(nbrs[0], nbrs[1]);
+            return;
+        }
+        for i in 0..nbrs.len() {
+            let a = nbrs[i];
+            let b = nbrs[(i + 1) % nbrs.len()];
+            let _ = self.base.graph.add_black_edge(a, b);
+        }
+    }
+}
+
+baseline_common!(CycleHeal, "cycle-heal");
+
+/// Repairs by attaching every ex-neighbor to the smallest-id survivor.
+#[derive(Clone, Debug)]
+pub struct StarHeal {
+    base: BaseState,
+}
+
+impl StarHeal {
+    fn patch(&mut self, nbrs: &[NodeId]) {
+        if nbrs.len() < 2 {
+            return;
+        }
+        let hub = nbrs[0];
+        for &u in &nbrs[1..] {
+            let _ = self.base.graph.add_black_edge(hub, u);
+        }
+    }
+}
+
+baseline_common!(StarHeal, "star-heal");
+
+fn tree_patch(graph: &mut Graph, ordered: &[NodeId]) {
+    // Heap-indexed balanced binary tree: node i links to children 2i+1, 2i+2.
+    for i in 0..ordered.len() {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < ordered.len() && ordered[i] != ordered[c] {
+                let _ = graph.add_black_edge(ordered[i], ordered[c]);
+            }
+        }
+    }
+}
+
+/// Repairs with a balanced binary tree over the ex-neighbors in id order —
+/// the real-node simplification of Forgiving Tree [PODC 2008].
+#[derive(Clone, Debug)]
+pub struct BinaryTreeHeal {
+    base: BaseState,
+}
+
+impl BinaryTreeHeal {
+    fn patch(&mut self, nbrs: &[NodeId]) {
+        if nbrs.len() < 2 {
+            return;
+        }
+        tree_patch(&mut self.base.graph, nbrs);
+    }
+}
+
+baseline_common!(BinaryTreeHeal, "binary-tree-heal");
+
+/// Repairs with a balanced binary tree ordered by current degree (lowest
+/// degree closest to the root), approximating Forgiving Graph [PODC 2009]'s
+/// degree balancing.
+#[derive(Clone, Debug)]
+pub struct ForgivingLike {
+    base: BaseState,
+}
+
+impl ForgivingLike {
+    fn patch(&mut self, nbrs: &[NodeId]) {
+        if nbrs.len() < 2 {
+            return;
+        }
+        let mut ordered: Vec<NodeId> = nbrs.to_vec();
+        ordered.sort_by_key(|&v| (self.base.graph.degree(v).unwrap_or(0), v));
+        tree_patch(&mut self.base.graph, &ordered);
+    }
+}
+
+baseline_common!(ForgivingLike, "forgiving-like");
+
+/// All baseline constructors boxed behind the [`Healer`] trait, for
+/// experiment sweeps.
+pub fn all_baselines(initial: &Graph) -> Vec<Box<dyn Healer>> {
+    vec![
+        Box::new(NoHeal::new(initial)),
+        Box::new(CycleHeal::new(initial)),
+        Box::new(StarHeal::new(initial)),
+        Box::new(BinaryTreeHeal::new(initial)),
+        Box::new(ForgivingLike::new(initial)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xheal_graph::{components, generators, traversal};
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn noheal_disconnects_on_star_center() {
+        let mut h = NoHeal::new(&generators::star(6));
+        h.on_delete(n(0)).unwrap();
+        assert!(!components::is_connected(h.graph()));
+        assert_eq!(h.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_heal_reconnects_star() {
+        let mut h = CycleHeal::new(&generators::star(6));
+        h.on_delete(n(0)).unwrap();
+        assert!(components::is_connected(h.graph()));
+        // Every ex-leaf has degree exactly 2.
+        for i in 1..6 {
+            assert_eq!(h.graph().degree(n(i)), Some(2));
+        }
+    }
+
+    #[test]
+    fn cycle_heal_two_neighbors_single_edge() {
+        let mut h = CycleHeal::new(&generators::path(3));
+        h.on_delete(n(1)).unwrap();
+        assert!(h.graph().has_edge(n(0), n(2)));
+        assert_eq!(h.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn star_heal_concentrates_degree() {
+        let mut h = StarHeal::new(&generators::star(8));
+        h.on_delete(n(0)).unwrap();
+        assert!(components::is_connected(h.graph()));
+        assert_eq!(h.graph().degree(n(1)), Some(6), "hub absorbs everyone");
+        assert_eq!(traversal::diameter(h.graph()), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_heal_logarithmic_diameter() {
+        let mut h = BinaryTreeHeal::new(&generators::star(64));
+        h.on_delete(n(0)).unwrap();
+        assert!(components::is_connected(h.graph()));
+        let diam = traversal::diameter(h.graph()).unwrap();
+        assert!(diam <= 12, "diameter {diam} not logarithmic");
+        // Max degree 3 (parent + two children).
+        let max_deg = h.graph().node_vec().iter().map(|&v| h.graph().degree(v).unwrap()).max();
+        assert_eq!(max_deg, Some(3));
+    }
+
+    #[test]
+    fn forgiving_like_puts_low_degree_at_root() {
+        let mut g = generators::star(6);
+        // Give node 5 extra degree so it sinks to the leaves.
+        g.add_node(n(50)).unwrap();
+        g.add_node(n(51)).unwrap();
+        g.add_black_edge(n(5), n(50)).unwrap();
+        g.add_black_edge(n(5), n(51)).unwrap();
+        let mut h = ForgivingLike::new(&g);
+        h.on_delete(n(0)).unwrap();
+        assert!(components::is_connected(h.graph()));
+        // Node 5 (pre-patch degree 3) must be a leaf of the patch: at most
+        // one patch edge added to it.
+        assert!(h.graph().degree(n(5)).unwrap() <= 3 + 1);
+    }
+
+    #[test]
+    fn insert_semantics_shared() {
+        for mut h in all_baselines(&generators::cycle(4)) {
+            h.on_insert(n(100), &[n(0), n(2)]).unwrap();
+            assert_eq!(h.graph().degree(n(100)), Some(2), "{}", h.name());
+            assert!(h.on_insert(n(100), &[]).is_err());
+            assert!(h.on_delete(n(999)).is_err());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_baselines(&generators::cycle(4))
+            .iter()
+            .map(|h| h.name())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), 5);
+        assert_eq!(dedup.len(), 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! E7 — Lemma 5: any healing algorithm needs Θ(deg(v)) messages per
+//! deletion; Xheal's measured cost divided by that lower bound is the
+//! per-deletion overhead, which Theorem 5 bounds by O(κ·log n).
+//!
+//! The table shows the distribution (mean / p95 / max) of
+//! `messages(v) / max(1, deg(v))` per deletion across workloads.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use xheal_bench::{f, header, row, srow, verdict};
+use xheal_core::XhealConfig;
+use xheal_dist::DistXheal;
+use xheal_graph::generators;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    header(
+        "E7",
+        "per-deletion messages vs the Lemma 5 lower bound Theta(deg(v))",
+    );
+    srow(&["workload", "n", "amortized", "ratio p95", "ratio max", "k*log2(n)"]);
+    let kappa = 6usize;
+    let mut all_ok = true;
+
+    for n in [64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64 ^ 0xE7);
+        let workloads: Vec<(&str, xheal_graph::Graph)> = vec![
+            ("regular(6)", generators::random_regular(n, 6, &mut rng)),
+            ("pa(3)", generators::preferential_attachment(n, 3, &mut rng)),
+        ];
+        for (wname, g0) in workloads {
+            let mut net = DistXheal::new(&g0, XhealConfig::new(kappa).with_seed(11));
+            for _ in 0..n / 2 {
+                let nodes = net.graph().node_vec();
+                let victim = nodes[rng.random_range(0..nodes.len())];
+                net.delete(victim).unwrap();
+            }
+            let mut ratios: Vec<f64> = net
+                .costs()
+                .iter()
+                .map(|c| c.messages as f64 / (c.black_degree.max(1) as f64))
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p95 = percentile(&ratios, 0.95);
+            let max = *ratios.last().unwrap();
+            // Theorem 5 is an *amortized* statement: total messages over
+            // total degree (= mean msgs / A(p)), not a per-deletion ratio —
+            // individual low-degree deletions carry fixed overheads that the
+            // amortization absorbs (p95/max columns show that spread).
+            let total_msgs: f64 = net.costs().iter().map(|c| c.messages as f64).sum();
+            let total_deg: f64 =
+                net.costs().iter().map(|c| c.black_degree.max(1) as f64).sum();
+            let amortized = total_msgs / total_deg;
+            let budget = kappa as f64 * (n as f64).log2();
+            // O(kappa log n) with an explicit constant of 2.
+            all_ok &= amortized <= 2.0 * budget;
+            row(&[
+                wname.to_string(),
+                n.to_string(),
+                f(amortized),
+                f(p95),
+                f(max),
+                f(budget),
+            ]);
+        }
+    }
+    verdict(
+        all_ok,
+        "amortized messages / total degree stays within 2*kappa*log2(n) (Thm 5's O(kappa log n))",
+    );
+}

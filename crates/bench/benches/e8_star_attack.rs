@@ -1,0 +1,64 @@
+//! E8 — the paper's running example (Related Work / Figure 4): delete the
+//! center of a star. Tree-style healers collapse the expansion to O(1/n);
+//! Xheal installs an expander over the orphaned leaves and keeps it
+//! constant.
+//!
+//! Exact `h` at n = 17 (enumeration limit); λ (normalized) everywhere.
+
+use xheal_baselines::{BinaryTreeHeal, CycleHeal, ForgivingLike, StarHeal};
+use xheal_bench::{f, fo, header, row, srow, verdict};
+use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_graph::{cuts, generators, NodeId};
+use xheal_spectral::normalized_algebraic_connectivity;
+
+fn main() {
+    header(
+        "E8",
+        "star-center attack: tree repairs collapse expansion to O(1/n); Xheal stays constant",
+    );
+    srow(&["n/healer", "exact h", "lambda", "n*lambda"]);
+    let mut xheal_lambda_min: f64 = f64::INFINITY;
+    let mut tree_lambda_times_n_max: f64 = 0.0;
+
+    for n in [17usize, 65, 257, 1025] {
+        let g0 = generators::star(n);
+        let healers: Vec<Box<dyn Healer>> = vec![
+            Box::new(Xheal::new(&g0, XhealConfig::new(6).with_seed(8))),
+            Box::new(CycleHeal::new(&g0)),
+            Box::new(BinaryTreeHeal::new(&g0)),
+            Box::new(ForgivingLike::new(&g0)),
+            Box::new(StarHeal::new(&g0)),
+        ];
+        for mut healer in healers {
+            healer.on_delete(NodeId::new(0)).unwrap();
+            let h = if n <= 18 {
+                cuts::edge_expansion_exact(healer.graph()).map(|c| c.value)
+            } else {
+                None
+            };
+            let lambda = normalized_algebraic_connectivity(healer.graph());
+            if healer.name() == "xheal" {
+                xheal_lambda_min = xheal_lambda_min.min(lambda);
+            }
+            if healer.name() == "binary-tree-heal" && n >= 257 {
+                tree_lambda_times_n_max =
+                    tree_lambda_times_n_max.max(lambda * (n - 1) as f64);
+            }
+            row(&[
+                format!("{n}/{}", healer.name()),
+                fo(h),
+                f(lambda),
+                f(lambda * (n - 1) as f64),
+            ]);
+        }
+    }
+    verdict(
+        xheal_lambda_min > 0.1 && tree_lambda_times_n_max < 25.0,
+        &format!(
+            "xheal keeps lambda >= {} at every n while binary-tree lambda decays like \
+             O(1/n) (n*lambda stays ~{} at large n)",
+            f(xheal_lambda_min),
+            f(tree_lambda_times_n_max)
+        ),
+    );
+}

@@ -1,0 +1,72 @@
+//! E9 — the Preliminaries' Cheeger example: take a constant-degree expander,
+//! split it in half and make each half a clique. Edge expansion stays
+//! constant but conductance drops to O(1/n) — and mixing time blows up from
+//! logarithmic to polynomial. This motivates why the paper tracks φ and λ
+//! and not just h.
+
+use rand::{rngs::StdRng, SeedableRng};
+use xheal_bench::{f, fo, header, row, srow, verdict};
+use xheal_graph::{cuts, generators, Graph};
+use xheal_spectral::{mixing_time, normalized_algebraic_connectivity};
+
+fn measure(name: &str, g: &Graph) -> (Option<f64>, Option<f64>, f64, Option<usize>) {
+    let h = cuts::edge_expansion_exact(g).map(|c| c.value);
+    let phi = cuts::conductance_exact(g).map(|c| c.value);
+    let lambda = normalized_algebraic_connectivity(g);
+    let tmix = mixing_time(g, 0.25, 200_000);
+    row(&[
+        name.to_string(),
+        fo(h),
+        fo(phi),
+        f(lambda),
+        tmix.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+    ]);
+    (h, phi, lambda, tmix)
+}
+
+fn main() {
+    header(
+        "E9",
+        "expansion vs conductance: bridged cliques have constant h but O(1/n) phi \
+         and polynomial mixing (Preliminaries example)",
+    );
+    srow(&["graph", "exact h", "exact phi", "lambda", "t_mix"]);
+
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    let expander = generators::random_regular(16, 6, &mut rng);
+    let cliques = generators::clique_pair_with_expander_bridge(16, 4, &mut rng);
+
+    let (he, phie, _le, _te) = measure("regular(16,6)", &expander);
+    let (hc, phic, _lc, _tc) = measure("cliquepair(16,4)", &cliques);
+
+    // The O(1/n) separation needs larger n; exact h/phi become infeasible,
+    // but lambda and mixing time carry the comparison.
+    let mut big: Vec<(f64, Option<usize>, f64, Option<usize>)> = Vec::new();
+    for n in [64usize, 256] {
+        let e = generators::random_regular(n, 6, &mut rng);
+        let c = generators::clique_pair_with_expander_bridge(n, 4, &mut rng);
+        let (_, _, le, te) = measure(&format!("regular({n},6)"), &e);
+        let (_, _, lc, tc) = measure(&format!("cliquepair({n},4)"), &c);
+        big.push((le, te, lc, tc));
+    }
+
+    // At n = 16 the halves are tiny and the gap is mild — report only.
+    let h_comparable = match (he, hc) {
+        (Some(a), Some(b)) => b >= a * 0.3,
+        _ => false,
+    };
+    let _ = (phie, phic);
+    // At n = 256: lambda gap and mixing gap are the paper's separation.
+    let (le, te, lc, tc) = big[1].clone();
+    let lambda_gap = le / lc.max(1e-12) >= 4.0;
+    let mix_gap = match (te, tc) {
+        (Some(a), Some(b)) => b >= 2 * a,
+        _ => false,
+    };
+    verdict(
+        h_comparable && lambda_gap && mix_gap,
+        "cliquepair keeps comparable (constant) h but its lambda is several times \
+         smaller and mixing several times slower at n = 256 — h alone misses the \
+         bottleneck, exactly the Preliminaries' point",
+    );
+}

@@ -1,0 +1,79 @@
+//! # xheal-bench
+//!
+//! Shared table/formatting utilities for the experiment harness. Each bench
+//! target (`benches/e1_*.rs` … `benches/e10_*.rs`, `benches/micro.rs`)
+//! regenerates one experiment from DESIGN.md's per-experiment index; run one
+//! with `cargo bench -p xheal-bench --bench e1_degree_bound` or all with
+//! `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints an experiment header with provenance.
+pub fn header(id: &str, claim: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{id}: {claim}");
+    println!("==================================================================");
+}
+
+/// Prints an aligned table row of cells (first column left-aligned, rest
+/// right-aligned, 12 chars).
+pub fn row(cells: &[String]) {
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{c:<26}"));
+        } else {
+            line.push_str(&format!("{c:>12}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Convenience: builds a row from string slices.
+pub fn srow(cells: &[&str]) {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+}
+
+/// Formats a float compactly (3 significant decimals, inf-aware).
+pub fn f(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 0.001 {
+        format!("{v:.1e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an optional float ("-" when absent).
+pub fn fo(v: Option<f64>) -> String {
+    v.map(f).unwrap_or_else(|| "-".to_string())
+}
+
+/// Prints the final verdict line for an experiment.
+pub fn verdict(ok: bool, text: &str) {
+    println!();
+    println!("VERDICT [{}]: {text}", if ok { "PASS" } else { "CHECK" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(f64::INFINITY), "inf");
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.5), "1234.5");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(0.00004), "4.0e-5");
+        assert_eq!(fo(None), "-");
+        assert_eq!(fo(Some(2.0)), "2.000");
+    }
+}

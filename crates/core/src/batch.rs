@@ -1,0 +1,302 @@
+//! Batch (multi-node) deletion — the extension the paper's model section
+//! promises: "Our algorithm can be extended to handle multiple
+//! insertions/deletions."
+//!
+//! Deleting several nodes *simultaneously* is not the same as deleting them
+//! one at a time: two adjacent victims heal each other's neighborhoods in
+//! the sequential case, but in a batch both are gone before any repair runs
+//! (consider the path `x–A–B–y` with `{A, B}` deleted: sequential healing
+//! connects `x–B` first, batch healing must connect `x–y` directly).
+//!
+//! The extension therefore groups the victims into connected components of
+//! the victim-induced subgraph and heals each dead component as one
+//! super-deletion: its live boundary plays the role of `NBR(v)`, the union
+//! of the component's primary clouds is repaired and re-linked by a
+//! secondary cloud, and every secondary cloud that lost a bridge gets a
+//! replacement (Case 2.2 per lost bridge).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xheal_graph::{CloudColor, NodeId};
+
+use crate::cloud::NodeState;
+use crate::error::HealError;
+use crate::heal::Xheal;
+use crate::stats::HealStats;
+
+/// Report for one batch healing operation.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Number of victims deleted.
+    pub victims: usize,
+    /// Connected components the victims formed (each healed independently).
+    pub components: usize,
+    /// Secondary clouds built during the repair.
+    pub secondaries_built: usize,
+    /// Combine operations triggered.
+    pub combines: usize,
+}
+
+impl Xheal {
+    /// Deletes all `victims` simultaneously, then heals each dead component
+    /// in one repair (the multi-deletion extension).
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeMissing`] if any victim is absent (checked before
+    /// any mutation); duplicate victims are rejected the same way.
+    pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
+        let set: BTreeSet<NodeId> = victims.iter().copied().collect();
+        if set.len() != victims.len() {
+            // A duplicate means the second occurrence is already missing.
+            return Err(HealError::NodeMissing(*victims.first().expect("non-empty dup")));
+        }
+        for &v in &set {
+            if !self.graph().contains_node(v) {
+                return Err(HealError::NodeMissing(v));
+            }
+        }
+        let stats_before = self.stats().clone();
+
+        // Victim adjacency (for components) and live boundaries, captured
+        // before any removal.
+        let mut victim_adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut boundary_black: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for &v in &set {
+            let mut adj = Vec::new();
+            let mut black = Vec::new();
+            for (u, labels) in self.graph().neighbors_labeled(v) {
+                if set.contains(&u) {
+                    adj.push(u);
+                } else if labels.is_black() {
+                    black.push(u);
+                }
+            }
+            victim_adj.insert(v, adj);
+            boundary_black.insert(v, black);
+        }
+
+        // Phase 1: remove every victim from the graph and detach it from
+        // every cloud (FixPrimary / the structural part of FixSecondary),
+        // remembering which secondary lost which bridge.
+        self.batch_begin();
+        let mut states: BTreeMap<NodeId, NodeState> = BTreeMap::new();
+        let mut lost_bridges: Vec<(NodeId, CloudColor, Option<CloudColor>)> = Vec::new();
+        for &v in &set {
+            self.batch_remove_node(v);
+            states.insert(v, self.batch_take_state(v));
+        }
+        // Group victims by cloud so each cloud is repaired once, with a net
+        // edge delta that never references a dead member.
+        let mut by_cloud: BTreeMap<CloudColor, Vec<NodeId>> = BTreeMap::new();
+        for (&v, state) in &states {
+            for &c in &state.primaries {
+                by_cloud.entry(c).or_default().push(v);
+            }
+            if let Some(f) = state.secondary {
+                let ci = self.batch_take_bridge_target(f, v);
+                lost_bridges.push((v, f, ci));
+                by_cloud.entry(f).or_default().push(v);
+            }
+        }
+        for (c, vs) in &by_cloud {
+            self.batch_detach_many(*c, vs);
+        }
+
+        // Phase 2: per dead component, run the healing cases on the merged
+        // state.
+        let components = victim_components(&set, &victim_adj);
+        for comp in &components {
+            // Union of the component's primary clouds and live boundary.
+            let mut primaries: BTreeSet<CloudColor> = BTreeSet::new();
+            let mut boundary: BTreeSet<NodeId> = BTreeSet::new();
+            for &v in comp {
+                primaries.extend(states[&v].primaries.iter().copied());
+                boundary.extend(boundary_black[&v].iter().copied());
+            }
+            let alive: Vec<CloudColor> = primaries
+                .into_iter()
+                .filter(|c| self.cloud(*c).is_some())
+                .collect();
+
+            // Replace each lost bridge of this component (Case 2.2 fixes),
+            // collecting anchors that must join the new secondary group.
+            let comp_set: BTreeSet<NodeId> = comp.iter().copied().collect();
+            let mut anchors: Vec<CloudColor> = Vec::new();
+            for &(victim, f, ci) in
+                lost_bridges.iter().filter(|(v, _, _)| comp_set.contains(v))
+            {
+                let _ = victim;
+                let ci_alive = ci.filter(|c| self.cloud(*c).is_some());
+                if self.cloud(f).is_some() {
+                    if let Some(anchor) = self.batch_fix_secondary(f, ci_alive) {
+                        anchors.push(anchor);
+                    }
+                } else if let Some(a) = ci_alive {
+                    anchors.push(a);
+                }
+            }
+
+            // Boundary nodes become singleton primary clouds; connect
+            // everything with one secondary cloud (or combine).
+            let mut group: Vec<CloudColor> = alive;
+            for &w in &boundary {
+                group.push(self.batch_singleton(w));
+            }
+            group.extend(anchors);
+            self.batch_make_secondary(&group);
+        }
+
+        let black_degree_sum: usize = boundary_black.values().map(Vec::len).sum();
+        self.batch_finish(set.len(), black_degree_sum);
+        let s: &HealStats = self.stats();
+        let report = BatchReport {
+            victims: set.len(),
+            components: components.len(),
+            secondaries_built: s.secondaries_built - stats_before.secondaries_built,
+            combines: s.combines - stats_before.combines,
+        };
+        Ok(report)
+    }
+}
+
+/// Connected components of the victim set under pre-deletion adjacency.
+fn victim_components(
+    set: &BTreeSet<NodeId>,
+    adj: &BTreeMap<NodeId, Vec<NodeId>>,
+) -> Vec<Vec<NodeId>> {
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &start in set {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for &u in &adj[&v] {
+                if seen.insert(u) {
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{invariants, XhealConfig};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use xheal_graph::{components, generators};
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn adjacent_victims_on_a_path_reconnect_endpoints() {
+        // x - A - B - y: deleting {A, B} simultaneously must connect x to y.
+        let g = generators::path(4); // 0 - 1 - 2 - 3
+        let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(1));
+        let report = x.heal_delete_batch(&[n(1), n(2)]).unwrap();
+        assert_eq!(report.victims, 2);
+        assert_eq!(report.components, 1, "adjacent victims form one component");
+        assert!(components::is_connected(x.graph()));
+        assert!(x.graph().has_edge(n(0), n(3)) || x.graph().node_count() < 2);
+        invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn disjoint_victims_heal_independently() {
+        let g = generators::cycle(12);
+        let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(2));
+        let report = x.heal_delete_batch(&[n(0), n(6)]).unwrap();
+        assert_eq!(report.components, 2);
+        assert!(components::is_connected(x.graph()));
+        invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_missing_victims_rejected() {
+        let g = generators::cycle(5);
+        let mut x = Xheal::new(&g, XhealConfig::default());
+        assert!(x.heal_delete_batch(&[n(0), n(0)]).is_err());
+        assert!(x.heal_delete_batch(&[n(99)]).is_err());
+        // Nothing was mutated.
+        assert_eq!(x.graph().node_count(), 5);
+    }
+
+    #[test]
+    fn star_core_batch_deletion() {
+        // Delete the hub and three leaves at once.
+        let g = generators::star(12);
+        let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(3));
+        x.heal_delete_batch(&[n(0), n(1), n(2), n(3)]).unwrap();
+        assert!(components::is_connected(x.graph()));
+        assert_eq!(x.graph().node_count(), 8);
+        invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn random_batches_keep_invariants_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g0 = generators::connected_erdos_renyi(48, 0.09, &mut rng);
+        let mut x = Xheal::new(&g0, XhealConfig::new(4).with_seed(9));
+        for round in 0..8 {
+            let nodes = x.graph().node_vec();
+            if nodes.len() <= 10 {
+                break;
+            }
+            let mut victims: BTreeSet<NodeId> = BTreeSet::new();
+            for _ in 0..rng.random_range(2..=4usize) {
+                victims.insert(nodes[rng.random_range(0..nodes.len())]);
+            }
+            let victims: Vec<NodeId> = victims.into_iter().collect();
+            x.heal_delete_batch(&victims).unwrap();
+            assert!(
+                components::is_connected(x.graph()),
+                "round {round}: disconnected after batch {victims:?}"
+            );
+            invariants::check_invariants(&x)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+
+    #[test]
+    fn batch_after_sequential_history_handles_bridges() {
+        // Build up secondary clouds with sequential deletions, then batch-
+        // delete two nodes including a bridge.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g0 = generators::connected_erdos_renyi(36, 0.1, &mut rng);
+        let mut x = Xheal::new(&g0, XhealConfig::new(4).with_seed(21));
+        let mut bridge = None;
+        for i in 0..25 {
+            let nodes = x.graph().node_vec();
+            x.heal_delete(nodes[(i * 3) % nodes.len()]).unwrap();
+            if let Some(&(f, _)) = x
+                .cloud_colors()
+                .iter()
+                .find(|&&(_, k)| k == xheal_graph::CloudKind::Secondary)
+            {
+                bridge = x.cloud(f).unwrap().members().iter().next().copied();
+                break;
+            }
+        }
+        let bridge = bridge.expect("secondary appears");
+        let other = x
+            .graph()
+            .node_vec()
+            .into_iter()
+            .find(|&v| v != bridge)
+            .unwrap();
+        x.heal_delete_batch(&[bridge, other]).unwrap();
+        assert!(components::is_connected(x.graph()));
+        invariants::check_invariants(&x).unwrap();
+    }
+}

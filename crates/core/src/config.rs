@@ -1,0 +1,102 @@
+//! Configuration of the Xheal healer.
+
+/// Tunable parameters of [`crate::Xheal`].
+///
+/// `kappa` is the paper's κ: the target degree of every expander cloud
+/// (clouds with at most `κ + 1` members are cliques). It must be even because
+/// the Law–Siu H-graph construction is 2d-regular with `d = κ / 2`.
+///
+/// The two `disable_*` flags are ablation switches for experiment E10; both
+/// default to `false` (the paper's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use xheal_core::XhealConfig;
+/// let cfg = XhealConfig::new(6).with_seed(42);
+/// assert_eq!(cfg.kappa, 6);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XhealConfig {
+    /// Cloud expander degree κ (even, ≥ 2). Default 6 (`d = 3` Hamilton
+    /// cycles), comfortably satisfying the paper's "expansion α > 2" w.h.p.
+    pub kappa: usize,
+    /// Seed for the healer's private randomness (the adversary is oblivious
+    /// to it, per the model in Section 2).
+    pub seed: u64,
+    /// Ablation: never build secondary clouds — always combine affected
+    /// primary clouds into one (the expensive operation the secondary-cloud
+    /// machinery exists to amortize).
+    pub disable_secondary: bool,
+    /// Ablation: never share free nodes between clouds; a cloud without its
+    /// own free node forces combining.
+    pub disable_sharing: bool,
+}
+
+impl XhealConfig {
+    /// Creates a config with the given κ and default seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa` is odd or less than 2.
+    pub fn new(kappa: usize) -> Self {
+        assert!(kappa >= 2 && kappa % 2 == 0, "kappa must be even and >= 2");
+        XhealConfig { kappa, seed: 0, disable_secondary: false, disable_sharing: false }
+    }
+
+    /// Sets the healer randomness seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables secondary clouds (ablation).
+    #[must_use]
+    pub fn without_secondary_clouds(mut self) -> Self {
+        self.disable_secondary = true;
+        self
+    }
+
+    /// Disables free-node sharing (ablation).
+    #[must_use]
+    pub fn without_sharing(mut self) -> Self {
+        self.disable_sharing = true;
+        self
+    }
+}
+
+impl Default for XhealConfig {
+    fn default() -> Self {
+        XhealConfig::new(6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_kappa_six() {
+        let c = XhealConfig::default();
+        assert_eq!(c.kappa, 6);
+        assert!(!c.disable_secondary);
+        assert!(!c.disable_sharing);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = XhealConfig::new(4)
+            .with_seed(9)
+            .without_secondary_clouds()
+            .without_sharing();
+        assert_eq!((c.kappa, c.seed), (4, 9));
+        assert!(c.disable_secondary && c.disable_sharing);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_kappa_rejected() {
+        let _ = XhealConfig::new(5);
+    }
+}

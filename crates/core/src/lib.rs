@@ -1,0 +1,56 @@
+//! # xheal-core
+//!
+//! The Xheal self-healing algorithm of *Xheal: Localized Self-healing using
+//! Expanders* (Pandurangan & Trehan, PODC 2011).
+//!
+//! Xheal repairs adversarial node deletions by installing κ-regular expander
+//! *clouds* among the affected nodes: a **primary cloud** replaces the ball
+//! around a deleted node, and **secondary clouds** stitch together the
+//! primary clouds a deleted node belonged to — bridged by *free nodes*,
+//! shared across clouds when scarce, and collapsed (*combined*) into a single
+//! primary cloud when they run out. The result (the paper's Theorem 2)
+//! preserves connectivity, edge expansion, O(log n) stretch, and per-node
+//! degree up to an O(κ) factor relative to the insertion-only graph `G'`.
+//!
+//! Entry points:
+//!
+//! - [`Xheal`]: the healing network state ([`Xheal::heal_insert`],
+//!   [`Xheal::heal_delete`]);
+//! - [`Healer`]: the strategy trait shared with `xheal-baselines`;
+//! - [`XhealConfig`]: κ, seeding, and ablation switches;
+//! - [`invariants::check_invariants`]: structural self-checks used heavily
+//!   by the test suites.
+//!
+//! # Examples
+//!
+//! ```
+//! use xheal_core::{Healer, Xheal, XhealConfig};
+//! use xheal_graph::{components, generators, NodeId};
+//!
+//! let mut net = Xheal::new(&generators::star(16), XhealConfig::new(4));
+//! net.on_delete(NodeId::new(0))?; // adversary kills the hub
+//! assert!(components::is_connected(net.graph()));
+//! // The repair installed an expander among the 15 orphaned leaves.
+//! assert!(net.graph().edge_count() >= 15);
+//! # Ok::<(), xheal_core::HealError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod cloud;
+mod config;
+mod error;
+mod heal;
+mod healer;
+pub mod invariants;
+mod stats;
+
+pub use batch::BatchReport;
+pub use cloud::{Cloud, NodeState};
+pub use config::XhealConfig;
+pub use error::HealError;
+pub use heal::Xheal;
+pub use healer::Healer;
+pub use stats::{DeletionReport, HealCase, HealStats};

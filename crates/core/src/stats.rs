@@ -1,0 +1,90 @@
+//! Cumulative healing statistics (drives the amortized-cost experiments).
+
+/// Which healing case of Algorithm 3.1 a deletion fell into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealCase {
+    /// All deleted edges were black (Case 1).
+    AllBlack,
+    /// Colored edges, all primary (Case 2.1).
+    PrimaryOnly,
+    /// Some deleted edges were secondary — the node was a bridge (Case 2.2).
+    Bridge,
+    /// The deleted node had degree ≤ 1 and was simply dropped.
+    Dropped,
+}
+
+/// Report for a single deletion repair.
+#[derive(Clone, Debug)]
+pub struct DeletionReport {
+    /// Case taken.
+    pub case: HealCase,
+    /// Colored edges added during the repair.
+    pub edges_added: usize,
+    /// Colored-edge labels stripped during the repair.
+    pub edges_removed: usize,
+    /// Whether the expensive combine operation ran.
+    pub combined: bool,
+    /// Free nodes shared across clouds during the repair.
+    pub shares: usize,
+    /// Black degree of the deleted node (the Lemma 5 lower-bound unit).
+    pub black_degree: usize,
+    /// Total degree of the deleted node at deletion time.
+    pub degree: usize,
+}
+
+/// Cumulative counters across a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealStats {
+    /// Deletions healed.
+    pub deletions: usize,
+    /// Insertions observed.
+    pub insertions: usize,
+    /// Total colored edges added.
+    pub edges_added: usize,
+    /// Total colored-edge labels stripped.
+    pub edges_removed: usize,
+    /// Secondary clouds built.
+    pub secondaries_built: usize,
+    /// Combine operations performed.
+    pub combines: usize,
+    /// Free-node shares performed.
+    pub shares: usize,
+    /// Sum of black degrees of deleted nodes (Σ deg(v_i), Lemma 5's A(p)·p).
+    pub black_degree_sum: usize,
+}
+
+impl HealStats {
+    /// Lemma 5's amortized lower-bound unit `A(p) = (1/p) Σ deg(v_i)`.
+    pub fn amortized_lower_bound(&self) -> f64 {
+        if self.deletions == 0 {
+            return 0.0;
+        }
+        self.black_degree_sum as f64 / self.deletions as f64
+    }
+
+    /// Total structural work (edges touched) per deletion.
+    pub fn work_per_deletion(&self) -> f64 {
+        if self.deletions == 0 {
+            return 0.0;
+        }
+        (self.edges_added + self.edges_removed) as f64 / self.deletions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortized_bounds_handle_zero_deletions() {
+        let s = HealStats::default();
+        assert_eq!(s.amortized_lower_bound(), 0.0);
+        assert_eq!(s.work_per_deletion(), 0.0);
+    }
+
+    #[test]
+    fn amortized_lower_bound_averages_black_degrees() {
+        let s = HealStats { deletions: 4, black_degree_sum: 10, ..Default::default() };
+        assert_eq!(s.amortized_lower_bound(), 2.5);
+    }
+}

@@ -1,0 +1,360 @@
+//! Law–Siu H-graphs: unions of `d` independent random Hamilton cycles.
+//!
+//! Section 5 of the paper builds every expander cloud from the randomized
+//! construction of Law and Siu [INFOCOM 2003]: an *H-graph* is a 2d-regular
+//! multigraph whose edge set is the union of `d` Hamilton cycles over the
+//! member set. Theorem 3 (Law–Siu) shows the INSERT/DELETE splice operations
+//! below preserve the "uniformly random H-graph" distribution, and Theorem 4
+//! (Friedman / Law–Siu) shows a random H-graph is an expander with high
+//! probability.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use xheal_graph::NodeId;
+
+/// One Hamilton cycle stored as successor/predecessor maps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Cycle {
+    next: BTreeMap<NodeId, NodeId>,
+    prev: BTreeMap<NodeId, NodeId>,
+}
+
+impl Cycle {
+    fn from_order(order: &[NodeId]) -> Self {
+        let mut next = BTreeMap::new();
+        let mut prev = BTreeMap::new();
+        let n = order.len();
+        for i in 0..n {
+            let a = order[i];
+            let b = order[(i + 1) % n];
+            next.insert(a, b);
+            prev.insert(b, a);
+        }
+        Cycle { next, prev }
+    }
+
+    /// Splice `u` between `v` and `next(v)`.
+    fn insert_after(&mut self, v: NodeId, u: NodeId) {
+        let w = self.next[&v];
+        self.next.insert(v, u);
+        self.next.insert(u, w);
+        self.prev.insert(w, u);
+        self.prev.insert(u, v);
+    }
+
+    /// Remove `u`, connecting `prev(u)` to `next(u)`.
+    fn remove(&mut self, u: NodeId) {
+        let p = self.prev.remove(&u).expect("member");
+        let n = self.next.remove(&u).expect("member");
+        if p == u {
+            // u was the last member; nothing to reconnect.
+            return;
+        }
+        self.next.insert(p, n);
+        self.prev.insert(n, p);
+    }
+
+    /// Undirected simple edges of this cycle (excluding self-pairs).
+    fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.next.iter().filter_map(|(&a, &b)| {
+            if a == b {
+                None
+            } else if a < b {
+                Some((a, b))
+            } else {
+                Some((b, a))
+            }
+        })
+    }
+
+    /// Checks the cycle is a single closed tour over `members`.
+    fn validate(&self, members: &BTreeSet<NodeId>) -> Result<(), String> {
+        if self.next.len() != members.len() || self.prev.len() != members.len() {
+            return Err("cycle membership mismatch".into());
+        }
+        let Some(&start) = members.first() else { return Ok(()) };
+        let mut seen = 1usize;
+        let mut cur = self.next[&start];
+        while cur != start {
+            if seen > members.len() {
+                return Err("cycle does not close".into());
+            }
+            if !members.contains(&cur) {
+                return Err(format!("cycle visits non-member {cur}"));
+            }
+            cur = self.next[&cur];
+            seen += 1;
+        }
+        if seen != members.len() {
+            return Err(format!(
+                "cycle covers {seen} of {} members",
+                members.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A 2d-regular multigraph formed by `d` random Hamilton cycles, with the
+/// Law–Siu INSERT/DELETE maintenance operations.
+///
+/// The *projected simple edge set* ([`HGraph::simple_edges`]) is what gets
+/// installed into the network graph — the paper notes that multi-edges are
+/// simply not duplicated ("similar high probabilistic guarantees hold in case
+/// we make the multi-edges simple").
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use xheal_expander::HGraph;
+/// use xheal_graph::NodeId;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let members: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+/// let mut h = HGraph::random(&members, 3, &mut rng); // 6-regular
+/// assert_eq!(h.len(), 10);
+/// h.delete(NodeId::new(4));
+/// assert_eq!(h.len(), 9);
+/// h.validate().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct HGraph {
+    d: usize,
+    members: BTreeSet<NodeId>,
+    cycles: Vec<Cycle>,
+}
+
+impl HGraph {
+    /// Samples a random H-graph with `d` Hamilton cycles over `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` has fewer than 3 distinct nodes ("we start with 3
+    /// nodes, because there is only one possible H-graph of size 3") or
+    /// `d == 0`.
+    pub fn random<R: Rng + ?Sized>(members: &[NodeId], d: usize, rng: &mut R) -> Self {
+        let set: BTreeSet<NodeId> = members.iter().copied().collect();
+        assert!(set.len() >= 3, "H-graphs need at least 3 distinct nodes");
+        assert!(d >= 1, "need at least one Hamilton cycle");
+        let mut order: Vec<NodeId> = set.iter().copied().collect();
+        let cycles = (0..d)
+            .map(|_| {
+                order.shuffle(rng);
+                Cycle::from_order(&order)
+            })
+            .collect();
+        HGraph { d, members: set, cycles }
+    }
+
+    /// Number of Hamilton cycles (`κ = 2d`).
+    pub fn cycle_count(&self) -> usize {
+        self.d
+    }
+
+    /// Target multigraph degree `κ = 2d`.
+    pub fn kappa(&self) -> usize {
+        2 * self.d
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members remain.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Is `v` a member?
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members.contains(&v)
+    }
+
+    /// The member set.
+    pub fn members(&self) -> &BTreeSet<NodeId> {
+        &self.members
+    }
+
+    /// Law–Siu INSERT: splice `u` into each cycle at an independently random
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is already a member.
+    pub fn insert<R: Rng + ?Sized>(&mut self, u: NodeId, rng: &mut R) {
+        assert!(!self.members.contains(&u), "{u} already a member");
+        let positions: Vec<NodeId> = self.members.iter().copied().collect();
+        for cycle in &mut self.cycles {
+            let v = positions[rng.random_range(0..positions.len())];
+            cycle.insert_after(v, u);
+        }
+        self.members.insert(u);
+    }
+
+    /// Law–Siu DELETE: remove `u` from each cycle, connecting its
+    /// predecessor and successor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a member.
+    pub fn delete(&mut self, u: NodeId) {
+        assert!(self.members.remove(&u), "{u} not a member");
+        for cycle in &mut self.cycles {
+            cycle.remove(u);
+        }
+    }
+
+    /// The projected simple edge set (union of cycle edges, deduplicated,
+    /// self-pairs dropped), each pair with `u < v`.
+    pub fn simple_edges(&self) -> BTreeSet<(NodeId, NodeId)> {
+        self.cycles.iter().flat_map(|c| c.edges()).collect()
+    }
+
+    /// Multigraph degree of `v` counting duplicate cycle edges (2 per cycle
+    /// while at least 3 members exist).
+    pub fn multi_degree(&self, v: NodeId) -> usize {
+        if !self.members.contains(&v) {
+            return 0;
+        }
+        match self.members.len() {
+            1 => 0,
+            2 => self.d, // each cycle degenerates to a single doubled edge
+            _ => 2 * self.d,
+        }
+    }
+
+    /// Structural self-check: every cycle is a single closed tour over the
+    /// member set.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.cycles.iter().enumerate() {
+            c.validate(&self.members).map_err(|e| format!("cycle {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for HGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "H-graph: {} members, {} cycles ({} simple edges)",
+            self.members.len(),
+            self.d,
+            self.simple_edges().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ids(range: std::ops::Range<u64>) -> Vec<NodeId> {
+        range.map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn random_hgraph_is_valid_and_spans_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = HGraph::random(&ids(0..12), 3, &mut rng);
+        h.validate().unwrap();
+        assert_eq!(h.len(), 12);
+        assert_eq!(h.kappa(), 6);
+        // Every member appears in the simple edge set.
+        let edges = h.simple_edges();
+        for v in ids(0..12) {
+            assert!(
+                edges.iter().any(|&(a, b)| a == v || b == v),
+                "{v} isolated"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_degree_at_most_kappa() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for d in 1..=4usize {
+            let h = HGraph::random(&ids(0..20), d, &mut rng);
+            let edges = h.simple_edges();
+            for v in ids(0..20) {
+                let deg = edges.iter().filter(|&&(a, b)| a == v || b == v).count();
+                assert!(deg <= 2 * d, "degree {deg} above kappa {}", 2 * d);
+                assert!(deg >= 2, "cycle guarantees degree >= 2");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_keeps_validity_and_membership() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut h = HGraph::random(&ids(0..5), 2, &mut rng);
+        for i in 5..30 {
+            h.insert(NodeId::new(i), &mut rng);
+            h.validate().unwrap();
+        }
+        assert_eq!(h.len(), 30);
+    }
+
+    #[test]
+    fn delete_keeps_validity_down_to_small_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut h = HGraph::random(&ids(0..20), 3, &mut rng);
+        for i in 0..17 {
+            h.delete(NodeId::new(i));
+            h.validate().unwrap();
+        }
+        assert_eq!(h.len(), 3);
+        // Three remaining members still form cycles.
+        assert_eq!(h.simple_edges().len(), 3);
+    }
+
+    #[test]
+    fn connectivity_of_projection() {
+        // A single Hamilton cycle connects everything, so any H-graph's
+        // simple projection is connected.
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = HGraph::random(&ids(0..40), 2, &mut rng);
+        let edges = h.simple_edges();
+        let mut g = xheal_graph::Graph::new();
+        for v in ids(0..40) {
+            g.add_node(v).unwrap();
+        }
+        for (u, v) in edges {
+            g.add_black_edge(u, v).unwrap();
+        }
+        assert!(xheal_graph::components::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_members_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = HGraph::random(&ids(0..2), 2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "already a member")]
+    fn duplicate_insert_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = HGraph::random(&ids(0..4), 2, &mut rng);
+        h.insert(NodeId::new(0), &mut rng);
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip_preserves_membership() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut h = HGraph::random(&ids(0..10), 2, &mut rng);
+        let before = h.members().clone();
+        h.insert(NodeId::new(99), &mut rng);
+        h.delete(NodeId::new(99));
+        assert_eq!(h.members(), &before);
+        h.validate().unwrap();
+    }
+}

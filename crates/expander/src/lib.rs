@@ -1,0 +1,37 @@
+//! # xheal-expander
+//!
+//! The distributed-expander building block of Xheal: Law–Siu random
+//! *H-graphs* (unions of `d` random Hamilton cycles, giving 2d-regular
+//! expanders with high probability) plus the maintenance policy every Xheal
+//! cloud follows (clique below `κ + 1` members, H-graph above, full rebuild
+//! after losing half the membership).
+//!
+//! - [`HGraph`]: the raw construction with Law–Siu INSERT/DELETE splices
+//!   (Theorems 3 and 4 of the paper's Section 5);
+//! - [`MaintainedExpander`]: the clique/H-graph hybrid with the rebuild
+//!   amortization rule, reporting every change as an [`EdgeDelta`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use xheal_expander::MaintainedExpander;
+//! use xheal_graph::NodeId;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let members: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+//! let (mut exp, edges) = MaintainedExpander::new(&members, 6, &mut rng);
+//! assert!(!exp.is_clique());
+//! assert!(edges.len() <= 20 * 6 / 2);
+//! let delta = exp.remove(NodeId::new(3), &mut rng);
+//! assert!(!delta.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hgraph;
+mod maintain;
+
+pub use hgraph::HGraph;
+pub use maintain::{EdgeDelta, EdgePair, MaintainedExpander};

@@ -1,0 +1,232 @@
+//! Connectivity: components and articulation points.
+//!
+//! Connectivity is the paper's first invariant ("the algorithm's goal is to
+//! maintain connectivity"); articulation points power the omniscient
+//! adversary's nastiest strategy (deleting cut vertices, which maximally
+//! stresses the healer).
+
+use std::collections::BTreeMap;
+
+use crate::{Graph, NodeId};
+
+/// The connected components, each sorted ascending; components sorted by
+/// their smallest node.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen: BTreeMap<NodeId, bool> = g.nodes().map(|v| (v, false)).collect();
+    let mut out = Vec::new();
+    for v in g.nodes() {
+        if seen[&v] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![v];
+        seen.insert(v, true);
+        while let Some(x) = stack.pop() {
+            comp.push(x);
+            for y in g.neighbors(x) {
+                if !seen[&y] {
+                    seen.insert(y, true);
+                    stack.push(y);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Is the graph connected? The empty graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    components(g).len() <= 1
+}
+
+/// Size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(g: &Graph) -> usize {
+    components(g).iter().map(Vec::len).max().unwrap_or(0)
+}
+
+/// Articulation points (cut vertices) via iterative Tarjan low-link.
+///
+/// A node is an articulation point if removing it increases the number of
+/// connected components. Returned sorted ascending.
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    #[derive(Clone)]
+    struct Info {
+        disc: u32,
+        low: u32,
+        parent: Option<NodeId>,
+        children: u32,
+        is_cut: bool,
+    }
+
+    let mut info: BTreeMap<NodeId, Info> = BTreeMap::new();
+    let mut timer = 0u32;
+
+    for root in g.node_vec() {
+        if info.contains_key(&root) {
+            continue;
+        }
+        // Iterative DFS with an explicit neighbor cursor per frame.
+        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        info.insert(
+            root,
+            Info { disc: timer, low: timer, parent: None, children: 0, is_cut: false },
+        );
+        timer += 1;
+        stack.push((root, g.neighbors(root).collect(), 0));
+
+        while let Some((v, nbrs, cursor)) = stack.last_mut() {
+            let v = *v;
+            if *cursor < nbrs.len() {
+                let u = nbrs[*cursor];
+                *cursor += 1;
+                if let Some(iu) = info.get(&u) {
+                    // Back edge (ignore the tree edge to the parent).
+                    if info[&v].parent != Some(u) {
+                        let du = iu.disc;
+                        let iv = info.get_mut(&v).expect("on stack");
+                        if du < iv.low {
+                            iv.low = du;
+                        }
+                    }
+                } else {
+                    info.insert(
+                        u,
+                        Info {
+                            disc: timer,
+                            low: timer,
+                            parent: Some(v),
+                            children: 0,
+                            is_cut: false,
+                        },
+                    );
+                    timer += 1;
+                    info.get_mut(&v).expect("on stack").children += 1;
+                    stack.push((u, g.neighbors(u).collect(), 0));
+                }
+            } else {
+                // Finished v: propagate low-link to parent.
+                stack.pop();
+                let iv = info[&v].clone();
+                if let Some(p) = iv.parent {
+                    let low_v = iv.low;
+                    let ip = info.get_mut(&p).expect("parent visited");
+                    if low_v < ip.low {
+                        ip.low = low_v;
+                    }
+                    // Non-root parent is a cut vertex if no back edge from
+                    // v's subtree climbs above p.
+                    if ip.parent.is_some() && low_v >= ip.disc {
+                        ip.is_cut = true;
+                    }
+                }
+            }
+        }
+
+        // Root rule: cut vertex iff it has >= 2 DFS children.
+        if info[&root].children >= 2 {
+            info.get_mut(&root).expect("root").is_cut = true;
+        }
+    }
+
+    info.into_iter()
+        .filter(|(_, i)| i.is_cut)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new()));
+        assert_eq!(largest_component_size(&Graph::new()), 0);
+    }
+
+    #[test]
+    fn path_is_connected_until_split() {
+        let mut g = generators::path(5);
+        assert!(is_connected(&g));
+        g.remove_node(n(2)).unwrap();
+        assert!(!is_connected(&g));
+        let comps = components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![n(0), n(1)]);
+        assert_eq!(comps[1], vec![n(3), n(4)]);
+        assert_eq!(largest_component_size(&g), 2);
+    }
+
+    #[test]
+    fn path_interior_nodes_are_articulation_points() {
+        let g = generators::path(5);
+        assert_eq!(
+            articulation_points(&g),
+            vec![n(1), n(2), n(3)],
+            "interior path nodes are cut vertices"
+        );
+    }
+
+    #[test]
+    fn cycle_has_no_articulation_points() {
+        let g = generators::cycle(6);
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_the_only_articulation_point() {
+        let g = generators::star(7);
+        assert_eq!(articulation_points(&g), vec![n(0)]);
+    }
+
+    #[test]
+    fn two_triangles_joined_at_a_node() {
+        // 0-1-2-0 and 2-3-4-2: node 2 is the cut vertex.
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.add_node(n(i)).unwrap();
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)] {
+            g.add_black_edge(n(a), n(b)).unwrap();
+        }
+        assert_eq!(articulation_points(&g), vec![n(2)]);
+    }
+
+    #[test]
+    fn complete_graph_has_no_cut_vertices() {
+        let g = generators::complete(6);
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn articulation_points_match_bruteforce_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(12, 0.2, &mut rng);
+            let fast = articulation_points(&g);
+            // Brute force: a node with neighbors is a cut vertex iff its
+            // removal strictly increases the component count.
+            let base = components(&g).len();
+            let mut slow = Vec::new();
+            for v in g.node_vec() {
+                if g.degree(v) == Some(0) {
+                    continue;
+                }
+                let mut h = g.clone();
+                h.remove_node(v).unwrap();
+                if components(&h).len() > base {
+                    slow.push(v);
+                }
+            }
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+}

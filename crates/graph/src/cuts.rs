@@ -1,0 +1,249 @@
+//! Exact edge expansion and conductance by subset enumeration.
+//!
+//! The paper's Preliminaries define edge expansion
+//! `h(G) = min_{|S| <= |V|/2} |E(S, S̄)| / |S|` and the Cheeger constant
+//! `φ(G) = min_S |E(S, S̄)| / min(vol(S), vol(S̄))`. Both are NP-hard in
+//! general; this module computes them *exactly* for graphs up to
+//! [`MAX_EXACT_NODES`] nodes with bitmask enumeration, which is what the
+//! small-scale expansion experiments (E3, parts of E6/E8) use. Larger graphs
+//! use the spectral bounds in `xheal-spectral`.
+
+use crate::{Graph, NodeId};
+
+/// Largest graph for which exact enumeration is allowed (2^21 cuts ≈ 2M).
+pub const MAX_EXACT_NODES: usize = 21;
+
+/// The minimizing cut found by an exact computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExactCut {
+    /// Value of the minimized quotient (expansion or conductance).
+    pub value: f64,
+    /// The side `S` realizing the minimum, sorted ascending.
+    pub side: Vec<NodeId>,
+    /// Number of edges crossing `(S, S̄)`.
+    pub crossing: usize,
+}
+
+fn adjacency_masks(g: &Graph) -> Option<(Vec<NodeId>, Vec<u32>)> {
+    let nodes = g.node_vec();
+    let n = nodes.len();
+    if n > MAX_EXACT_NODES {
+        return None;
+    }
+    let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
+    let mut masks = vec![0u32; n];
+    for (i, &v) in nodes.iter().enumerate() {
+        for u in g.neighbors(v) {
+            masks[i] |= 1 << index(u);
+        }
+    }
+    Some((nodes, masks))
+}
+
+fn crossing_edges(masks: &[u32], subset: u32) -> usize {
+    let mut total = 0usize;
+    let mut bits = subset;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        total += (masks[i] & !subset).count_ones() as usize;
+    }
+    total
+}
+
+fn side_nodes(nodes: &[NodeId], subset: u32) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(subset.count_ones() as usize);
+    let mut bits = subset;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        out.push(nodes[i]);
+    }
+    out
+}
+
+/// Exact edge expansion `h(G)`, or `None` if the graph has more than
+/// [`MAX_EXACT_NODES`] nodes or fewer than 2 nodes.
+///
+/// A disconnected graph has expansion 0 (some cut crosses no edge).
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::{cuts, generators};
+/// let g = generators::complete(6);
+/// // K6: the worst balanced cut has 3·3 = 9 crossing edges over |S| = 3.
+/// let h = cuts::edge_expansion_exact(&g).unwrap();
+/// assert_eq!(h.value, 3.0);
+/// ```
+pub fn edge_expansion_exact(g: &Graph) -> Option<ExactCut> {
+    let (nodes, masks) = adjacency_masks(g)?;
+    let n = nodes.len();
+    if n < 2 {
+        return None;
+    }
+    let half = n / 2;
+    let mut best: Option<(f64, u32, usize)> = None;
+    for subset in 1u32..(1 << n) - 1 {
+        let size = subset.count_ones() as usize;
+        if size > half {
+            continue;
+        }
+        let cross = crossing_edges(&masks, subset);
+        let value = cross as f64 / size as f64;
+        if best.map_or(true, |(b, _, _)| value < b) {
+            best = Some((value, subset, cross));
+        }
+    }
+    best.map(|(value, subset, crossing)| ExactCut {
+        value,
+        side: side_nodes(&nodes, subset),
+        crossing,
+    })
+}
+
+/// Exact Cheeger constant (conductance) `φ(G)`, or `None` beyond
+/// [`MAX_EXACT_NODES`] nodes / below 2 nodes / zero-volume sides.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::{cuts, generators};
+/// let g = generators::cycle(8);
+/// let phi = cuts::conductance_exact(&g).unwrap();
+/// // Cycle: best cut is an arc of 4 nodes, 2 crossing edges, volume 8.
+/// assert!((phi.value - 0.25).abs() < 1e-12);
+/// ```
+pub fn conductance_exact(g: &Graph) -> Option<ExactCut> {
+    let (nodes, masks) = adjacency_masks(g)?;
+    let n = nodes.len();
+    if n < 2 {
+        return None;
+    }
+    let degs: Vec<usize> = nodes.iter().map(|&v| g.degree(v).unwrap_or(0)).collect();
+    let total_vol: usize = degs.iter().sum();
+    let mut best: Option<(f64, u32, usize)> = None;
+    // Fix the highest-index node outside S: conductance is symmetric in S/S̄.
+    for subset in 1u32..(1 << (n - 1)) {
+        let mut vol = 0usize;
+        let mut bits = subset;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            vol += degs[i];
+        }
+        let other = total_vol - vol;
+        let denom = vol.min(other);
+        if denom == 0 {
+            continue;
+        }
+        let cross = crossing_edges(&masks, subset);
+        let value = cross as f64 / denom as f64;
+        if best.map_or(true, |(b, _, _)| value < b) {
+            best = Some((value, subset, cross));
+        }
+    }
+    best.map(|(value, subset, crossing)| ExactCut {
+        value,
+        side: side_nodes(&nodes, subset),
+        crossing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn expansion_of_complete_graph() {
+        // K_n: any |S| = k has k(n-k) crossing edges; min over k <= n/2 of
+        // k(n-k)/k = n-k, minimized at k = floor(n/2).
+        for n in [4usize, 5, 6, 7] {
+            let g = generators::complete(n);
+            let h = edge_expansion_exact(&g).unwrap();
+            assert_eq!(h.value, (n - n / 2) as f64, "K{n}");
+        }
+    }
+
+    #[test]
+    fn expansion_of_star_is_small() {
+        // Star on n nodes (center + n-1 leaves): the worst cut takes
+        // floor(n/2) leaves; h = floor(n/2)/floor(n/2) = 1... each leaf has
+        // exactly one edge to the center, so h = k/k = 1? No: |E(S,S̄)| = k
+        // (one edge per leaf), |S| = k, so h = 1. The *center-side* cuts are
+        // worse for the complement. Exact value is 1 for leaf-only S.
+        let g = generators::star(9);
+        let h = edge_expansion_exact(&g).unwrap();
+        assert_eq!(h.value, 1.0);
+    }
+
+    #[test]
+    fn expansion_of_path_is_one_over_half() {
+        // Path on n nodes: cutting in the middle gives 1/(n/2).
+        let g = generators::path(10);
+        let h = edge_expansion_exact(&g).unwrap();
+        assert!((h.value - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.crossing, 1);
+        assert_eq!(h.side.len(), 5);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_expansion() {
+        let mut g = generators::path(4);
+        g.add_node(NodeId::new(99)).unwrap();
+        let h = edge_expansion_exact(&g).unwrap();
+        assert_eq!(h.value, 0.0);
+        assert_eq!(h.crossing, 0);
+    }
+
+    #[test]
+    fn conductance_le_expansion_over_dmin_relation() {
+        // Paper inequality (1): h/dmax <= phi <= h/dmin.
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(10, 0.4, &mut rng);
+            if g.edge_count() == 0 {
+                continue;
+            }
+            let degs: Vec<usize> = g.node_vec().iter().map(|&v| g.degree(v).unwrap()).collect();
+            let dmin = *degs.iter().min().unwrap();
+            let dmax = *degs.iter().max().unwrap();
+            if dmin == 0 {
+                continue;
+            }
+            let h = edge_expansion_exact(&g).unwrap().value;
+            let phi = conductance_exact(&g).unwrap().value;
+            assert!(phi <= h / dmin as f64 + 1e-9, "seed {seed}");
+            assert!(phi >= h / dmax as f64 - 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn too_large_graph_returns_none() {
+        let g = generators::path(MAX_EXACT_NODES + 1);
+        assert!(edge_expansion_exact(&g).is_none());
+        assert!(conductance_exact(&g).is_none());
+    }
+
+    #[test]
+    fn tiny_graphs_return_none() {
+        let mut g = Graph::new();
+        assert!(edge_expansion_exact(&g).is_none());
+        g.add_node(NodeId::new(0)).unwrap();
+        assert!(edge_expansion_exact(&g).is_none());
+    }
+
+    #[test]
+    fn minimizing_side_matches_reported_value() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::erdos_renyi(9, 0.35, &mut rng);
+        if let Some(h) = edge_expansion_exact(&g) {
+            let recomputed = g.cut_size(&h.side) as f64 / h.side.len() as f64;
+            assert!((recomputed - h.value).abs() < 1e-12);
+            assert_eq!(g.cut_size(&h.side), h.crossing);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The dynamic labeled graph at the heart of the reproduction.
+//!
+//! An undirected *simple* graph (no self-loops, no multi-edges — the paper is
+//! explicit that Xheal never creates multi-edges) whose edges carry an
+//! [`EdgeLabels`] set. Iteration order is deterministic (`BTreeMap`-backed),
+//! which keeps every experiment reproducible from a seed.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{CloudColor, EdgeLabels, NodeId};
+
+/// Errors returned by fallible [`Graph`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The node was already present.
+    NodeExists(NodeId),
+    /// The node is not present.
+    NodeMissing(NodeId),
+    /// The edge endpoints are equal.
+    SelfLoop(NodeId),
+    /// The edge is not present.
+    EdgeMissing(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeExists(v) => write!(f, "node {v} already exists"),
+            GraphError::NodeMissing(v) => write!(f, "node {v} does not exist"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v} rejected"),
+            GraphError::EdgeMissing(u, v) => write!(f, "edge ({u},{v}) does not exist"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected simple graph with labeled edges and deterministic iteration.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::{Graph, NodeId};
+/// let mut g = Graph::new();
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(1);
+/// g.add_node(a)?;
+/// g.add_node(b)?;
+/// g.add_black_edge(a, b)?;
+/// assert_eq!(g.degree(a), Some(1));
+/// assert!(g.has_edge(a, b));
+/// # Ok::<(), xheal_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: BTreeMap<NodeId, BTreeMap<NodeId, EdgeLabels>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes currently present.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Is the node present?
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.adj.contains_key(&v)
+    }
+
+    /// Is the edge present (with any label)?
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj.get(&u).is_some_and(|n| n.contains_key(&v))
+    }
+
+    /// The labels on edge `(u, v)`, if it exists.
+    pub fn edge_labels(&self, u: NodeId, v: NodeId) -> Option<&EdgeLabels> {
+        self.adj.get(&u).and_then(|n| n.get(&v))
+    }
+
+    /// Iterator over all node ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Sorted vector of all node ids.
+    pub fn node_vec(&self) -> Vec<NodeId> {
+        self.adj.keys().copied().collect()
+    }
+
+    /// Iterator over all undirected edges as `(u, v, labels)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &EdgeLabels)> + '_ {
+        self.adj.iter().flat_map(|(&u, nbrs)| {
+            nbrs.iter()
+                .filter(move |(&v, _)| u < v)
+                .map(move |(&v, l)| (u, v, l))
+        })
+    }
+
+    /// Degree of `v` (number of incident edges of any label), if present.
+    pub fn degree(&self, v: NodeId) -> Option<usize> {
+        self.adj.get(&v).map(|n| n.len())
+    }
+
+    /// Number of incident *black* edges of `v`, if present.
+    pub fn black_degree(&self, v: NodeId) -> Option<usize> {
+        self.adj
+            .get(&v)
+            .map(|n| n.values().filter(|l| l.is_black()).count())
+    }
+
+    /// Iterator over neighbors of `v` (empty if `v` absent), ascending.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.get(&v).into_iter().flat_map(|n| n.keys().copied())
+    }
+
+    /// Neighbors of `v` together with edge labels.
+    pub fn neighbors_labeled(
+        &self,
+        v: NodeId,
+    ) -> impl Iterator<Item = (NodeId, &EdgeLabels)> + '_ {
+        self.adj
+            .get(&v)
+            .into_iter()
+            .flat_map(|n| n.iter().map(|(&u, l)| (u, l)))
+    }
+
+    /// Neighbors of `v` connected by a black edge.
+    pub fn black_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.neighbors_labeled(v)
+            .filter(|(_, l)| l.is_black())
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// Neighbors of `v` connected by an edge carrying `color`.
+    pub fn colored_neighbors(&self, v: NodeId, color: CloudColor) -> Vec<NodeId> {
+        self.neighbors_labeled(v)
+            .filter(|(_, l)| l.has_color(color))
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// Sum of degrees over a node set (the paper's `vol(S)`).
+    ///
+    /// Nodes absent from the graph contribute zero.
+    pub fn volume<I: IntoIterator<Item = NodeId>>(&self, nodes: I) -> usize {
+        nodes
+            .into_iter()
+            .filter_map(|v| self.degree(v))
+            .sum()
+    }
+
+    /// Adds an isolated node.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeExists`] if `v` is already present.
+    pub fn add_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        if self.adj.contains_key(&v) {
+            return Err(GraphError::NodeExists(v));
+        }
+        self.adj.insert(v, BTreeMap::new());
+        Ok(())
+    }
+
+    /// Removes `v` and all incident edges, returning `(neighbor, labels)` for
+    /// each incident edge (ascending by neighbor).
+    ///
+    /// This is exactly the information the healing algorithm needs when the
+    /// adversary deletes a node: which neighbors were black, and which cloud
+    /// colors lost an edge.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeMissing`] if `v` is not present.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<(NodeId, EdgeLabels)>, GraphError> {
+        let nbrs = self.adj.remove(&v).ok_or(GraphError::NodeMissing(v))?;
+        let mut out = Vec::with_capacity(nbrs.len());
+        for (u, labels) in nbrs {
+            if let Some(n) = self.adj.get_mut(&u) {
+                n.remove(&v);
+            }
+            self.edge_count -= 1;
+            out.push((u, labels));
+        }
+        Ok(out)
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !self.adj.contains_key(&u) {
+            return Err(GraphError::NodeMissing(u));
+        }
+        if !self.adj.contains_key(&v) {
+            return Err(GraphError::NodeMissing(v));
+        }
+        Ok(())
+    }
+
+    /// Adds the black label to edge `(u, v)`, creating the edge if needed.
+    /// Returns `true` if a brand-new edge was created.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] / [`GraphError::NodeMissing`] on bad endpoints.
+    pub fn add_black_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        let created = !self.has_edge(u, v);
+        if created {
+            self.edge_count += 1;
+            self.adj.get_mut(&u).expect("checked").insert(v, EdgeLabels::black());
+            self.adj.get_mut(&v).expect("checked").insert(u, EdgeLabels::black());
+        } else {
+            self.adj.get_mut(&u).expect("checked").get_mut(&v).expect("checked").set_black();
+            self.adj.get_mut(&v).expect("checked").get_mut(&u).expect("checked").set_black();
+        }
+        Ok(created)
+    }
+
+    /// Adds cloud color `color` to edge `(u, v)`, creating the edge if needed
+    /// (the paper's "recoloring" of an existing edge never duplicates it).
+    /// Returns `true` if a brand-new edge was created.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] / [`GraphError::NodeMissing`] on bad endpoints.
+    pub fn add_colored_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        color: CloudColor,
+    ) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        let created = !self.has_edge(u, v);
+        if created {
+            self.edge_count += 1;
+            self.adj.get_mut(&u).expect("checked").insert(v, EdgeLabels::colored(color));
+            self.adj.get_mut(&v).expect("checked").insert(u, EdgeLabels::colored(color));
+        } else {
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .get_mut(&v)
+                .expect("checked")
+                .add_color(color);
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .get_mut(&u)
+                .expect("checked")
+                .add_color(color);
+        }
+        Ok(created)
+    }
+
+    /// Removes `color` from edge `(u, v)`; deletes the edge entirely if no
+    /// label remains. Returns `true` if the edge was fully removed.
+    ///
+    /// Missing edges and missing colors are tolerated (returns `false`): cloud
+    /// teardown may race with node deletions that already removed edges.
+    pub fn strip_color(&mut self, u: NodeId, v: NodeId, color: CloudColor) -> bool {
+        let Some(nu) = self.adj.get_mut(&u) else { return false };
+        let Some(labels) = nu.get_mut(&v) else { return false };
+        labels.remove_color(color);
+        let empty = labels.is_empty();
+        if empty {
+            nu.remove(&v);
+            self.adj.get_mut(&v).expect("mirror").remove(&u);
+            self.edge_count -= 1;
+        } else {
+            self.adj
+                .get_mut(&v)
+                .expect("mirror")
+                .get_mut(&u)
+                .expect("mirror")
+                .remove_color(color);
+        }
+        empty
+    }
+
+    /// Removes the black label from edge `(u, v)`; deletes the edge entirely
+    /// if no label remains. Returns `true` if the edge was fully removed.
+    pub fn strip_black(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(nu) = self.adj.get_mut(&u) else { return false };
+        let Some(labels) = nu.get_mut(&v) else { return false };
+        labels.clear_black();
+        let empty = labels.is_empty();
+        if empty {
+            nu.remove(&v);
+            self.adj.get_mut(&v).expect("mirror").remove(&u);
+            self.edge_count -= 1;
+        } else {
+            self.adj
+                .get_mut(&v)
+                .expect("mirror")
+                .get_mut(&u)
+                .expect("mirror")
+                .clear_black();
+        }
+        empty
+    }
+
+    /// Removes the edge regardless of labels.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeMissing`] if the edge is not present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeLabels, GraphError> {
+        let labels = self
+            .adj
+            .get_mut(&u)
+            .and_then(|n| n.remove(&v))
+            .ok_or(GraphError::EdgeMissing(u, v))?;
+        self.adj.get_mut(&v).expect("mirror").remove(&u);
+        self.edge_count -= 1;
+        Ok(labels)
+    }
+
+    /// Number of edges crossing the cut `(S, V - S)`.
+    ///
+    /// `S` must be duplicate-free; nodes absent from the graph are ignored.
+    pub fn cut_size(&self, s: &[NodeId]) -> usize {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<NodeId> = s.iter().copied().collect();
+        set.iter()
+            .filter_map(|&v| self.adj.get(&v))
+            .map(|nbrs| nbrs.keys().filter(|u| !set.contains(u)).count())
+            .sum()
+    }
+
+    /// Consistency check used by tests and debug assertions: adjacency is
+    /// symmetric, labels mirror, no self-loops, edge count matches.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        for (&u, nbrs) in &self.adj {
+            for (&v, l) in nbrs {
+                if u == v {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if l.is_empty() {
+                    return Err(format!("empty labels on ({u},{v})"));
+                }
+                let mirror = self
+                    .adj
+                    .get(&v)
+                    .and_then(|n| n.get(&u))
+                    .ok_or_else(|| format!("asymmetric edge ({u},{v})"))?;
+                if mirror != l {
+                    return Err(format!("label mismatch on ({u},{v})"));
+                }
+                if u < v {
+                    count += 1;
+                }
+            }
+        }
+        if count != self.edge_count {
+            return Err(format!(
+                "edge count {} does not match stored {}",
+                count, self.edge_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        for (u, v, l) in self.edges() {
+            writeln!(f, "  {u} -- {v} [{l}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..3 {
+            g.add_node(n(i)).unwrap();
+        }
+        g.add_black_edge(n(0), n(1)).unwrap();
+        g.add_black_edge(n(1), n(2)).unwrap();
+        g.add_black_edge(n(2), n(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_and_query_nodes() {
+        let mut g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        g.add_node(n(1)).unwrap();
+        assert!(g.contains_node(n(1)));
+        assert_eq!(g.add_node(n(1)), Err(GraphError::NodeExists(n(1))));
+        assert_eq!(g.degree(n(1)), Some(0));
+        assert_eq!(g.degree(n(2)), None);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        g.add_node(n(1)).unwrap();
+        assert_eq!(g.add_black_edge(n(1), n(1)), Err(GraphError::SelfLoop(n(1))));
+    }
+
+    #[test]
+    fn missing_endpoint_rejected() {
+        let mut g = Graph::new();
+        g.add_node(n(1)).unwrap();
+        assert_eq!(
+            g.add_black_edge(n(1), n(2)),
+            Err(GraphError::NodeMissing(n(2)))
+        );
+    }
+
+    #[test]
+    fn black_edge_roundtrip() {
+        let g = triangle();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(n(0)), Some(2));
+        assert_eq!(g.black_degree(n(0)), Some(2));
+        assert!(g.edge_labels(n(0), n(1)).unwrap().is_black());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn recolor_existing_black_edge_keeps_single_edge() {
+        let mut g = triangle();
+        let c = CloudColor::new(7);
+        let created = g.add_colored_edge(n(0), n(1), c).unwrap();
+        assert!(!created, "edge already existed; must not duplicate");
+        assert_eq!(g.edge_count(), 3);
+        let l = g.edge_labels(n(0), n(1)).unwrap();
+        assert!(l.is_black() && l.has_color(c));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn strip_color_removes_edge_only_when_label_set_empties() {
+        let mut g = triangle();
+        let c = CloudColor::new(7);
+        g.add_colored_edge(n(0), n(1), c).unwrap();
+        assert!(!g.strip_color(n(0), n(1), c), "black label remains");
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(g.strip_black(n(0), n(1)), "now fully removed");
+        assert!(!g.has_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn strip_on_missing_edge_is_noop() {
+        let mut g = triangle();
+        assert!(!g.strip_color(n(0), n(1), CloudColor::new(99)));
+        assert!(!g.strip_color(n(0), n(42), CloudColor::new(1)));
+        assert!(g.has_edge(n(0), n(1)));
+    }
+
+    #[test]
+    fn remove_node_returns_incident_labels() {
+        let mut g = triangle();
+        let c = CloudColor::new(3);
+        g.add_colored_edge(n(0), n(2), c).unwrap();
+        let incident = g.remove_node(n(0)).unwrap();
+        assert_eq!(incident.len(), 2);
+        assert_eq!(incident[0].0, n(1));
+        assert!(incident[0].1.is_black());
+        assert_eq!(incident[1].0, n(2));
+        assert!(incident[1].1.has_color(c));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_missing_node_errors() {
+        let mut g = Graph::new();
+        assert_eq!(g.remove_node(n(5)), Err(GraphError::NodeMissing(n(5))));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(edges, vec![(n(0), n(1)), (n(0), n(2)), (n(1), n(2))]);
+    }
+
+    #[test]
+    fn cut_size_counts_crossing_edges() {
+        let g = triangle();
+        assert_eq!(g.cut_size(&[n(0)]), 2);
+        assert_eq!(g.cut_size(&[n(0), n(1)]), 2);
+        assert_eq!(g.cut_size(&[n(0), n(1), n(2)]), 0);
+        assert_eq!(g.cut_size(&[]), 0);
+    }
+
+    #[test]
+    fn volume_sums_degrees() {
+        let g = triangle();
+        assert_eq!(g.volume([n(0), n(1)]), 4);
+        assert_eq!(g.volume([n(99)]), 0);
+    }
+
+    #[test]
+    fn colored_and_black_neighbor_queries() {
+        let mut g = triangle();
+        let c = CloudColor::new(1);
+        g.add_colored_edge(n(0), n(1), c).unwrap();
+        g.strip_black(n(0), n(1));
+        assert_eq!(g.black_neighbors(n(0)), vec![n(2)]);
+        assert_eq!(g.colored_neighbors(n(0), c), vec![n(1)]);
+        assert_eq!(g.black_degree(n(0)), Some(1));
+        assert_eq!(g.degree(n(0)), Some(2));
+    }
+
+    #[test]
+    fn remove_edge_returns_labels() {
+        let mut g = triangle();
+        let l = g.remove_edge(n(0), n(1)).unwrap();
+        assert!(l.is_black());
+        assert_eq!(
+            g.remove_edge(n(0), n(1)),
+            Err(GraphError::EdgeMissing(n(0), n(1)))
+        );
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = triangle();
+        let s = format!("{g}");
+        assert!(s.contains("3 nodes, 3 edges"));
+        assert!(s.contains("n0 -- n1 [black]"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Identifier newtypes used across the workspace.
+
+use std::fmt;
+
+/// Identifier of a node (processor) in the network.
+///
+/// The insert/delete/repair model of the paper assumes "every node gets a
+/// unique ID whenever it is inserted to the network" (Section 3); callers are
+/// responsible for uniqueness, which [`crate::Graph`] enforces on insertion.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::NodeId;
+/// let a = NodeId::new(7);
+/// assert_eq!(a.as_u64(), 7);
+/// assert!(NodeId::new(3) < a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw integer backing this id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Monotone generator of fresh [`NodeId`]s.
+///
+/// The adversary inserts nodes with fresh ids; this helper hands them out
+/// deterministically starting from a given floor.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::IdAllocator;
+/// let mut ids = IdAllocator::starting_at(10);
+/// assert_eq!(ids.fresh().as_u64(), 10);
+/// assert_eq!(ids.fresh().as_u64(), 11);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an allocator whose first id is `floor`.
+    pub fn starting_at(floor: u64) -> Self {
+        IdAllocator { next: floor }
+    }
+
+    /// Returns a fresh, never-before-returned id.
+    pub fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Bumps the floor so that all future ids are `> id`.
+    ///
+    /// Useful when seeding a graph with external ids and then switching to
+    /// allocator-driven insertion.
+    pub fn observe(&mut self, id: NodeId) {
+        if id.0 >= self.next {
+            self.next = id.0 + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_ordering() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        assert!(a < b);
+        assert_eq!(NodeId::from(1), a);
+        assert_eq!(b.as_u64(), 2);
+        assert_eq!(format!("{a}"), "n1");
+        assert_eq!(format!("{a:?}"), "n1");
+    }
+
+    #[test]
+    fn allocator_is_monotone() {
+        let mut ids = IdAllocator::new();
+        let a = ids.fresh();
+        let b = ids.fresh();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn allocator_observe_skips_used_ids() {
+        let mut ids = IdAllocator::new();
+        ids.observe(NodeId::new(41));
+        assert_eq!(ids.fresh().as_u64(), 42);
+        // Observing something below the floor changes nothing.
+        ids.observe(NodeId::new(3));
+        assert_eq!(ids.fresh().as_u64(), 43);
+    }
+}

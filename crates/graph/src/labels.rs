@@ -1,0 +1,255 @@
+//! Edge labels: the black/colored edge algebra of Section 3 of the paper.
+//!
+//! The paper colors every edge either *black* (original or adversary-inserted)
+//! or with the color of exactly one expander cloud. Two clouds can in practice
+//! demand the same edge, and a recolored black edge that its cloud later drops
+//! would silently erase an adversary-inserted edge, so this reproduction keeps
+//! a small *set* of labels per edge instead: a black flag plus a set of cloud
+//! colors (see DESIGN.md §3.1). An edge exists while at least one label does.
+
+use std::fmt;
+
+/// Identifier (the paper's "color") of an expander cloud.
+///
+/// The paper suggests using the id of the deleted node as the color; we use a
+/// dedicated counter so that repeatedly rebuilt clouds get distinct colors.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::CloudColor;
+/// let c = CloudColor::new(3);
+/// assert_eq!(c.as_u64(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CloudColor(u64);
+
+impl CloudColor {
+    /// Creates a color from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        CloudColor(raw)
+    }
+
+    /// Returns the raw integer backing this color.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for CloudColor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for CloudColor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Whether a cloud is *primary* ("shades of red") or *secondary* ("shades of
+/// orange") in the paper's terminology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CloudKind {
+    /// Built among the neighbors of a deleted node (Case 1 / Case 2.1 fixes).
+    Primary,
+    /// Built among bridge nodes of several primary clouds (Case 2.1/2.2).
+    Secondary,
+}
+
+impl fmt::Display for CloudKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudKind::Primary => write!(f, "primary"),
+            CloudKind::Secondary => write!(f, "secondary"),
+        }
+    }
+}
+
+/// The label set attached to one undirected edge.
+///
+/// Invariant: `colors` is sorted and duplicate-free; an `EdgeLabels` stored in
+/// a graph is never empty (no black flag and no colors means the edge is
+/// removed).
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::{CloudColor, EdgeLabels};
+/// let mut l = EdgeLabels::black();
+/// l.add_color(CloudColor::new(1));
+/// assert!(l.is_black());
+/// assert!(l.has_color(CloudColor::new(1)));
+/// l.clear_black();
+/// l.remove_color(CloudColor::new(1));
+/// assert!(l.is_empty());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct EdgeLabels {
+    black: bool,
+    colors: Vec<CloudColor>,
+}
+
+impl EdgeLabels {
+    /// A label set containing only the black flag.
+    pub fn black() -> Self {
+        EdgeLabels { black: true, colors: Vec::new() }
+    }
+
+    /// A label set containing a single cloud color.
+    pub fn colored(color: CloudColor) -> Self {
+        EdgeLabels { black: false, colors: vec![color] }
+    }
+
+    /// An empty label set (an edge with these labels must be removed).
+    pub fn empty() -> Self {
+        EdgeLabels::default()
+    }
+
+    /// Does the edge carry the black (original/inserted) label?
+    pub fn is_black(&self) -> bool {
+        self.black
+    }
+
+    /// Does the edge carry any cloud color?
+    pub fn is_colored(&self) -> bool {
+        !self.colors.is_empty()
+    }
+
+    /// True when no label remains.
+    pub fn is_empty(&self) -> bool {
+        !self.black && self.colors.is_empty()
+    }
+
+    /// Does the edge carry `color`?
+    pub fn has_color(&self, color: CloudColor) -> bool {
+        self.colors.binary_search(&color).is_ok()
+    }
+
+    /// The sorted slice of cloud colors on this edge.
+    pub fn colors(&self) -> &[CloudColor] {
+        &self.colors
+    }
+
+    /// Sets the black flag.
+    pub fn set_black(&mut self) {
+        self.black = true;
+    }
+
+    /// Clears the black flag.
+    pub fn clear_black(&mut self) {
+        self.black = false;
+    }
+
+    /// Adds a cloud color; returns `true` if it was not already present.
+    pub fn add_color(&mut self, color: CloudColor) -> bool {
+        match self.colors.binary_search(&color) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.colors.insert(pos, color);
+                true
+            }
+        }
+    }
+
+    /// Removes a cloud color; returns `true` if it was present.
+    pub fn remove_color(&mut self, color: CloudColor) -> bool {
+        match self.colors.binary_search(&color) {
+            Ok(pos) => {
+                self.colors.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Merges all labels from `other` into `self`.
+    pub fn merge(&mut self, other: &EdgeLabels) {
+        if other.black {
+            self.black = true;
+        }
+        for &c in &other.colors {
+            self.add_color(c);
+        }
+    }
+}
+
+impl fmt::Display for EdgeLabels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.black {
+            write!(f, "black")?;
+            first = false;
+        }
+        for c in &self.colors {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_roundtrip() {
+        let c = CloudColor::new(9);
+        assert_eq!(c.as_u64(), 9);
+        assert_eq!(format!("{c}"), "c9");
+    }
+
+    #[test]
+    fn labels_add_remove_colors_stay_sorted() {
+        let mut l = EdgeLabels::empty();
+        assert!(l.add_color(CloudColor::new(5)));
+        assert!(l.add_color(CloudColor::new(2)));
+        assert!(l.add_color(CloudColor::new(7)));
+        assert!(!l.add_color(CloudColor::new(5)));
+        let raw: Vec<u64> = l.colors().iter().map(|c| c.as_u64()).collect();
+        assert_eq!(raw, vec![2, 5, 7]);
+        assert!(l.remove_color(CloudColor::new(5)));
+        assert!(!l.remove_color(CloudColor::new(5)));
+        assert!(l.has_color(CloudColor::new(2)));
+        assert!(!l.has_color(CloudColor::new(5)));
+    }
+
+    #[test]
+    fn emptiness_tracks_black_and_colors() {
+        let mut l = EdgeLabels::black();
+        assert!(!l.is_empty());
+        l.clear_black();
+        assert!(l.is_empty());
+        l.add_color(CloudColor::new(1));
+        assert!(!l.is_empty());
+        l.remove_color(CloudColor::new(1));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_labels() {
+        let mut a = EdgeLabels::colored(CloudColor::new(1));
+        let mut b = EdgeLabels::black();
+        b.add_color(CloudColor::new(2));
+        a.merge(&b);
+        assert!(a.is_black());
+        assert!(a.has_color(CloudColor::new(1)));
+        assert!(a.has_color(CloudColor::new(2)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut l = EdgeLabels::black();
+        l.add_color(CloudColor::new(3));
+        assert_eq!(format!("{l}"), "black+c3");
+        assert_eq!(format!("{}", EdgeLabels::empty()), "(none)");
+    }
+}

@@ -1,0 +1,52 @@
+//! # xheal-graph
+//!
+//! Dynamic labeled-edge graph substrate for the reproduction of
+//! *Xheal: Localized Self-healing using Expanders* (Pandurangan & Trehan,
+//! PODC 2011).
+//!
+//! The paper's model (its Figure 1) works over an undirected simple graph
+//! whose edges are either *black* (original or adversary-inserted) or carry
+//! the *color* of an expander cloud installed by the healing algorithm. This
+//! crate provides:
+//!
+//! - [`Graph`]: a deterministic, mutation-friendly simple graph whose edges
+//!   carry an [`EdgeLabels`] set (black flag + cloud colors — see DESIGN.md
+//!   for why a *set* rather than the paper's single color),
+//! - [`traversal`]: BFS distances, shortest paths, diameter (stretch metric),
+//! - [`components`]: connectivity and articulation points (adversary tooling),
+//! - [`cuts`]: exact edge expansion `h(G)` and conductance `φ(G)` for small
+//!   graphs by enumeration,
+//! - [`generators`]: the topologies used by experiments (star, grid, G(n,p),
+//!   random regular, preferential attachment, the Cheeger-gap clique pair).
+//!
+//! # Examples
+//!
+//! Build a star, delete its center, and watch connectivity break — the
+//! scenario Xheal exists to repair:
+//!
+//! ```
+//! use xheal_graph::{components, generators, NodeId};
+//!
+//! let mut g = generators::star(8);
+//! assert!(components::is_connected(&g));
+//! let incident = g.remove_node(NodeId::new(0))?; // the center
+//! assert_eq!(incident.len(), 7);
+//! assert!(!components::is_connected(&g));
+//! # Ok::<(), xheal_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod ids;
+mod labels;
+
+pub mod components;
+pub mod cuts;
+pub mod generators;
+pub mod traversal;
+
+pub use graph::{Graph, GraphError};
+pub use ids::{IdAllocator, NodeId};
+pub use labels::{CloudColor, CloudKind, EdgeLabels};

@@ -1,0 +1,198 @@
+//! Breadth-first traversal, shortest paths, and distance utilities.
+//!
+//! Stretch (success metric 3 in Figure 1 of the paper) is defined through
+//! shortest-path distances in the healed graph `G_t` and in the
+//! insertions-only graph `G'_t`; everything here is plain BFS because all
+//! graphs are unweighted.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::{Graph, NodeId};
+
+/// BFS distances from `src` to every reachable node (including `src` at 0).
+///
+/// Returns an empty map if `src` is not in the graph.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::{generators, traversal, NodeId};
+/// let g = generators::path(5);
+/// let d = traversal::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d[&NodeId::new(4)], 4);
+/// ```
+pub fn bfs_distances(g: &Graph, src: NodeId) -> BTreeMap<NodeId, u32> {
+    let mut dist = BTreeMap::new();
+    if !g.contains_node(src) {
+        return dist;
+    }
+    dist.insert(src, 0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[&v];
+        for u in g.neighbors(v) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(u) {
+                e.insert(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distance between `u` and `v`, or `None` if disconnected or
+/// either endpoint is absent.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    if !g.contains_node(u) || !g.contains_node(v) {
+        return None;
+    }
+    if u == v {
+        return Some(0);
+    }
+    // Early-exit BFS.
+    let mut dist = BTreeMap::from([(u, 0u32)]);
+    let mut queue = VecDeque::from([u]);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[&x];
+        for y in g.neighbors(x) {
+            if y == v {
+                return Some(dx + 1);
+            }
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
+                e.insert(dx + 1);
+                queue.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+/// One shortest path from `u` to `v` (inclusive of both endpoints), or `None`.
+pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    if !g.contains_node(u) || !g.contains_node(v) {
+        return None;
+    }
+    if u == v {
+        return Some(vec![u]);
+    }
+    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut queue = VecDeque::from([u]);
+    parent.insert(u, u);
+    while let Some(x) = queue.pop_front() {
+        for y in g.neighbors(x) {
+            if !parent.contains_key(&y) {
+                parent.insert(y, x);
+                if y == v {
+                    let mut path = vec![v];
+                    let mut cur = v;
+                    while cur != u {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+/// Eccentricity of `src`: the largest BFS distance to any reachable node.
+pub fn eccentricity(g: &Graph, src: NodeId) -> Option<u32> {
+    let d = bfs_distances(g, src);
+    d.values().copied().max()
+}
+
+/// Diameter of the graph restricted to reachable pairs, or `None` for an
+/// empty graph. For a disconnected graph this is the max of the component
+/// diameters (infinite pairs are ignored; use [`crate::components::is_connected`]
+/// first if that matters).
+pub fn diameter(g: &Graph) -> Option<u32> {
+    g.nodes().filter_map(|v| eccentricity(g, v)).max()
+}
+
+/// All-pairs shortest distances (each unordered reachable pair once).
+///
+/// O(n·m); intended for the experiment scales (n up to a few thousand).
+pub fn all_pairs_distances(g: &Graph) -> BTreeMap<(NodeId, NodeId), u32> {
+    let mut out = BTreeMap::new();
+    for v in g.nodes() {
+        for (u, d) in bfs_distances(g, v) {
+            if v < u {
+                out.insert((v, u), d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn bfs_on_path_matches_index_distance() {
+        let g = generators::path(6);
+        let d = bfs_distances(&g, n(2));
+        assert_eq!(d[&n(0)], 2);
+        assert_eq!(d[&n(5)], 3);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn bfs_missing_source_is_empty() {
+        let g = generators::path(3);
+        assert!(bfs_distances(&g, n(99)).is_empty());
+    }
+
+    #[test]
+    fn distance_handles_same_node_and_disconnection() {
+        let mut g = generators::path(3);
+        g.add_node(n(77)).unwrap();
+        assert_eq!(distance(&g, n(1), n(1)), Some(0));
+        assert_eq!(distance(&g, n(0), n(77)), None);
+        assert_eq!(distance(&g, n(0), n(2)), Some(2));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = generators::cycle(8);
+        let p = shortest_path(&g, n(0), n(3)).unwrap();
+        assert_eq!(p.first(), Some(&n(0)));
+        assert_eq!(p.last(), Some(&n(3)));
+        assert_eq!(p.len() as u32 - 1, distance(&g, n(0), n(3)).unwrap());
+        // consecutive nodes adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn cycle_distance_wraps() {
+        let g = generators::cycle(8);
+        assert_eq!(distance(&g, n(0), n(5)), Some(3));
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        let g = generators::star(10);
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(eccentricity(&g, n(0)), Some(1)); // center
+    }
+
+    #[test]
+    fn all_pairs_counts_each_pair_once() {
+        let g = generators::complete(5);
+        let ap = all_pairs_distances(&g);
+        assert_eq!(ap.len(), 10);
+        assert!(ap.values().all(|&d| d == 1));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use xheal_graph::{components, cuts, generators, traversal, CloudColor, Graph, NodeId};
+
+/// An arbitrary small graph described by a node count and an edge bitmap seed.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..12, any::<u64>(), 0.05f64..0.9).prop_map(|(n, seed, p)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::erdos_renyi(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn validate_always_holds_on_generated_graphs(g in arb_graph()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn node_removal_keeps_graph_valid(g in arb_graph(), pick in any::<prop::sample::Index>()) {
+        let mut g = g;
+        let nodes = g.node_vec();
+        let v = nodes[pick.index(nodes.len())];
+        let incident = g.remove_node(v).unwrap();
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(!g.contains_node(v));
+        // Every reported incident edge is really gone.
+        for (u, _) in incident {
+            prop_assert!(!g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn color_strip_roundtrip(g in arb_graph(), c in 0u64..100) {
+        let mut g = g;
+        let color = CloudColor::new(c);
+        let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        for &(u, v) in &edges {
+            g.add_colored_edge(u, v, color).unwrap();
+        }
+        for &(u, v) in &edges {
+            // Black label remains, so stripping the color never removes.
+            prop_assert!(!g.strip_color(u, v, color));
+            prop_assert!(g.has_edge(u, v));
+        }
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in arb_graph()) {
+        let nodes = g.node_vec();
+        if nodes.is_empty() { return Ok(()); }
+        let d = traversal::bfs_distances(&g, nodes[0]);
+        for (u, v, _) in g.edges() {
+            match (d.get(&u), d.get(&v)) {
+                (Some(&du), Some(&dv)) => {
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge endpoints differ by more than 1");
+                }
+                (None, None) => {}
+                // One endpoint reachable and the other not, across an edge,
+                // is impossible.
+                _ => prop_assert!(false, "edge crossing reachability boundary"),
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes(g in arb_graph()) {
+        let comps = components::components(&g);
+        let mut all: Vec<NodeId> = comps.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, g.node_vec());
+        // No edge crosses two components.
+        for (u, v, _) in g.edges() {
+            let cu = comps.iter().position(|c| c.binary_search(&u).is_ok());
+            let cv = comps.iter().position(|c| c.binary_search(&v).is_ok());
+            prop_assert_eq!(cu, cv);
+        }
+    }
+
+    #[test]
+    fn exact_expansion_is_zero_iff_disconnected(g in arb_graph()) {
+        if let Some(h) = cuts::edge_expansion_exact(&g) {
+            let connected = components::is_connected(&g);
+            prop_assert_eq!(h.value > 0.0, connected);
+        }
+    }
+
+    #[test]
+    fn cut_size_symmetric_in_complement(g in arb_graph(), mask in any::<u16>()) {
+        let nodes = g.node_vec();
+        let side: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 16)) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        let other: Vec<NodeId> = nodes.iter().filter(|v| !side.contains(v)).copied().collect();
+        prop_assert_eq!(g.cut_size(&side), g.cut_size(&other));
+    }
+}

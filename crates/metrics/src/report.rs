@@ -1,0 +1,204 @@
+//! The success metrics of the paper's model (Figure 1, "Success metrics").
+
+use xheal_graph::{cuts, traversal, Graph, NodeId};
+use xheal_spectral::{algebraic_connectivity, normalized_algebraic_connectivity, sweep_cut};
+
+/// Success metric 1: `max_v degree(v, G_t) / degree(v, G'_t)` over live
+/// nodes with nonzero `G'` degree. Returns 0 for an empty graph.
+pub fn degree_increase(g: &Graph, gprime: &Graph) -> f64 {
+    let mut worst = 0.0f64;
+    for v in g.nodes() {
+        let d = g.degree(v).unwrap_or(0) as f64;
+        let dp = gprime.degree(v).unwrap_or(0) as f64;
+        if dp > 0.0 {
+            worst = worst.max(d / dp);
+        }
+    }
+    worst
+}
+
+/// Success metric 3: `max_{x,y} dist(x, y, G_t) / dist(x, y, G'_t)` over
+/// live pairs connected in `G'_t`.
+///
+/// Exact all-pairs when the graph has at most `exact_limit` nodes; above
+/// that, the maximum over `sample` deterministic source nodes (every node's
+/// BFS costs O(m), so sampled sources keep this linear-ish).
+///
+/// Returns `None` if no comparable pair exists, `Some(f64::INFINITY)` if a
+/// pair connected in `G'` is disconnected in `G` (a healing failure).
+pub fn stretch(g: &Graph, gprime: &Graph, exact_limit: usize, sample: usize) -> Option<f64> {
+    let live: Vec<NodeId> = g.node_vec();
+    if live.len() < 2 {
+        return None;
+    }
+    let sources: Vec<NodeId> = if live.len() <= exact_limit {
+        live.clone()
+    } else {
+        // Deterministic spread: every ceil(n/sample)-th node.
+        let step = live.len().div_ceil(sample.max(1));
+        live.iter().copied().step_by(step.max(1)).collect()
+    };
+
+    let mut worst: Option<f64> = None;
+    for &s in &sources {
+        let dg = traversal::bfs_distances(g, s);
+        let dp = traversal::bfs_distances(gprime, s);
+        for &t in &live {
+            if t <= s {
+                continue;
+            }
+            match (dg.get(&t), dp.get(&t)) {
+                (Some(&a), Some(&b)) if b > 0 => {
+                    let r = a as f64 / b as f64;
+                    worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+                }
+                (None, Some(&b)) if b > 0 => return Some(f64::INFINITY),
+                _ => {}
+            }
+        }
+    }
+    worst
+}
+
+/// Expansion measurements for a graph: exact where feasible, spectral
+/// bounds otherwise.
+#[derive(Clone, Debug)]
+pub struct ExpansionReport {
+    /// Exact edge expansion `h(G)` (subset enumeration, small graphs only).
+    pub exact_h: Option<f64>,
+    /// Exact conductance `φ(G)` (small graphs only).
+    pub exact_phi: Option<f64>,
+    /// Algebraic connectivity λ₂ of the unnormalized Laplacian.
+    pub lambda: f64,
+    /// λ₂ of the *normalized* Laplacian — the convention under which the
+    /// paper's Theorem 1 (Cheeger) holds.
+    pub lambda_norm: f64,
+    /// Sweep-cut conductance (upper bound on φ).
+    pub sweep_phi: Option<f64>,
+    /// Sweep-cut expansion quotient (upper bound on h).
+    pub sweep_h: Option<f64>,
+    /// Lower bound on h from Cheeger + the paper's inequality (1):
+    /// `h ≥ φ·dmin ≥ (λ_norm/2)·dmin`.
+    pub h_lower: f64,
+}
+
+/// Success metric 2 machinery: measures expansion every way available.
+pub fn expansion_report(g: &Graph) -> ExpansionReport {
+    let lambda = algebraic_connectivity(g);
+    let lambda_norm = normalized_algebraic_connectivity(g);
+    let dmin = g
+        .nodes()
+        .filter_map(|v| g.degree(v))
+        .min()
+        .unwrap_or(0) as f64;
+    let (exact_h, exact_phi) = if g.node_count() <= cuts::MAX_EXACT_NODES {
+        (
+            cuts::edge_expansion_exact(g).map(|c| c.value),
+            cuts::conductance_exact(g).map(|c| c.value),
+        )
+    } else {
+        (None, None)
+    };
+    let sweep = sweep_cut(g);
+    ExpansionReport {
+        exact_h,
+        exact_phi,
+        lambda,
+        lambda_norm,
+        sweep_phi: sweep.as_ref().map(|s| s.conductance),
+        sweep_h: sweep.as_ref().map(|s| s.expansion),
+        h_lower: lambda_norm / 2.0 * dmin,
+    }
+}
+
+/// Best available estimate of `h(G)`: exact when present, else the sweep-cut
+/// upper bound (a constructive cut, hence a true upper bound on `h`).
+pub fn expansion_estimate(g: &Graph) -> Option<f64> {
+    let r = expansion_report(g);
+    r.exact_h.or(r.sweep_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xheal_graph::generators;
+
+    #[test]
+    fn degree_increase_identity_is_one() {
+        let g = generators::cycle(8);
+        assert_eq!(degree_increase(&g, &g), 1.0);
+    }
+
+    #[test]
+    fn degree_increase_detects_growth() {
+        let gp = generators::path(4); // degrees 1,2,2,1
+        let mut g = gp.clone();
+        g.add_black_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        g.add_black_edge(NodeId::new(0), NodeId::new(3)).unwrap();
+        // Node 0: degree 3 vs 1 in G'.
+        assert_eq!(degree_increase(&g, &gp), 3.0);
+    }
+
+    #[test]
+    fn stretch_identity_is_one() {
+        let g = generators::grid(4, 4);
+        assert_eq!(stretch(&g, &g, 100, 4), Some(1.0));
+    }
+
+    #[test]
+    fn stretch_detects_detours() {
+        // G' is a cycle of 6; G lost edge (0,5) but kept the path.
+        let gp = generators::cycle(6);
+        let mut g = gp.clone();
+        g.remove_edge(NodeId::new(0), NodeId::new(5)).unwrap();
+        // dist(0,5): G' = 1, G = 5.
+        assert_eq!(stretch(&g, &gp, 100, 4), Some(5.0));
+    }
+
+    #[test]
+    fn stretch_disconnection_is_infinite() {
+        let gp = generators::path(4);
+        let mut g = gp.clone();
+        g.remove_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        assert_eq!(stretch(&g, &gp, 100, 4), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn stretch_through_dead_nodes_counts_gprime_distance() {
+        // G' = star (center 0); G = center deleted, leaves re-wired in a
+        // path. dist in G' between leaves = 2 (through dead center).
+        let gp = generators::star(5);
+        let mut g = gp.clone();
+        g.remove_node(NodeId::new(0)).unwrap();
+        for i in 1..4 {
+            g.add_black_edge(NodeId::new(i), NodeId::new(i + 1)).unwrap();
+        }
+        // Worst pair (1,4): G' distance 2, G distance 3 => 1.5.
+        assert_eq!(stretch(&g, &gp, 100, 4), Some(1.5));
+    }
+
+    #[test]
+    fn expansion_report_on_complete_graph() {
+        let g = generators::complete(8);
+        let r = expansion_report(&g);
+        assert_eq!(r.exact_h, Some(4.0));
+        assert!((r.lambda - 8.0).abs() < 1e-8);
+        assert!(r.sweep_h.unwrap() >= r.exact_h.unwrap() - 1e-9);
+        assert!(r.h_lower <= r.exact_h.unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn expansion_estimate_prefers_exact() {
+        let g = generators::path(10);
+        let est = expansion_estimate(&g).unwrap();
+        assert!((est - 0.2).abs() < 1e-12);
+        // Large graph: estimate falls back to the sweep bound.
+        let big = generators::cycle(64);
+        let est_big = expansion_estimate(&big).unwrap();
+        // Cycle expansion is 2/(n/2) = 1/16.
+        assert!(est_big >= 1.0 / 16.0 - 1e-9);
+        assert!(est_big <= 0.25);
+    }
+
+    use xheal_graph::NodeId;
+}

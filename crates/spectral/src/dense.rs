@@ -1,0 +1,154 @@
+//! Minimal dense symmetric-matrix support for the eigensolvers.
+
+use std::fmt;
+
+/// A dense symmetric `n × n` matrix stored row-major.
+///
+/// Only the operations the eigensolvers need are provided; this is an
+/// internal numerical workhorse, not a general linear-algebra library.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_spectral::SymMatrix;
+/// let mut m = SymMatrix::zeros(2);
+/// m.set(0, 1, 3.0);
+/// assert_eq!(m.get(1, 0), 3.0); // symmetry maintained
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates the `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Sets entries `(i, j)` and `(j, i)` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Adds `v` to entries `(i, j)` and `(j, i)` (only once on the diagonal).
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] += v;
+        if i != j {
+            self.data[j * self.n + i] += v;
+        }
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n` or `y.len() != n`.
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Largest absolute off-diagonal entry (Jacobi convergence measure).
+    pub fn max_offdiag(&self) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                best = best.max(self.get(i, j).abs());
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Debug for SymMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SymMatrix {}x{}", self.n, self.n)?;
+        for i in 0..self.n.min(8) {
+            let row: Vec<String> = (0..self.n.min(8))
+                .map(|j| format!("{:8.3}", self.get(i, j)))
+                .collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        if self.n > 8 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_maintains_symmetry() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.dim(), 3);
+    }
+
+    #[test]
+    fn add_on_diagonal_applies_once() {
+        let mut m = SymMatrix::zeros(2);
+        m.add(1, 1, 2.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        m.add(0, 1, 3.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn apply_matches_manual_product() {
+        let mut m = SymMatrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 1, 3.0);
+        let mut y = vec![0.0; 2];
+        m.apply(&[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn max_offdiag_finds_largest() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 1, -4.0);
+        m.set(1, 2, 2.0);
+        assert_eq!(m.max_offdiag(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = SymMatrix::zeros(2);
+        let _ = m.get(2, 0);
+    }
+}

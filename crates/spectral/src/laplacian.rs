@@ -1,0 +1,413 @@
+//! Graph Laplacians and algebraic connectivity (the paper's λ(G)).
+//!
+//! Theorem 2(4) of the paper bounds λ(G_t), the second-smallest eigenvalue of
+//! the Laplacian, and Corollary 1 ("if G'_t is a bounded-degree expander then
+//! so is G_t") is stated through λ. This module computes λ₂ exactly (dense
+//! Jacobi) for small graphs and via deflated Lanczos above that, plus the
+//! Fiedler vector used by the sweep cut.
+
+use xheal_graph::{Graph, NodeId};
+
+use crate::jacobi::jacobi_eigen;
+use crate::lanczos::{lanczos_deflated, LinOp};
+use crate::SymMatrix;
+
+/// Node-count threshold below which the dense O(n³) Jacobi path is used.
+pub const DENSE_CUTOFF: usize = 220;
+
+/// Dense Laplacian of `g` over the sorted node order; returns the node order
+/// alongside so eigenvector entries can be mapped back to nodes.
+pub fn laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
+    let nodes = g.node_vec();
+    let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
+    let mut m = SymMatrix::zeros(nodes.len());
+    for (u, v, _) in g.edges() {
+        let (i, j) = (index(u), index(v));
+        m.add(i, i, 1.0);
+        m.add(j, j, 1.0);
+        m.add(i, j, -1.0);
+    }
+    (nodes, m)
+}
+
+/// Matrix-free Laplacian operator (CSR-style) for the Lanczos path.
+#[derive(Clone, Debug)]
+pub struct LaplacianOp {
+    nodes: Vec<NodeId>,
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+    degrees: Vec<f64>,
+}
+
+impl LaplacianOp {
+    /// Builds the operator from a graph snapshot.
+    pub fn new(g: &Graph) -> Self {
+        let nodes = g.node_vec();
+        let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        let mut degrees = Vec::with_capacity(nodes.len());
+        offsets.push(0);
+        for &v in &nodes {
+            for u in g.neighbors(v) {
+                neighbors.push(index(u));
+            }
+            offsets.push(neighbors.len());
+            degrees.push(g.degree(v).unwrap_or(0) as f64);
+        }
+        LaplacianOp { nodes, offsets, neighbors, degrees }
+    }
+
+    /// The node order backing the operator's coordinates.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl LinOp for LaplacianOp {
+    fn dim(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.nodes.len() {
+            let mut acc = self.degrees[i] * x[i];
+            for &j in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
+                acc -= x[j];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+/// Algebraic connectivity λ₂ of `g` (0 for graphs with fewer than 2 nodes or
+/// disconnected graphs).
+///
+/// Uses exact dense Jacobi below [`DENSE_CUTOFF`] nodes and deflated Lanczos
+/// above; values are clamped at 0 (tiny negative round-off is squashed).
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::generators;
+/// use xheal_spectral::algebraic_connectivity;
+/// // Complete graph K5 has λ₂ = 5.
+/// let l = algebraic_connectivity(&generators::complete(5));
+/// assert!((l - 5.0).abs() < 1e-9);
+/// ```
+pub fn algebraic_connectivity(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    if n <= DENSE_CUTOFF {
+        let (_, m) = laplacian_dense(g);
+        let eig = jacobi_eigen(&m);
+        return eig.values[1].max(0.0);
+    }
+    let op = LaplacianOp::new(g);
+    let ones = vec![1.0; n];
+    let steps = 260.min(n - 1);
+    match lanczos_deflated(&op, &ones, steps, 0x5EED) {
+        Some(r) => r.ritz_values[0].max(0.0),
+        None => 0.0,
+    }
+}
+
+/// The Fiedler vector of `g` (eigenvector for λ₂) as `(node, value)` pairs.
+///
+/// Returns `None` for graphs with fewer than 2 nodes.
+pub fn fiedler_vector(g: &Graph) -> Option<Vec<(NodeId, f64)>> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    if n <= DENSE_CUTOFF {
+        let (nodes, m) = laplacian_dense(g);
+        let eig = jacobi_eigen(&m);
+        let vec = &eig.vectors[1];
+        return Some(nodes.into_iter().zip(vec.iter().copied()).collect());
+    }
+    let op = LaplacianOp::new(g);
+    let ones = vec![1.0; n];
+    let steps = 260.min(n - 1);
+    let r = lanczos_deflated(&op, &ones, steps, 0x5EED)?;
+    Some(
+        op.nodes()
+            .iter()
+            .copied()
+            .zip(r.smallest_vector.iter().copied())
+            .collect(),
+    )
+}
+
+/// Dense *normalized* Laplacian `I - D^{-1/2} A D^{-1/2}` of `g`.
+///
+/// This is the Laplacian convention under which the paper's Theorem 1
+/// (Cheeger: `2φ ≥ λ > φ²/2`, citing Chung) holds; its kernel vector is
+/// `D^{1/2}·1`. Isolated nodes contribute zero rows (extra 0 eigenvalues),
+/// which is correct: such a graph is disconnected.
+pub fn normalized_laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
+    let nodes = g.node_vec();
+    let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
+    let mut m = SymMatrix::zeros(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        if g.degree(v).unwrap_or(0) > 0 {
+            m.set(i, i, 1.0);
+        }
+    }
+    for (u, v, _) in g.edges() {
+        let (i, j) = (index(u), index(v));
+        let du = g.degree(u).expect("endpoint") as f64;
+        let dv = g.degree(v).expect("endpoint") as f64;
+        m.set(i, j, -1.0 / (du * dv).sqrt());
+    }
+    (nodes, m)
+}
+
+/// Matrix-free normalized Laplacian operator for the Lanczos path.
+#[derive(Clone, Debug)]
+pub struct NormalizedLaplacianOp {
+    nodes: Vec<NodeId>,
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+    inv_sqrt_deg: Vec<f64>,
+}
+
+impl NormalizedLaplacianOp {
+    /// Builds the operator from a graph snapshot.
+    pub fn new(g: &Graph) -> Self {
+        let nodes = g.node_vec();
+        let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        let mut inv_sqrt_deg = Vec::with_capacity(nodes.len());
+        offsets.push(0);
+        for &v in &nodes {
+            for u in g.neighbors(v) {
+                neighbors.push(index(u));
+            }
+            offsets.push(neighbors.len());
+            let d = g.degree(v).unwrap_or(0) as f64;
+            inv_sqrt_deg.push(if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 });
+        }
+        NormalizedLaplacianOp { nodes, offsets, neighbors, inv_sqrt_deg }
+    }
+
+    /// The node order backing the operator's coordinates.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The kernel direction `D^{1/2}·1` to deflate.
+    pub fn kernel(&self) -> Vec<f64> {
+        self.inv_sqrt_deg
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect()
+    }
+}
+
+impl LinOp for NormalizedLaplacianOp {
+    fn dim(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.nodes.len() {
+            if self.inv_sqrt_deg[i] == 0.0 {
+                y[i] = 0.0;
+                continue;
+            }
+            let mut acc = x[i];
+            for &j in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
+                acc -= self.inv_sqrt_deg[i] * self.inv_sqrt_deg[j] * x[j];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+/// Second-smallest eigenvalue of the *normalized* Laplacian (the λ of the
+/// paper's Cheeger inequality). 0 for disconnected or trivial graphs.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::generators;
+/// use xheal_spectral::normalized_algebraic_connectivity;
+/// // K_n has normalized lambda_2 = n / (n - 1).
+/// let l = normalized_algebraic_connectivity(&generators::complete(8));
+/// assert!((l - 8.0 / 7.0).abs() < 1e-9);
+/// ```
+pub fn normalized_algebraic_connectivity(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n < 2 || g.edge_count() == 0 {
+        return 0.0;
+    }
+    if n <= DENSE_CUTOFF {
+        let (_, m) = normalized_laplacian_dense(g);
+        let eig = jacobi_eigen(&m);
+        return eig.values[1].max(0.0);
+    }
+    let op = NormalizedLaplacianOp::new(g);
+    let kernel = op.kernel();
+    let steps = 260.min(n - 1);
+    match lanczos_deflated(&op, &kernel, steps, 0x5EED) {
+        Some(r) => r.ritz_values[0].max(0.0),
+        None => 0.0,
+    }
+}
+
+/// Full Laplacian spectrum (ascending) — dense path only.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`DENSE_CUTOFF`] nodes.
+pub fn laplacian_spectrum(g: &Graph) -> Vec<f64> {
+    assert!(
+        g.node_count() <= DENSE_CUTOFF,
+        "full spectrum restricted to dense-size graphs"
+    );
+    let (_, m) = laplacian_dense(g);
+    jacobi_eigen(&m).values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use xheal_graph::generators;
+
+    #[test]
+    fn complete_graph_lambda_is_n() {
+        for n in [3usize, 5, 8] {
+            let g = generators::complete(n);
+            let l = algebraic_connectivity(&g);
+            assert!((l - n as f64).abs() < 1e-8, "K{n}: {l}");
+        }
+    }
+
+    #[test]
+    fn star_lambda_is_one() {
+        let g = generators::star(9);
+        let l = algebraic_connectivity(&g);
+        assert!((l - 1.0).abs() < 1e-8, "{l}");
+    }
+
+    #[test]
+    fn path_lambda_matches_closed_form() {
+        for n in [4usize, 9, 16] {
+            let g = generators::path(n);
+            let expect = 2.0 * (1.0 - (PI / n as f64).cos());
+            let l = algebraic_connectivity(&g);
+            assert!((l - expect).abs() < 1e-8, "P{n}: {l} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn cycle_lambda_matches_closed_form() {
+        for n in [4usize, 7, 12] {
+            let g = generators::cycle(n);
+            let expect = 2.0 * (1.0 - (2.0 * PI / n as f64).cos());
+            let l = algebraic_connectivity(&g);
+            assert!((l - expect).abs() < 1e-8, "C{n}: {l} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_lambda() {
+        let mut g = generators::path(4);
+        g.add_node(NodeId::new(50)).unwrap();
+        assert!(algebraic_connectivity(&g) < 1e-10);
+    }
+
+    #[test]
+    fn lanczos_path_agrees_with_jacobi() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        // Build a graph above nothing — force both paths on the same graph.
+        let g = generators::random_regular(60, 4, &mut rng);
+        let (_, m) = laplacian_dense(&g);
+        let exact = jacobi_eigen(&m).values[1];
+        let op = LaplacianOp::new(&g);
+        let ones = vec![1.0; 60];
+        let r = lanczos_deflated(&op, &ones, 59, 1).unwrap();
+        assert!(
+            (r.ritz_values[0] - exact).abs() < 1e-7,
+            "lanczos {} vs jacobi {}",
+            r.ritz_values[0],
+            exact
+        );
+    }
+
+    #[test]
+    fn large_graph_uses_lanczos_and_is_positive_for_expander() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::random_regular(400, 6, &mut rng);
+        let l = algebraic_connectivity(&g);
+        // 6-regular random graphs are expanders: lambda2 comfortably > 0.5.
+        assert!(l > 0.5, "lambda2 = {l}");
+    }
+
+    #[test]
+    fn fiedler_vector_is_orthogonal_to_ones_and_nontrivial() {
+        let g = generators::path(10);
+        let f = fiedler_vector(&g).unwrap();
+        let sum: f64 = f.iter().map(|(_, v)| v).sum();
+        assert!(sum.abs() < 1e-8);
+        let norm: f64 = f.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        // Path Fiedler vector is monotone along the path.
+        let vals: Vec<f64> = f.iter().map(|&(_, v)| v).collect();
+        let increasing = vals.windows(2).all(|w| w[0] <= w[1]);
+        let decreasing = vals.windows(2).all(|w| w[0] >= w[1]);
+        assert!(increasing || decreasing, "{vals:?}");
+    }
+
+    #[test]
+    fn normalized_lambda_known_values() {
+        // K_n: n/(n-1). Cycle C_n: 1 - cos(2 pi / n).
+        let l = normalized_algebraic_connectivity(&generators::complete(5));
+        assert!((l - 5.0 / 4.0).abs() < 1e-9, "{l}");
+        let c = normalized_algebraic_connectivity(&generators::cycle(8));
+        let expect = 1.0 - (2.0 * PI / 8.0).cos();
+        assert!((c - expect).abs() < 1e-9, "{c} vs {expect}");
+    }
+
+    #[test]
+    fn normalized_lambda_zero_for_disconnected() {
+        let mut g = generators::complete(4);
+        g.add_node(NodeId::new(50)).unwrap();
+        assert!(normalized_algebraic_connectivity(&g) < 1e-10);
+    }
+
+    #[test]
+    fn normalized_lanczos_agrees_with_dense() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::random_regular(80, 4, &mut rng);
+        let (_, m) = normalized_laplacian_dense(&g);
+        let exact = jacobi_eigen(&m).values[1];
+        let op = NormalizedLaplacianOp::new(&g);
+        let kernel = op.kernel();
+        let r = lanczos_deflated(&op, &kernel, 79, 2).unwrap();
+        assert!(
+            (r.ritz_values[0] - exact).abs() < 1e-7,
+            "lanczos {} vs dense {}",
+            r.ritz_values[0],
+            exact
+        );
+    }
+
+    #[test]
+    fn spectrum_of_k4() {
+        let g = generators::complete(4);
+        let s = laplacian_spectrum(&g);
+        let expect = [0.0, 4.0, 4.0, 4.0];
+        for (a, b) in s.iter().zip(expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

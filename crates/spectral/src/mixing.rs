@@ -1,0 +1,126 @@
+//! Random-walk mixing time estimation.
+//!
+//! The paper's Preliminaries motivate the Cheeger constant through mixing
+//! time: "while the expander has logarithmic mixing time, the modified graph
+//! [two bridged cliques] has polynomial mixing time". Experiment E9
+//! regenerates that separation with this estimator.
+
+use std::collections::BTreeMap;
+
+use xheal_graph::{Graph, NodeId};
+
+/// Default total-variation threshold declaring the walk "mixed".
+pub const DEFAULT_TV_THRESHOLD: f64 = 0.25;
+
+/// Estimates the mixing time of the lazy random walk started at `start`:
+/// the number of steps until the total-variation distance to the stationary
+/// distribution (π(v) ∝ deg(v)) drops below `threshold`.
+///
+/// Returns `None` if the graph is empty, `start` is absent, the graph is
+/// disconnected (the walk cannot mix), or `max_steps` is exhausted.
+pub fn mixing_time_from(
+    g: &Graph,
+    start: NodeId,
+    threshold: f64,
+    max_steps: usize,
+) -> Option<usize> {
+    if !g.contains_node(start) || g.edge_count() == 0 {
+        return None;
+    }
+    let nodes = g.node_vec();
+    let index: BTreeMap<NodeId, usize> = nodes.iter().copied().zip(0..).collect();
+    let n = nodes.len();
+    let total_vol = 2.0 * g.edge_count() as f64;
+    let pi: Vec<f64> = nodes
+        .iter()
+        .map(|&v| g.degree(v).unwrap_or(0) as f64 / total_vol)
+        .collect();
+
+    let mut p = vec![0.0f64; n];
+    p[index[&start]] = 1.0;
+    let mut next = vec![0.0f64; n];
+
+    for step in 0..=max_steps {
+        let tv: f64 = 0.5 * p.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        if tv <= threshold {
+            return Some(step);
+        }
+        // Lazy walk: stay with probability 1/2, else move to uniform neighbor.
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for (i, &v) in nodes.iter().enumerate() {
+            let mass = p[i];
+            if mass == 0.0 {
+                continue;
+            }
+            let deg = g.degree(v).unwrap_or(0);
+            if deg == 0 {
+                next[i] += mass;
+                continue;
+            }
+            next[i] += 0.5 * mass;
+            let share = 0.5 * mass / deg as f64;
+            for u in g.neighbors(v) {
+                next[index[&u]] += share;
+            }
+        }
+        std::mem::swap(&mut p, &mut next);
+    }
+    None
+}
+
+/// Worst-case mixing time over a sample of start nodes (all nodes if
+/// `sample` is `None`).
+pub fn mixing_time(g: &Graph, threshold: f64, max_steps: usize) -> Option<usize> {
+    let mut worst = 0usize;
+    for v in g.nodes() {
+        worst = worst.max(mixing_time_from(g, v, threshold, max_steps)?);
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xheal_graph::generators;
+
+    #[test]
+    fn complete_graph_mixes_almost_instantly() {
+        let g = generators::complete(10);
+        let t = mixing_time(&g, DEFAULT_TV_THRESHOLD, 100).unwrap();
+        assert!(t <= 4, "mixing time {t}");
+    }
+
+    #[test]
+    fn path_mixes_slowly() {
+        let fast = mixing_time(&generators::complete(16), 0.25, 10_000).unwrap();
+        let slow = mixing_time(&generators::path(16), 0.25, 10_000).unwrap();
+        assert!(slow > 4 * fast, "path {slow} vs complete {fast}");
+    }
+
+    #[test]
+    fn disconnected_graph_never_mixes() {
+        let mut g = generators::complete(4);
+        g.add_node(NodeId::new(77)).unwrap();
+        assert_eq!(mixing_time(&g, 0.25, 500), None);
+    }
+
+    #[test]
+    fn missing_start_is_none() {
+        let g = generators::complete(4);
+        assert_eq!(mixing_time_from(&g, NodeId::new(99), 0.25, 10), None);
+    }
+
+    #[test]
+    fn expander_beats_bridged_cliques() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let expander = generators::random_regular(32, 6, &mut rng);
+        let cliques = generators::clique_pair_with_expander_bridge(32, 2, &mut rng);
+        let te = mixing_time(&expander, 0.25, 50_000).unwrap();
+        let tc = mixing_time(&cliques, 0.25, 50_000).unwrap();
+        assert!(
+            tc > 2 * te,
+            "bridged cliques should mix much slower: {tc} vs {te}"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Symmetric tridiagonal eigenvalues via the implicit QL method with shifts
+//! (the classic EISPACK `tql1` recurrence), plus inverse iteration for a
+//! single eigenvector. Used by the Lanczos driver.
+
+/// Eigenvalues (ascending) of the symmetric tridiagonal matrix with diagonal
+/// `d` and off-diagonal `e` (`e[i]` couples rows `i` and `i+1`;
+/// `e.len() == d.len() - 1`, or both empty).
+///
+/// # Panics
+///
+/// Panics if the lengths are inconsistent or the iteration fails to converge
+/// (30 iterations per eigenvalue, which in practice never triggers).
+pub fn tridiagonal_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert_eq!(e.len(), n.saturating_sub(1), "off-diagonal length mismatch");
+    let mut d = d.to_vec();
+    // Working copy of off-diagonals, padded with trailing zero.
+    let mut e: Vec<f64> = e.iter().copied().chain(std::iter::once(0.0)).collect();
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find small off-diagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiagonal QL failed to converge");
+
+            // Form implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow: deflate and retry.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d
+}
+
+/// One unit eigenvector of the tridiagonal `(d, e)` for eigenvalue `lambda`,
+/// via two rounds of inverse iteration with a slightly perturbed shift.
+pub fn tridiagonal_eigenvector(d: &[f64], e: &[f64], lambda: f64) -> Vec<f64> {
+    let n = d.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    assert_eq!(e.len(), n - 1, "off-diagonal length mismatch");
+    // Shift slightly off the eigenvalue so the system is solvable.
+    let scale = d.iter().map(|x| x.abs()).fold(1.0f64, f64::max);
+    let shift = lambda + scale * 1e-12;
+
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    for _ in 0..3 {
+        // Solve (T - shift I) y = x by the Thomas algorithm (with pivots
+        // regularized away from zero).
+        let mut diag: Vec<f64> = d.iter().map(|&v| v - shift).collect();
+        let mut rhs = x.clone();
+        for i in 0..n - 1 {
+            if diag[i].abs() < 1e-300 {
+                diag[i] = 1e-300;
+            }
+            let w = e[i] / diag[i];
+            diag[i + 1] -= w * e[i];
+            rhs[i + 1] -= w * rhs[i];
+        }
+        if diag[n - 1].abs() < 1e-300 {
+            diag[n - 1] = 1e-300;
+        }
+        let mut y = vec![0.0; n];
+        y[n - 1] = rhs[n - 1] / diag[n - 1];
+        for i in (0..n - 1).rev() {
+            y[i] = (rhs[i] - e[i] * y[i + 1]) / diag[i];
+        }
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !norm.is_finite() || norm == 0.0 {
+            break;
+        }
+        for v in &mut y {
+            *v /= norm;
+        }
+        x = y;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jacobi_eigen, SymMatrix};
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(tridiagonal_eigenvalues(&[], &[]).is_empty());
+        assert_eq!(tridiagonal_eigenvalues(&[4.0], &[]), vec![4.0]);
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_tridiagonal() {
+        let n = 16;
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let d: Vec<f64> = (0..n).map(|_| next() * 3.0).collect();
+        let e: Vec<f64> = (0..n - 1).map(|_| next()).collect();
+
+        let mut m = SymMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, d[i]);
+        }
+        for i in 0..n - 1 {
+            m.set(i, i + 1, e[i]);
+        }
+        let expect = jacobi_eigen(&m).values;
+        let got = tridiagonal_eigenvalues(&d, &e);
+        for (a, b) in expect.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-9, "expected {a}, got {b}");
+        }
+    }
+
+    #[test]
+    fn known_laplacian_of_path3() {
+        // Path P3 Laplacian is tridiagonal diag [1,2,1], off-diag [-1,-1];
+        // eigenvalues 0, 1, 3.
+        let vals = tridiagonal_eigenvalues(&[1.0, 2.0, 1.0], &[-1.0, -1.0]);
+        let expect = [0.0, 1.0, 3.0];
+        for (a, b) in vals.iter().zip(expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let d = [1.0, 2.0, 1.0];
+        let e = [-1.0, -1.0];
+        for lambda in [0.0, 1.0, 3.0] {
+            let v = tridiagonal_eigenvector(&d, &e, lambda);
+            // Compute T v - lambda v.
+            let n = 3;
+            let mut r = vec![0.0; n];
+            for i in 0..n {
+                r[i] = d[i] * v[i] - lambda * v[i];
+                if i > 0 {
+                    r[i] += e[i - 1] * v[i - 1];
+                }
+                if i + 1 < n {
+                    r[i] += e[i] * v[i + 1];
+                }
+            }
+            let res: f64 = r.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(res < 1e-6, "lambda={lambda} residual={res}");
+        }
+    }
+}

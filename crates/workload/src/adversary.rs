@@ -1,0 +1,277 @@
+//! Adversary strategies.
+//!
+//! The model's adversary is *omniscient about topology* (it sees the whole
+//! graph, including healing edges) but *oblivious to the healer's coin
+//! flips*. Every strategy here therefore receives the current graph and its
+//! own RNG, never the healer's internals.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use xheal_graph::{components, Graph, IdAllocator, NodeId};
+
+use crate::event::Event;
+
+/// An attack strategy producing the next adversarial event.
+pub trait Adversary {
+    /// Strategy name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Produces the next event given the current topology, or `None` when
+    /// the strategy has nothing left to do (e.g. scripted sequences ended or
+    /// the graph is too small to attack).
+    fn next_event(&mut self, graph: &Graph, rng: &mut StdRng) -> Option<Event>;
+}
+
+fn random_live(graph: &Graph, rng: &mut StdRng) -> Option<NodeId> {
+    let nodes = graph.node_vec();
+    if nodes.is_empty() {
+        return None;
+    }
+    Some(nodes[rng.random_range(0..nodes.len())])
+}
+
+fn random_neighbors(graph: &Graph, rng: &mut StdRng, max: usize) -> Vec<NodeId> {
+    let nodes = graph.node_vec();
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let count = rng.random_range(1..=max.min(nodes.len()));
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let u = nodes[rng.random_range(0..nodes.len())];
+        if !out.contains(&u) {
+            out.push(u);
+        }
+    }
+    out
+}
+
+/// Mixed random churn: insert with probability `p_insert`, else delete a
+/// uniformly random node. Keeps at least `min_nodes` nodes alive.
+#[derive(Clone, Debug)]
+pub struct RandomChurn {
+    /// Probability of an insertion at each step.
+    pub p_insert: f64,
+    /// Maximum neighbors given to inserted nodes.
+    pub max_neighbors: usize,
+    /// Never delete below this size.
+    pub min_nodes: usize,
+    ids: IdAllocator,
+}
+
+impl RandomChurn {
+    /// Creates the strategy; `ids` must start above all existing node ids.
+    pub fn new(p_insert: f64, max_neighbors: usize, min_nodes: usize, graph: &Graph) -> Self {
+        let mut ids = IdAllocator::new();
+        for v in graph.nodes() {
+            ids.observe(v);
+        }
+        RandomChurn { p_insert, max_neighbors, min_nodes, ids }
+    }
+}
+
+impl Adversary for RandomChurn {
+    fn name(&self) -> &'static str {
+        "random-churn"
+    }
+
+    fn next_event(&mut self, graph: &Graph, rng: &mut StdRng) -> Option<Event> {
+        let can_delete = graph.node_count() > self.min_nodes;
+        if !can_delete || rng.random::<f64>() < self.p_insert {
+            Some(Event::Insert {
+                node: self.ids.fresh(),
+                neighbors: random_neighbors(graph, rng, self.max_neighbors),
+            })
+        } else {
+            Some(Event::Delete { node: random_live(graph, rng)? })
+        }
+    }
+}
+
+/// Deletion-only adversary with a targeting rule.
+#[derive(Clone, Debug)]
+pub struct DeleteOnly {
+    /// How victims are chosen.
+    pub targeting: Targeting,
+    /// Never delete below this size.
+    pub min_nodes: usize,
+}
+
+/// Victim-selection rules for [`DeleteOnly`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Targeting {
+    /// Uniformly random victim.
+    Random,
+    /// Always the current highest-degree node (hub hunting).
+    HighestDegree,
+    /// Prefer articulation points (cut vertices) — the omniscient
+    /// adversary's meanest topology-aware attack; falls back to
+    /// highest-degree when the graph is biconnected.
+    Articulation,
+}
+
+impl DeleteOnly {
+    /// Creates the strategy.
+    pub fn new(targeting: Targeting, min_nodes: usize) -> Self {
+        DeleteOnly { targeting, min_nodes }
+    }
+}
+
+impl Adversary for DeleteOnly {
+    fn name(&self) -> &'static str {
+        match self.targeting {
+            Targeting::Random => "delete-random",
+            Targeting::HighestDegree => "delete-max-degree",
+            Targeting::Articulation => "delete-articulation",
+        }
+    }
+
+    fn next_event(&mut self, graph: &Graph, rng: &mut StdRng) -> Option<Event> {
+        if graph.node_count() <= self.min_nodes {
+            return None;
+        }
+        let victim = match self.targeting {
+            Targeting::Random => random_live(graph, rng)?,
+            Targeting::HighestDegree => graph
+                .node_vec()
+                .into_iter()
+                .max_by_key(|&v| (graph.degree(v).unwrap_or(0), v))?,
+            Targeting::Articulation => {
+                let cuts = components::articulation_points(graph);
+                match cuts.first() {
+                    Some(&v) => v,
+                    None => graph
+                        .node_vec()
+                        .into_iter()
+                        .max_by_key(|&v| (graph.degree(v).unwrap_or(0), v))?,
+                }
+            }
+        };
+        Some(Event::Delete { node: victim })
+    }
+}
+
+/// Growth-only adversary: inserts leaf-ish nodes attached to random targets.
+#[derive(Clone, Debug)]
+pub struct InsertOnly {
+    /// Maximum neighbors per insertion.
+    pub max_neighbors: usize,
+    ids: IdAllocator,
+}
+
+impl InsertOnly {
+    /// Creates the strategy.
+    pub fn new(max_neighbors: usize, graph: &Graph) -> Self {
+        let mut ids = IdAllocator::new();
+        for v in graph.nodes() {
+            ids.observe(v);
+        }
+        InsertOnly { max_neighbors, ids }
+    }
+}
+
+impl Adversary for InsertOnly {
+    fn name(&self) -> &'static str {
+        "insert-only"
+    }
+
+    fn next_event(&mut self, graph: &Graph, rng: &mut StdRng) -> Option<Event> {
+        Some(Event::Insert {
+            node: self.ids.fresh(),
+            neighbors: random_neighbors(graph, rng, self.max_neighbors),
+        })
+    }
+}
+
+/// Replays a fixed event script (used by figure reproductions).
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    events: std::vec::IntoIter<Event>,
+}
+
+impl Scripted {
+    /// Wraps a fixed sequence of events.
+    pub fn new(events: Vec<Event>) -> Self {
+        Scripted { events: events.into_iter() }
+    }
+}
+
+impl Adversary for Scripted {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn next_event(&mut self, _graph: &Graph, _rng: &mut StdRng) -> Option<Event> {
+        self.events.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xheal_graph::generators;
+
+    #[test]
+    fn random_churn_respects_min_nodes() {
+        let g = generators::cycle(4);
+        let mut adv = RandomChurn::new(0.0, 3, 4, &g);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Graph at min size: only insertions possible.
+        let e = adv.next_event(&g, &mut rng).unwrap();
+        assert!(!e.is_delete());
+    }
+
+    #[test]
+    fn random_churn_fresh_ids_do_not_collide() {
+        let g = generators::cycle(6);
+        let mut adv = RandomChurn::new(1.0, 2, 0, &g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let e = adv.next_event(&g, &mut rng).unwrap();
+            assert!(e.node().as_u64() >= 6);
+        }
+    }
+
+    #[test]
+    fn delete_only_targets_hub() {
+        let g = generators::star(8);
+        let mut adv = DeleteOnly::new(Targeting::HighestDegree, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = adv.next_event(&g, &mut rng).unwrap();
+        assert_eq!(e, Event::Delete { node: NodeId::new(0) });
+    }
+
+    #[test]
+    fn delete_only_targets_articulation_point() {
+        let g = generators::path(5);
+        let mut adv = DeleteOnly::new(Targeting::Articulation, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = adv.next_event(&g, &mut rng).unwrap();
+        // Interior nodes 1..=3 are the articulation points; the first is 1.
+        assert_eq!(e, Event::Delete { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn delete_only_stops_at_min() {
+        let g = generators::cycle(3);
+        let mut adv = DeleteOnly::new(Targeting::Random, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(adv.next_event(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn scripted_replays_in_order() {
+        let g = generators::cycle(3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let script = vec![
+            Event::Delete { node: NodeId::new(0) },
+            Event::Insert { node: NodeId::new(9), neighbors: vec![NodeId::new(1)] },
+        ];
+        let mut adv = Scripted::new(script.clone());
+        assert_eq!(adv.next_event(&g, &mut rng), Some(script[0].clone()));
+        assert_eq!(adv.next_event(&g, &mut rng), Some(script[1].clone()));
+        assert_eq!(adv.next_event(&g, &mut rng), None);
+    }
+}

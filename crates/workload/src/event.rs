@@ -1,0 +1,49 @@
+//! Adversarial events of the insert/delete/repair model.
+
+use xheal_graph::NodeId;
+
+/// One adversary move: insert a node with chosen connections, or delete one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Insert `node` with black edges to `neighbors`.
+    Insert {
+        /// The fresh node id.
+        node: NodeId,
+        /// Existing nodes it connects to (the adversary picks any subset).
+        neighbors: Vec<NodeId>,
+    },
+    /// Delete `node` and all its edges.
+    Delete {
+        /// The victim.
+        node: NodeId,
+    },
+}
+
+impl Event {
+    /// The node this event concerns.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Event::Insert { node, .. } | Event::Delete { node } => *node,
+        }
+    }
+
+    /// Is this a deletion?
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Event::Delete { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = Event::Delete { node: NodeId::new(4) };
+        assert!(e.is_delete());
+        assert_eq!(e.node(), NodeId::new(4));
+        let i = Event::Insert { node: NodeId::new(5), neighbors: vec![] };
+        assert!(!i.is_delete());
+        assert_eq!(i.node(), NodeId::new(5));
+    }
+}

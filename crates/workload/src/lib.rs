@@ -1,0 +1,34 @@
+//! # xheal-workload
+//!
+//! Adversarial workload machinery for the node insert/delete/repair model:
+//! the [`Event`] vocabulary, [`Adversary`] strategies (random churn, targeted
+//! deletion — including articulation-point hunting by the omniscient
+//! adversary — growth-only, and scripted replays), and the [`run`] driver
+//! that feeds any [`xheal_core::Healer`] while tracking the insertion-only
+//! reference graph `G'`.
+//!
+//! # Examples
+//!
+//! ```
+//! use xheal_core::{Xheal, XhealConfig};
+//! use xheal_graph::{components, generators};
+//! use xheal_workload::{run, DeleteOnly, Targeting};
+//!
+//! let g0 = generators::cycle(12);
+//! let mut healer = Xheal::new(&g0, XhealConfig::default());
+//! let mut adversary = DeleteOnly::new(Targeting::HighestDegree, 6);
+//! let summary = run(&mut healer, &mut adversary, 100, 42);
+//! assert_eq!(summary.deletions, 6);
+//! assert!(components::is_connected(healer.graph()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod event;
+mod runner;
+
+pub use adversary::{Adversary, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting};
+pub use event::Event;
+pub use runner::{replay, run, RunSummary};

@@ -1,0 +1,144 @@
+//! Drives a healer through an adversary's events, tracking `G'` alongside.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xheal_core::Healer;
+use xheal_graph::Graph;
+
+use crate::adversary::Adversary;
+use crate::event::Event;
+
+/// Outcome of a run: the insertion-only reference graph and event counts.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// The insertion-only graph `G'` after the run.
+    pub gprime: Graph,
+    /// Events applied (in order).
+    pub events: Vec<Event>,
+    /// Number of insertions applied.
+    pub insertions: usize,
+    /// Number of deletions applied.
+    pub deletions: usize,
+}
+
+/// Runs `adversary` against `healer` for at most `steps` events, maintaining
+/// `G'` (insertions only, no deletions) for the success metrics.
+///
+/// The adversary's randomness comes from `seed` — disjoint from the healer's
+/// internal randomness, which the model requires the adversary not to see.
+///
+/// # Panics
+///
+/// Panics if the adversary produces an invalid event (deleting an absent
+/// node, inserting a duplicate): adversaries are trusted test machinery.
+pub fn run(
+    healer: &mut dyn Healer,
+    adversary: &mut dyn Adversary,
+    steps: usize,
+    seed: u64,
+) -> RunSummary {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gprime = healer.graph().clone();
+    let mut events = Vec::new();
+    let mut insertions = 0;
+    let mut deletions = 0;
+
+    for _ in 0..steps {
+        let Some(event) = adversary.next_event(healer.graph(), &mut rng) else {
+            break;
+        };
+        match &event {
+            Event::Insert { node, neighbors } => {
+                healer
+                    .on_insert(*node, neighbors)
+                    .unwrap_or_else(|e| panic!("adversary produced bad insert: {e}"));
+                gprime.add_node(*node).expect("fresh in gprime");
+                for &u in neighbors {
+                    let _ = gprime.add_black_edge(*node, u);
+                }
+                insertions += 1;
+            }
+            Event::Delete { node } => {
+                healer
+                    .on_delete(*node)
+                    .unwrap_or_else(|e| panic!("adversary produced bad delete: {e}"));
+                deletions += 1;
+            }
+        }
+        events.push(event);
+    }
+
+    RunSummary { gprime, events, insertions, deletions }
+}
+
+/// Replays a recorded event list against a healer (for cross-validation of
+/// the centralized and distributed implementations on identical schedules).
+///
+/// # Panics
+///
+/// Panics on invalid events, as in [`run`].
+pub fn replay(healer: &mut dyn Healer, events: &[Event]) {
+    for event in events {
+        match event {
+            Event::Insert { node, neighbors } => healer
+                .on_insert(*node, neighbors)
+                .unwrap_or_else(|e| panic!("replay bad insert: {e}")),
+            Event::Delete { node } => healer
+                .on_delete(*node)
+                .unwrap_or_else(|e| panic!("replay bad delete: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{DeleteOnly, RandomChurn, Targeting};
+    use xheal_core::{Xheal, XhealConfig};
+    use xheal_graph::{components, generators};
+
+    #[test]
+    fn run_tracks_gprime_and_counts() {
+        let g0 = generators::connected_erdos_renyi(
+            20,
+            0.15,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let mut healer = Xheal::new(&g0, XhealConfig::new(4).with_seed(7));
+        let mut adv = RandomChurn::new(0.5, 3, 4, &g0);
+        let summary = run(&mut healer, &mut adv, 40, 99);
+        assert_eq!(summary.insertions + summary.deletions, summary.events.len());
+        assert_eq!(summary.events.len(), 40);
+        // G' has exactly initial + inserted nodes.
+        assert_eq!(summary.gprime.node_count(), 20 + summary.insertions);
+        assert!(components::is_connected(healer.graph()));
+    }
+
+    #[test]
+    fn delete_only_run_stops_at_min() {
+        let g0 = generators::cycle(10);
+        let mut healer = Xheal::new(&g0, XhealConfig::default());
+        let mut adv = DeleteOnly::new(Targeting::Random, 5);
+        let summary = run(&mut healer, &mut adv, 100, 3);
+        assert_eq!(summary.deletions, 5);
+        assert_eq!(healer.graph().node_count(), 5);
+    }
+
+    #[test]
+    fn replay_reproduces_topology() {
+        let g0 = generators::connected_erdos_renyi(
+            16,
+            0.2,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let mut a = Xheal::new(&g0, XhealConfig::new(4).with_seed(5));
+        let mut adv = RandomChurn::new(0.4, 2, 3, &g0);
+        let summary = run(&mut a, &mut adv, 30, 11);
+
+        // Same healer seed + same events => identical graphs.
+        let mut b = Xheal::new(&g0, XhealConfig::new(4).with_seed(5));
+        replay(&mut b, &summary.events);
+        assert_eq!(a.graph(), b.graph());
+    }
+}

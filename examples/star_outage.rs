@@ -1,0 +1,56 @@
+//! The Skype-outage scenario from the paper's introduction: a hub-and-spoke
+//! (supernode) topology loses its hubs. Tree-style repairs collapse the
+//! network's expansion to O(1/n); Xheal's expander clouds keep it constant.
+//!
+//! Run with `cargo run -p xheal-examples --bin star_outage`.
+
+use xheal_baselines::{BinaryTreeHeal, CycleHeal, StarHeal};
+use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_examples::{banner, fmt};
+use xheal_graph::{generators, NodeId};
+use xheal_metrics::expansion_report;
+
+fn main() {
+    banner("supernode outage: the paper's star example (Related Work, Figure 4)");
+    let n = 401usize; // one hub + 400 clients
+    println!("topology: one supernode serving {} clients\n", n - 1);
+
+    println!(
+        "{:<20}{:>14}{:>14}{:>14}{:>12}",
+        "healer", "lambda_norm", "sweep h", "max degree", "diameter"
+    );
+    let g0 = generators::star(n);
+    let healers: Vec<Box<dyn Healer>> = vec![
+        Box::new(Xheal::new(&g0, XhealConfig::new(6).with_seed(11))),
+        Box::new(BinaryTreeHeal::new(&g0)),
+        Box::new(CycleHeal::new(&g0)),
+        Box::new(StarHeal::new(&g0)),
+    ];
+    for mut healer in healers {
+        healer.on_delete(NodeId::new(0)).expect("hub exists");
+        let rep = expansion_report(healer.graph());
+        let max_deg = healer
+            .graph()
+            .node_vec()
+            .iter()
+            .map(|&v| healer.graph().degree(v).unwrap())
+            .max()
+            .unwrap_or(0);
+        let diam = xheal_graph::traversal::diameter(healer.graph()).unwrap_or(0);
+        println!(
+            "{:<20}{:>14}{:>14}{:>14}{:>12}",
+            healer.name(),
+            fmt(rep.lambda_norm),
+            fmt(rep.sweep_h.unwrap_or(f64::NAN)),
+            max_deg,
+            diam
+        );
+    }
+    println!();
+    println!(
+        "binary-tree repair leaves a lambda ~ 1/n bottleneck (one bad cut at the \
+         root); star repair re-creates the single point of failure with degree \
+         {}; xheal's kappa-regular cloud keeps lambda constant at degree 6.",
+        n - 2
+    );
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the example binaries.
+
+#![forbid(unsafe_code)]
+
+use xheal_graph::Graph;
+
+/// Formats a float compactly for example output.
+pub fn fmt(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("--- {title} ---");
+}
+
+/// One-line topology summary.
+pub fn describe(label: &str, g: &Graph) {
+    let connected = xheal_graph::components::is_connected(g);
+    println!(
+        "{label}: {} nodes, {} edges, {}",
+        g.node_count(),
+        g.edge_count(),
+        if connected { "connected" } else { "DISCONNECTED" }
+    );
+}

@@ -1,0 +1,53 @@
+//! A wireless mesh (grid) network attacked at its articulation points —
+//! the omniscient adversary's cut-vertex hunt — comparing reachability and
+//! stretch across healers.
+//!
+//! Run with `cargo run -p xheal-examples --bin wireless_mesh`.
+
+use xheal_baselines::{CycleHeal, NoHeal};
+use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_examples::{banner, describe, fmt};
+use xheal_graph::{components, generators};
+use xheal_metrics::stretch;
+use xheal_workload::{run, DeleteOnly, Targeting};
+
+fn main() {
+    banner("wireless mesh: articulation-point attack");
+    let g0 = generators::grid(12, 10);
+    describe("12x10 mesh", &g0);
+
+    let deletions = 45usize;
+    let keep = g0.node_count() - deletions;
+    println!(
+        "\nadversary: delete {} nodes, always hitting a cut vertex when one exists\n",
+        deletions
+    );
+
+    println!(
+        "{:<20}{:>10}{:>14}{:>12}{:>14}",
+        "healer", "nodes", "largest comp", "stretch", "connected"
+    );
+    let healers: Vec<Box<dyn Healer>> = vec![
+        Box::new(Xheal::new(&g0, XhealConfig::new(4).with_seed(3))),
+        Box::new(CycleHeal::new(&g0)),
+        Box::new(NoHeal::new(&g0)),
+    ];
+    for mut healer in healers {
+        let mut adversary = DeleteOnly::new(Targeting::Articulation, keep);
+        let summary = run(healer.as_mut(), &mut adversary, deletions, 1);
+        let s = stretch(healer.graph(), &summary.gprime, 130, 8).unwrap_or(f64::INFINITY);
+        println!(
+            "{:<20}{:>10}{:>14}{:>12}{:>14}",
+            healer.name(),
+            healer.graph().node_count(),
+            components::largest_component_size(healer.graph()),
+            fmt(s),
+            components::is_connected(healer.graph())
+        );
+    }
+    println!();
+    println!(
+        "no-heal shatters the mesh; xheal keeps every surviving radio reachable \
+         with logarithmic detours (Thm 2.2)."
+    );
+}

@@ -1,0 +1,108 @@
+//! Scenario reproductions of the paper's figures.
+//!
+//! - Figure 4: star-center deletion replaced by an expander over the leaves;
+//! - Figure 2: a node belonging to several primary clouds;
+//! - Figure 3 / Case 2.2: deletion of a bridge node of a secondary cloud.
+
+use xheal_core::{invariants, HealCase, Xheal, XhealConfig};
+use xheal_graph::{components, generators, CloudKind, NodeId};
+use xheal_spectral::normalized_algebraic_connectivity;
+
+fn n(raw: u64) -> NodeId {
+    NodeId::new(raw)
+}
+
+#[test]
+fn figure4_star_center_replaced_by_expander_cloud() {
+    let mut x = Xheal::new(&generators::star(40), XhealConfig::new(6).with_seed(4));
+    let report = x.heal_delete(n(0)).unwrap();
+    assert_eq!(report.case, HealCase::AllBlack);
+    // One primary cloud spanning all 39 ex-leaves.
+    assert_eq!(x.cloud_count(), 1);
+    let (color, kind) = x.cloud_colors()[0];
+    assert_eq!(kind, CloudKind::Primary);
+    assert_eq!(x.cloud(color).unwrap().len(), 39);
+    // The patch is an expander, not a tree: constant normalized gap.
+    let lambda = normalized_algebraic_connectivity(x.graph());
+    assert!(lambda > 0.2, "lambda {lambda}");
+    // Degrees stay at kappa.
+    for v in x.graph().nodes() {
+        assert!(x.graph().degree(v).unwrap() <= 6);
+    }
+    invariants::check_invariants(&x).unwrap();
+}
+
+#[test]
+fn figure2_node_in_multiple_primary_clouds() {
+    // Two stars sharing a leaf: deleting both centers puts the shared leaf
+    // into two primary clouds (the paper's Figure 2 situation).
+    let mut g = generators::star(8); // center 0, leaves 1..7
+    for i in 20..27 {
+        g.add_node(n(i)).unwrap();
+    }
+    // Second star centered at 20, sharing leaf 1.
+    for i in 21..27 {
+        g.add_black_edge(n(20), n(i)).unwrap();
+    }
+    g.add_black_edge(n(20), n(1)).unwrap();
+    let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(2));
+    x.heal_delete(n(0)).unwrap();
+    x.heal_delete(n(20)).unwrap();
+    let st = x.node_state(n(1)).unwrap();
+    assert_eq!(
+        st.primaries.len(),
+        2,
+        "shared leaf must belong to two primary clouds"
+    );
+    assert!(components::is_connected(x.graph()));
+    invariants::check_invariants(&x).unwrap();
+}
+
+#[test]
+fn figure3_bridge_deletion_case_2_2() {
+    // Drive churn until a secondary cloud exists, then kill one of its
+    // bridges and verify the Case 2.2 repair: secondary still spans >= 2
+    // clouds (or was legally dissolved), graph connected, invariants hold.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
+    let g0 = generators::connected_erdos_renyi(36, 0.09, &mut rng);
+    let mut x = Xheal::new(&g0, XhealConfig::new(4).with_seed(13));
+
+    let mut bridge = None;
+    for i in 0..30 {
+        let nodes = x.graph().node_vec();
+        let victim = nodes[(i * 5) % nodes.len()];
+        x.heal_delete(victim).unwrap();
+        if let Some(&(f, _)) = x
+            .cloud_colors()
+            .iter()
+            .find(|&&(_, k)| k == CloudKind::Secondary)
+        {
+            bridge = x.cloud(f).unwrap().members().iter().next().copied();
+            break;
+        }
+    }
+    let bridge = bridge.expect("churn produces a secondary cloud");
+    let report = x.heal_delete(bridge).unwrap();
+    assert_eq!(report.case, HealCase::Bridge);
+    assert!(components::is_connected(x.graph()));
+    invariants::check_invariants(&x).unwrap();
+    // Any surviving secondary cloud spans at least two primaries.
+    for (c, k) in x.cloud_colors() {
+        if k == CloudKind::Secondary {
+            let distinct: std::collections::BTreeSet<_> =
+                x.cloud(c).unwrap().attachments().values().collect();
+            assert!(distinct.len() >= 2 || x.cloud(c).unwrap().len() >= 2);
+        }
+    }
+}
+
+#[test]
+fn preliminaries_cheeger_gap_example() {
+    // The two-cliques-with-expander-bridge example: h constant, phi small.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let g = generators::clique_pair_with_expander_bridge(18, 4, &mut rng);
+    let h = xheal_graph::cuts::edge_expansion_exact(&g).unwrap().value;
+    let phi = xheal_graph::cuts::conductance_exact(&g).unwrap().value;
+    assert!(h >= 1.0, "h stays constant: {h}");
+    assert!(phi < h / 2.0, "phi {phi} must be far below h {h}");
+}
