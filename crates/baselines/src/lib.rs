@@ -47,7 +47,9 @@ struct BaseState {
 
 impl BaseState {
     fn new(initial: &Graph) -> Self {
-        BaseState { graph: initial.clone() }
+        BaseState {
+            graph: initial.clone(),
+        }
     }
 
     fn insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
@@ -83,7 +85,9 @@ macro_rules! baseline_common {
         impl $ty {
             /// Wraps an initial network.
             pub fn new(initial: &Graph) -> Self {
-                $ty { base: BaseState::new(initial) }
+                $ty {
+                    base: BaseState::new(initial),
+                }
             }
         }
 
@@ -281,7 +285,12 @@ mod tests {
         let diam = traversal::diameter(h.graph()).unwrap();
         assert!(diam <= 12, "diameter {diam} not logarithmic");
         // Max degree 3 (parent + two children).
-        let max_deg = h.graph().node_vec().iter().map(|&v| h.graph().degree(v).unwrap()).max();
+        let max_deg = h
+            .graph()
+            .node_vec()
+            .iter()
+            .map(|&v| h.graph().degree(v).unwrap())
+            .max();
         assert_eq!(max_deg, Some(3));
     }
 

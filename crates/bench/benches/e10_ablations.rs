@@ -48,8 +48,14 @@ fn main() {
 
     let variants: Vec<(&str, XhealConfig)> = vec![
         ("full (k=6)", XhealConfig::new(6).with_seed(10)),
-        ("no-secondary", XhealConfig::new(6).with_seed(10).without_secondary_clouds()),
-        ("no-sharing", XhealConfig::new(6).with_seed(10).without_sharing()),
+        (
+            "no-secondary",
+            XhealConfig::new(6).with_seed(10).without_secondary_clouds(),
+        ),
+        (
+            "no-sharing",
+            XhealConfig::new(6).with_seed(10).without_sharing(),
+        ),
         ("k=4", XhealConfig::new(4).with_seed(10)),
         ("k=8", XhealConfig::new(8).with_seed(10)),
     ];
@@ -75,7 +81,11 @@ fn main() {
         &format!(
             "disabling secondary clouds forces {}x the combines and raises mean message \
              cost {} -> {} — the secondary-cloud machinery is what amortizes repairs",
-            if full.combines == 0 { nosec.combines } else { nosec.combines / full.combines.max(1) },
+            if full.combines == 0 {
+                nosec.combines
+            } else {
+                nosec.combines / full.combines.max(1)
+            },
             f(full.msgs_avg),
             f(nosec.msgs_avg)
         ),

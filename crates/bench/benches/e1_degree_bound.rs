@@ -17,8 +17,14 @@ use xheal_workload::{run, DeleteOnly, RandomChurn, Targeting};
 fn workload_graphs(seed: u64) -> Vec<(&'static str, Graph)> {
     let mut rng = StdRng::seed_from_u64(seed);
     vec![
-        ("er(120,0.05)", generators::connected_erdos_renyi(120, 0.05, &mut rng)),
-        ("pa(120,3)", generators::preferential_attachment(120, 3, &mut rng)),
+        (
+            "er(120,0.05)",
+            generators::connected_erdos_renyi(120, 0.05, &mut rng),
+        ),
+        (
+            "pa(120,3)",
+            generators::preferential_attachment(120, 3, &mut rng),
+        ),
         ("star(120)", generators::star(120)),
     ]
 }
@@ -28,7 +34,13 @@ fn main() {
         "E1",
         "degree bound: deg_Gt(x) <= kappa*deg_G't(x) + 2*kappa (Thm 2.1, Lemma 3)",
     );
-    srow(&["graph/adversary", "kappa", "max ratio", "max slack/k", "nodes left"]);
+    srow(&[
+        "graph/adversary",
+        "kappa",
+        "max ratio",
+        "max slack/k",
+        "nodes left",
+    ]);
     let mut all_ok = true;
 
     for kappa in [4usize, 6, 8] {

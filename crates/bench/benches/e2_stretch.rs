@@ -33,8 +33,7 @@ fn main() {
         for mut healer in healers {
             let mut adv = DeleteOnly::new(Targeting::Random, n / 2);
             let summary = run(healer.as_mut(), &mut adv, n, 9);
-            let s = stretch(healer.graph(), &summary.gprime, 120, 10)
-                .unwrap_or(f64::INFINITY);
+            let s = stretch(healer.graph(), &summary.gprime, 120, 10).unwrap_or(f64::INFINITY);
             if healer.name() == "xheal" {
                 if s.is_infinite() {
                     finite = false;
@@ -42,11 +41,7 @@ fn main() {
                     xheal_normalized_max = xheal_normalized_max.max(s / log2n);
                 }
             }
-            row(&[
-                format!("{n}/{}", healer.name()),
-                f(s),
-                f(s / log2n),
-            ]);
+            row(&[format!("{n}/{}", healer.name()), f(s), f(s / log2n)]);
         }
     }
     verdict(

@@ -16,17 +16,29 @@ fn exact_h(g: &Graph) -> Option<f64> {
 }
 
 fn main() {
-    header("E3", "expansion preserved: h(Gt) >= min(alpha', h(G't)) (Thm 2.3)");
+    header(
+        "E3",
+        "expansion preserved: h(Gt) >= min(alpha', h(G't)) (Thm 2.3)",
+    );
     srow(&["graph", "deletions", "h(Gt)", "h(G't)", "bound", "ok"]);
     let mut all_ok = true;
     let alpha_prime: f64 = 1.0; // clique patches guarantee expansion >= 1
 
     let mut rng = StdRng::seed_from_u64(33);
     let cases: Vec<(&str, Graph)> = vec![
-        ("er(16,0.3)", generators::connected_erdos_renyi(16, 0.3, &mut rng)),
+        (
+            "er(16,0.3)",
+            generators::connected_erdos_renyi(16, 0.3, &mut rng),
+        ),
         ("star(16)", generators::star(16)),
-        ("cliquepair(16,4)", generators::clique_pair_with_expander_bridge(16, 4, &mut rng)),
-        ("er(18,0.35)", generators::connected_erdos_renyi(18, 0.35, &mut rng)),
+        (
+            "cliquepair(16,4)",
+            generators::clique_pair_with_expander_bridge(16, 4, &mut rng),
+        ),
+        (
+            "er(18,0.35)",
+            generators::connected_erdos_renyi(18, 0.35, &mut rng),
+        ),
     ];
 
     for (name, g0) in cases {

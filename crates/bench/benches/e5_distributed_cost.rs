@@ -18,7 +18,15 @@ fn main() {
         "E5",
         "distributed cost: O(log n) rounds, amortized O(kappa log n A(p)) messages (Thm 5)",
     );
-    srow(&["n", "del", "rounds avg", "rounds max", "msgs avg", "A(p)", "overhead"]);
+    srow(&[
+        "n",
+        "del",
+        "rounds avg",
+        "rounds max",
+        "msgs avg",
+        "A(p)",
+        "overhead",
+    ]);
     let kappa = 6usize;
     let mut max_round_ratio: f64 = 0.0;
     let mut max_overhead: f64 = 0.0;

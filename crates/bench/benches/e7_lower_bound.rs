@@ -24,7 +24,14 @@ fn main() {
         "E7",
         "per-deletion messages vs the Lemma 5 lower bound Theta(deg(v))",
     );
-    srow(&["workload", "n", "amortized", "ratio p95", "ratio max", "k*log2(n)"]);
+    srow(&[
+        "workload",
+        "n",
+        "amortized",
+        "ratio p95",
+        "ratio max",
+        "k*log2(n)",
+    ]);
     let kappa = 6usize;
     let mut all_ok = true;
 
@@ -54,8 +61,11 @@ fn main() {
             // individual low-degree deletions carry fixed overheads that the
             // amortization absorbs (p95/max columns show that spread).
             let total_msgs: f64 = net.costs().iter().map(|c| c.messages as f64).sum();
-            let total_deg: f64 =
-                net.costs().iter().map(|c| c.black_degree.max(1) as f64).sum();
+            let total_deg: f64 = net
+                .costs()
+                .iter()
+                .map(|c| c.black_degree.max(1) as f64)
+                .sum();
             let amortized = total_msgs / total_deg;
             let budget = kappa as f64 * (n as f64).log2();
             // O(kappa log n) with an explicit constant of 2.

@@ -41,8 +41,7 @@ fn main() {
                 xheal_lambda_min = xheal_lambda_min.min(lambda);
             }
             if healer.name() == "binary-tree-heal" && n >= 257 {
-                tree_lambda_times_n_max =
-                    tree_lambda_times_n_max.max(lambda * (n - 1) as f64);
+                tree_lambda_times_n_max = tree_lambda_times_n_max.max(lambda * (n - 1) as f64);
             }
             row(&[
                 format!("{n}/{}", healer.name()),

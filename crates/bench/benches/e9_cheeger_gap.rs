@@ -57,7 +57,7 @@ fn main() {
     };
     let _ = (phie, phic);
     // At n = 256: lambda gap and mixing gap are the paper's separation.
-    let (le, te, lc, tc) = big[1].clone();
+    let (le, te, lc, tc) = big[1];
     let lambda_gap = le / lc.max(1e-12) >= 4.0;
     let mix_gap = match (te, tc) {
         (Some(a), Some(b)) => b >= 2 * a,

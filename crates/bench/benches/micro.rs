@@ -8,9 +8,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use xheal_core::{Xheal, XhealConfig};
 use xheal_expander::HGraph;
 use xheal_graph::{generators, NodeId};
-use xheal_spectral::{
-    algebraic_connectivity, jacobi_eigen, laplacian_dense, LaplacianOp,
-};
+use xheal_spectral::{algebraic_connectivity, jacobi_eigen, laplacian_dense, LaplacianOp};
 
 fn bench_heal_delete(c: &mut Criterion) {
     let mut group = c.benchmark_group("heal_delete");
@@ -77,9 +75,7 @@ fn bench_eigensolvers(c: &mut Criterion) {
         })
     });
     let big = generators::random_regular(1000, 6, &mut rng);
-    group.bench_function("lambda2_n1000", |b| {
-        b.iter(|| algebraic_connectivity(&big))
-    });
+    group.bench_function("lambda2_n1000", |b| b.iter(|| algebraic_connectivity(&big)));
     group.finish();
 }
 

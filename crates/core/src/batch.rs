@@ -49,7 +49,9 @@ impl Xheal {
         let set: BTreeSet<NodeId> = victims.iter().copied().collect();
         if set.len() != victims.len() {
             // A duplicate means the second occurrence is already missing.
-            return Err(HealError::NodeMissing(*victims.first().expect("non-empty dup")));
+            return Err(HealError::NodeMissing(
+                *victims.first().expect("non-empty dup"),
+            ));
         }
         for &v in &set {
             if !self.graph().contains_node(v) {
@@ -79,12 +81,12 @@ impl Xheal {
         // Phase 1: remove every victim from the graph and detach it from
         // every cloud (FixPrimary / the structural part of FixSecondary),
         // remembering which secondary lost which bridge.
-        self.batch_begin();
+        self.batch_planner().batch_begin();
         let mut states: BTreeMap<NodeId, NodeState> = BTreeMap::new();
         let mut lost_bridges: Vec<(NodeId, CloudColor, Option<CloudColor>)> = Vec::new();
         for &v in &set {
             self.batch_remove_node(v);
-            states.insert(v, self.batch_take_state(v));
+            states.insert(v, self.batch_planner().batch_take_state(v));
         }
         // Group victims by cloud so each cloud is repaired once, with a net
         // edge delta that never references a dead member.
@@ -94,13 +96,13 @@ impl Xheal {
                 by_cloud.entry(c).or_default().push(v);
             }
             if let Some(f) = state.secondary {
-                let ci = self.batch_take_bridge_target(f, v);
+                let ci = self.batch_planner().batch_take_bridge_target(f, v);
                 lost_bridges.push((v, f, ci));
                 by_cloud.entry(f).or_default().push(v);
             }
         }
         for (c, vs) in &by_cloud {
-            self.batch_detach_many(*c, vs);
+            self.batch_planner().batch_detach_many(*c, vs);
         }
 
         // Phase 2: per dead component, run the healing cases on the merged
@@ -123,13 +125,11 @@ impl Xheal {
             // collecting anchors that must join the new secondary group.
             let comp_set: BTreeSet<NodeId> = comp.iter().copied().collect();
             let mut anchors: Vec<CloudColor> = Vec::new();
-            for &(victim, f, ci) in
-                lost_bridges.iter().filter(|(v, _, _)| comp_set.contains(v))
-            {
+            for &(victim, f, ci) in lost_bridges.iter().filter(|(v, _, _)| comp_set.contains(v)) {
                 let _ = victim;
                 let ci_alive = ci.filter(|c| self.cloud(*c).is_some());
                 if self.cloud(f).is_some() {
-                    if let Some(anchor) = self.batch_fix_secondary(f, ci_alive) {
+                    if let Some(anchor) = self.batch_planner().batch_fix_secondary(f, ci_alive) {
                         anchors.push(anchor);
                     }
                 } else if let Some(a) = ci_alive {
@@ -141,14 +141,16 @@ impl Xheal {
             // everything with one secondary cloud (or combine).
             let mut group: Vec<CloudColor> = alive;
             for &w in &boundary {
-                group.push(self.batch_singleton(w));
+                group.push(self.batch_planner().batch_singleton(w));
             }
             group.extend(anchors);
-            self.batch_make_secondary(&group);
+            self.batch_planner().batch_make_secondary(&group);
         }
 
         let black_degree_sum: usize = boundary_black.values().map(Vec::len).sum();
-        self.batch_finish(set.len(), black_degree_sum);
+        self.batch_planner()
+            .batch_finish(set.len(), black_degree_sum);
+        self.batch_apply_pending();
         let s: &HealStats = self.stats();
         let report = BatchReport {
             victims: set.len(),
@@ -263,8 +265,7 @@ mod tests {
                 components::is_connected(x.graph()),
                 "round {round}: disconnected after batch {victims:?}"
             );
-            invariants::check_invariants(&x)
-                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            invariants::check_invariants(&x).unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
     }
 

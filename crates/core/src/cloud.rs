@@ -18,7 +18,11 @@ pub struct Cloud {
 
 impl Cloud {
     pub(crate) fn new(kind: CloudKind, expander: MaintainedExpander) -> Self {
-        Cloud { kind, expander, attachments: BTreeMap::new() }
+        Cloud {
+            kind,
+            expander,
+            attachments: BTreeMap::new(),
+        }
     }
 
     /// Primary or secondary.

@@ -41,7 +41,12 @@ impl XhealConfig {
     /// Panics if `kappa` is odd or less than 2.
     pub fn new(kappa: usize) -> Self {
         assert!(kappa >= 2 && kappa % 2 == 0, "kappa must be even and >= 2");
-        XhealConfig { kappa, seed: 0, disable_secondary: false, disable_sharing: false }
+        XhealConfig {
+            kappa,
+            seed: 0,
+            disable_secondary: false,
+            disable_sharing: false,
+        }
     }
 
     /// Sets the healer randomness seed.

@@ -60,10 +60,8 @@ mod tests {
 
     #[test]
     fn xheal_implements_healer() {
-        let mut h: Box<dyn Healer> = Box::new(Xheal::new(
-            &generators::star(6),
-            XhealConfig::default(),
-        ));
+        let mut h: Box<dyn Healer> =
+            Box::new(Xheal::new(&generators::star(6), XhealConfig::default()));
         assert_eq!(h.name(), "xheal");
         h.on_delete(NodeId::new(0)).unwrap();
         assert!(xheal_graph::components::is_connected(h.graph()));

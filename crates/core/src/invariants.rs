@@ -46,15 +46,9 @@ pub fn check_invariants(x: &Xheal) -> Result<(), String> {
             match graph.edge_labels(u, w) {
                 Some(l) if l.has_color(color) => {}
                 Some(_) => {
-                    return Err(format!(
-                        "edge ({u},{w}) missing color {color} of its cloud"
-                    ))
+                    return Err(format!("edge ({u},{w}) missing color {color} of its cloud"))
                 }
-                None => {
-                    return Err(format!(
-                        "cloud {color} edge ({u},{w}) absent from graph"
-                    ))
-                }
+                None => return Err(format!("cloud {color} edge ({u},{w}) absent from graph")),
             }
         }
         // I4: secondary structure.
@@ -92,9 +86,7 @@ pub fn check_invariants(x: &Xheal) -> Result<(), String> {
                     }
                     Some(p) => {
                         if p.kind() != CloudKind::Primary {
-                            return Err(format!(
-                                "secondary {color}: target {prim} is not primary"
-                            ));
+                            return Err(format!("secondary {color}: target {prim} is not primary"));
                         }
                         if !p.members().contains(&bridge) {
                             return Err(format!(

@@ -45,6 +45,8 @@ mod error;
 mod heal;
 mod healer;
 pub mod invariants;
+mod plan;
+mod planner;
 mod stats;
 
 pub use batch::BatchReport;
@@ -53,4 +55,6 @@ pub use config::XhealConfig;
 pub use error::HealError;
 pub use heal::Xheal;
 pub use healer::Healer;
+pub use plan::{PlanAction, RepairPlan};
+pub use planner::RepairPlanner;
 pub use stats::{DeletionReport, HealCase, HealStats};

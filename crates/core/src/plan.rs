@@ -1,0 +1,173 @@
+//! Explicit repair plans: the decisions of one healing operation as data.
+//!
+//! [`crate::RepairPlanner`] turns a deletion into a [`RepairPlan`] — an
+//! ordered list of [`PlanAction`]s describing exactly which expander clouds
+//! are built, patched, extended, or dissolved, with the edge delta each step
+//! must apply to the network graph. Executors interpret the plan:
+//!
+//! - [`crate::Xheal`] applies the deltas directly to its [`xheal_graph::Graph`]
+//!   (the centralized model);
+//! - `xheal-dist` replays every action as a probe/grant/link message exchange
+//!   over the LOCAL-model engine before applying the same deltas, so both
+//!   executors produce bit-identical topologies from one plan.
+
+use std::collections::BTreeSet;
+
+use xheal_expander::EdgeDelta;
+use xheal_graph::{CloudColor, CloudKind, Graph, NodeId};
+
+use crate::stats::{DeletionReport, HealCase};
+
+/// One structural step of a repair.
+#[derive(Clone, Debug)]
+pub enum PlanAction {
+    /// Install a fresh expander cloud over `members`.
+    BuildCloud {
+        /// Color of the new cloud.
+        color: CloudColor,
+        /// Primary or secondary.
+        kind: CloudKind,
+        /// The member set, ascending.
+        members: Vec<NodeId>,
+        /// Edges to install (colored `color`).
+        delta: EdgeDelta,
+    },
+    /// Re-splice a cloud after members departed.
+    PatchCloud {
+        /// Color of the patched cloud.
+        color: CloudColor,
+        /// The members that left (often the deleted node).
+        removed: Vec<NodeId>,
+        /// Edge rewiring to apply.
+        delta: EdgeDelta,
+    },
+    /// Add one node to an existing cloud (free-node sharing or bridge
+    /// replacement).
+    ExtendCloud {
+        /// Color of the extended cloud.
+        color: CloudColor,
+        /// The joining node.
+        node: NodeId,
+        /// True when the node was borrowed from a sibling cloud (sharing).
+        shared: bool,
+        /// Edge rewiring to apply.
+        delta: EdgeDelta,
+    },
+    /// Remove a cloud entirely (combine inputs, vacuous secondaries).
+    DissolveCloud {
+        /// Color of the dissolved cloud.
+        color: CloudColor,
+        /// Its edges, all to be stripped (`delta.added` is empty).
+        delta: EdgeDelta,
+    },
+}
+
+impl PlanAction {
+    /// The edge rewiring this action applies to the graph.
+    pub fn delta(&self) -> &EdgeDelta {
+        match self {
+            PlanAction::BuildCloud { delta, .. }
+            | PlanAction::PatchCloud { delta, .. }
+            | PlanAction::ExtendCloud { delta, .. }
+            | PlanAction::DissolveCloud { delta, .. } => delta,
+        }
+    }
+
+    /// The cloud this action concerns.
+    pub fn color(&self) -> CloudColor {
+        match self {
+            PlanAction::BuildCloud { color, .. }
+            | PlanAction::PatchCloud { color, .. }
+            | PlanAction::ExtendCloud { color, .. }
+            | PlanAction::DissolveCloud { color, .. } => *color,
+        }
+    }
+
+    /// Every node named by this step: cloud members plus all endpoints of
+    /// its edge delta. Endpoints of *removed* edges may already be deleted
+    /// from the network (the repair's victim); executors must filter
+    /// against live membership before addressing them.
+    pub fn participants(&self) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        match self {
+            PlanAction::BuildCloud { members, .. } => out.extend(members.iter().copied()),
+            PlanAction::ExtendCloud { node, .. } => {
+                out.insert(*node);
+            }
+            PlanAction::PatchCloud { .. } | PlanAction::DissolveCloud { .. } => {}
+        }
+        let delta = self.delta();
+        for &(u, w) in delta.added.iter().chain(delta.removed.iter()) {
+            out.insert(u);
+            out.insert(w);
+        }
+        out
+    }
+
+    /// Applies this action's edge rewiring to `graph`: strip the removed
+    /// edges' color, then install the added edges. Both executors go
+    /// through here — that single code path is what makes the centralized
+    /// and distributed topologies bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an added edge references a node absent from `graph`
+    /// (cloud members are always live).
+    pub fn apply_to(&self, graph: &mut Graph) {
+        let color = self.color();
+        let delta = self.delta();
+        for &(u, w) in &delta.removed {
+            // Endpoints may already be gone from the graph (the deleted
+            // node's cloud edges); stripping is then a no-op.
+            graph.strip_color(u, w, color);
+        }
+        for &(u, w) in &delta.added {
+            graph
+                .add_colored_edge(u, w, color)
+                .expect("cloud members are live nodes");
+        }
+    }
+}
+
+/// The full decision record of one deletion repair.
+#[derive(Clone, Debug)]
+pub struct RepairPlan {
+    /// The structural steps, in execution order.
+    pub actions: Vec<PlanAction>,
+    /// Per-deletion accounting, including the healing case taken (also
+    /// folded into the planner's stats).
+    pub report: DeletionReport,
+}
+
+impl RepairPlan {
+    /// Which healing case of Algorithm 3.1 applied.
+    pub fn case(&self) -> HealCase {
+        self.report.case
+    }
+
+    /// All nodes that participate in any action of the plan (see
+    /// [`PlanAction::participants`] for the liveness caveat).
+    pub fn participants(&self) -> BTreeSet<NodeId> {
+        self.actions.iter().flat_map(|a| a.participants()).collect()
+    }
+
+    /// Applies every action to `graph`, in order.
+    pub fn apply_to(&self, graph: &mut Graph) {
+        for action in &self.actions {
+            action.apply_to(graph);
+        }
+    }
+
+    /// The largest member set among clouds this plan builds (0 when none):
+    /// drives the gossip-round count of the distributed executor.
+    pub fn max_built_cloud(&self) -> usize {
+        self.actions
+            .iter()
+            .map(|a| match a {
+                PlanAction::BuildCloud { members, .. } => members.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,833 @@
+//! The repair *decisions* of Xheal (Algorithms 3.2–3.6), separated from
+//! graph execution.
+//!
+//! [`RepairPlanner`] owns everything the healing decisions depend on — the
+//! cloud registry, per-node membership state, the healer's private
+//! randomness, and the cumulative statistics — but never touches the network
+//! graph. Each deletion produces a [`RepairPlan`] of explicit
+//! [`PlanAction`]s; executors ([`crate::Xheal`] centrally, `xheal-dist` over
+//! the LOCAL-model engine) apply those actions to their graph. Because every
+//! random draw happens inside the planner, two executors replaying the same
+//! schedule with the same seed make bit-identical topology changes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xheal_expander::{EdgeDelta, MaintainedExpander};
+use xheal_graph::{CloudColor, CloudKind, EdgeLabels, NodeId};
+
+use crate::cloud::{Cloud, NodeState};
+use crate::config::XhealConfig;
+use crate::plan::{PlanAction, RepairPlan};
+use crate::stats::{DeletionReport, HealCase, HealStats};
+
+/// The shared decision engine of the centralized and distributed healers.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_core::{RepairPlanner, XhealConfig};
+/// use xheal_graph::{generators, NodeId};
+///
+/// let mut star = generators::star(8);
+/// let mut planner = RepairPlanner::new(star.nodes(), XhealConfig::new(4));
+/// // Ask for the plan healing the deletion of the hub.
+/// let incident = star.remove_node(NodeId::new(0)).unwrap();
+/// let plan = planner.plan_deletion(NodeId::new(0), &incident, incident.len());
+/// // One primary cloud over the 7 leaves (Case 1).
+/// assert_eq!(plan.actions.len(), 1);
+/// assert_eq!(planner.cloud_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RepairPlanner {
+    clouds: BTreeMap<CloudColor, Cloud>,
+    nodes: BTreeMap<NodeId, NodeState>,
+    config: XhealConfig,
+    rng: StdRng,
+    next_color: u64,
+    stats: HealStats,
+    /// Plan buffer of the operation being planned.
+    actions: Vec<PlanAction>,
+    // Per-operation counters (reset at the start of each deletion).
+    op_added: usize,
+    op_removed: usize,
+    op_shares: usize,
+    op_combines: usize,
+}
+
+impl RepairPlanner {
+    /// Creates a planner for a network initially containing `nodes`, all
+    /// cloudless (every existing edge is black, per the model).
+    pub fn new(nodes: impl IntoIterator<Item = NodeId>, config: XhealConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let nodes = nodes
+            .into_iter()
+            .map(|v| (v, NodeState::default()))
+            .collect();
+        RepairPlanner {
+            clouds: BTreeMap::new(),
+            nodes,
+            config,
+            rng,
+            next_color: 0,
+            stats: HealStats::default(),
+            actions: Vec::new(),
+            op_added: 0,
+            op_removed: 0,
+            op_shares: 0,
+            op_combines: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &XhealConfig {
+        &self.config
+    }
+
+    /// Cloud expander degree κ.
+    pub fn kappa(&self) -> usize {
+        self.config.kappa
+    }
+
+    /// Cumulative healing statistics.
+    pub fn stats(&self) -> &HealStats {
+        &self.stats
+    }
+
+    /// All live cloud colors with their kinds.
+    pub fn cloud_colors(&self) -> Vec<(CloudColor, CloudKind)> {
+        self.clouds.iter().map(|(&c, cl)| (c, cl.kind())).collect()
+    }
+
+    /// Read access to a cloud.
+    pub fn cloud(&self, color: CloudColor) -> Option<&Cloud> {
+        self.clouds.get(&color)
+    }
+
+    /// Read access to a node's membership state.
+    pub fn node_state(&self, v: NodeId) -> Option<&NodeState> {
+        self.nodes.get(&v)
+    }
+
+    /// Number of live clouds.
+    pub fn cloud_count(&self) -> usize {
+        self.clouds.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Model events
+    // ------------------------------------------------------------------
+
+    /// Records an adversarial insertion. Xheal takes no healing action on
+    /// insertions (Algorithm 3.1 lines 1–2), so no plan is produced.
+    pub fn note_insert(&mut self, v: NodeId) {
+        self.nodes.insert(v, NodeState::default());
+        self.stats.insertions += 1;
+    }
+
+    /// Plans the repair for the deletion of `v`, whose incident edges at
+    /// deletion time were `incident` (with their labels) and whose total
+    /// degree was `degree`.
+    ///
+    /// The planner's cloud/membership state advances to the post-repair
+    /// state; the caller must apply the returned plan to its graph to stay
+    /// consistent.
+    pub fn plan_deletion(
+        &mut self,
+        v: NodeId,
+        incident: &[(NodeId, EdgeLabels)],
+        degree: usize,
+    ) -> RepairPlan {
+        self.reset_op_counters();
+        self.actions.clear();
+
+        let state = self.nodes.remove(&v).unwrap_or_default();
+        let black_nbrs: Vec<NodeId> = incident
+            .iter()
+            .filter(|(_, l)| l.is_black())
+            .map(|&(u, _)| u)
+            .collect();
+        let black_degree = black_nbrs.len();
+        self.stats.deletions += 1;
+        self.stats.black_degree_sum += black_degree;
+
+        let case = if state.is_cloudless() {
+            // Case 1: all deleted edges are black.
+            if black_nbrs.len() >= 2 {
+                self.create_primary_cloud(&black_nbrs);
+                HealCase::AllBlack
+            } else {
+                // Degree <= 1: "the deleted node is just dropped".
+                HealCase::Dropped
+            }
+        } else {
+            self.plan_colored_deletion(v, state, &black_nbrs)
+        };
+
+        let report = DeletionReport {
+            case,
+            edges_added: self.op_added,
+            edges_removed: self.op_removed,
+            combined: self.op_combines > 0,
+            shares: self.op_shares,
+            black_degree,
+            degree,
+        };
+        self.fold_op_counters();
+        RepairPlan {
+            actions: std::mem::take(&mut self.actions),
+            report,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Case 2 machinery
+    // ------------------------------------------------------------------
+
+    fn plan_colored_deletion(
+        &mut self,
+        v: NodeId,
+        state: NodeState,
+        black_nbrs: &[NodeId],
+    ) -> HealCase {
+        // FixPrimary: remove v from each of its primary clouds.
+        let mut alive_primaries: Vec<CloudColor> = Vec::new();
+        for &c in &state.primaries {
+            if !self.remove_from_cloud(c, v) {
+                alive_primaries.push(c);
+            }
+        }
+
+        // Black neighbors become singleton primary clouds (Case 2 prose).
+        let mut singletons: Vec<CloudColor> = Vec::new();
+        for &w in black_nbrs {
+            singletons.push(self.create_primary_cloud(&[w]));
+        }
+
+        match state.secondary {
+            None => {
+                // Case 2.1.
+                let mut group = alive_primaries;
+                group.extend(singletons);
+                self.make_secondary_among(&group);
+                HealCase::PrimaryOnly
+            }
+            Some(f) => {
+                // Case 2.2: v was the bridge of some primary ci in F.
+                let ci = self
+                    .clouds
+                    .get_mut(&f)
+                    .and_then(|cl| cl.attachments_mut().remove(&v));
+                let f_emptied = self.remove_from_cloud(f, v);
+                let ci_alive = ci.filter(|c| self.clouds.contains_key(c));
+                let anchor = if f_emptied {
+                    // F died with v; the ci side has no F component to join.
+                    ci_alive
+                } else {
+                    self.fix_secondary(f, ci_alive)
+                };
+
+                // Clouds still connected through F need no new secondary.
+                let attached_now: BTreeSet<CloudColor> = self
+                    .clouds
+                    .get(&f)
+                    .map(|cl| cl.attachments().values().copied().collect())
+                    .unwrap_or_default();
+
+                let mut group: Vec<CloudColor> = alive_primaries
+                    .into_iter()
+                    .filter(|c| !attached_now.contains(c) && Some(*c) != anchor)
+                    .collect();
+                group.extend(singletons);
+                if let Some(a) = anchor {
+                    // Connectivity fix (DESIGN.md §3.2): an F-side anchor
+                    // joins the new secondary so the two groups stay linked.
+                    if !group.is_empty() {
+                        group.push(a);
+                    }
+                }
+                self.make_secondary_among(&group);
+                HealCase::Bridge
+            }
+        }
+    }
+
+    /// FixSecondary (Algorithm 3.5): replace the deleted bridge of `ci` in
+    /// `f` with a fresh free node, borrowing or combining as needed. Returns
+    /// the cloud that anchors the `F`-side component (for the connectivity
+    /// fix), or `None` if that side dissolved entirely.
+    fn fix_secondary(&mut self, f: CloudColor, ci_alive: Option<CloudColor>) -> Option<CloudColor> {
+        let f_primaries: BTreeSet<CloudColor> = {
+            let cloud = self.clouds.get(&f).expect("caller checked f alive");
+            let mut p: BTreeSet<CloudColor> = cloud.attachments().values().copied().collect();
+            if let Some(ci) = ci_alive {
+                p.insert(ci);
+            }
+            p
+        };
+
+        if let Some(ci) = ci_alive {
+            // Prefer a free node of ci itself.
+            let mut pick: Option<(NodeId, bool)> =
+                self.free_nodes_of(ci).first().map(|&z| (z, false));
+            if pick.is_none() && !self.config.disable_sharing {
+                // Borrow from the other primaries of F (PickFreeNode's "ask
+                // neighbor clouds").
+                for &c in f_primaries.iter().filter(|&&c| c != ci) {
+                    if let Some(&z) = self.free_nodes_of(c).first() {
+                        pick = Some((z, true));
+                        break;
+                    }
+                }
+            }
+            match pick {
+                Some((z, shared)) => {
+                    if shared {
+                        // Sharing adds z to ci itself.
+                        self.insert_into_cloud(ci, z);
+                        self.op_shares += 1;
+                    }
+                    self.insert_bridge(f, z, ci);
+                }
+                None => {
+                    // No free node anywhere among F's primaries: combine
+                    // them all into one primary cloud (F dissolves inside).
+                    return self.combine(&f_primaries);
+                }
+            }
+        }
+
+        // Vacuous secondary check: a secondary with <= 1 member connects
+        // nothing; dissolve it and report the survivor's primary as anchor.
+        let len = self.clouds.get(&f).map(Cloud::len).unwrap_or(0);
+        if len <= 1 {
+            let survivor_primary = self
+                .clouds
+                .get(&f)
+                .and_then(|cl| cl.attachments().values().next().copied());
+            self.delete_cloud(f);
+            return survivor_primary.filter(|c| self.clouds.contains_key(c));
+        }
+        ci_alive.or_else(|| {
+            self.clouds
+                .get(&f)
+                .and_then(|cl| cl.attachments().values().next().copied())
+                .filter(|c| self.clouds.contains_key(c))
+        })
+    }
+
+    /// MakeSecondary (Algorithm 3.4): connect one free node per cloud of
+    /// `group` into a fresh secondary cloud; combine if there are fewer free
+    /// nodes than clouds.
+    fn make_secondary_among(&mut self, group: &[CloudColor]) -> Option<CloudColor> {
+        // Deduplicate and keep only live, non-empty clouds.
+        let group: Vec<CloudColor> = {
+            let mut seen = BTreeSet::new();
+            group
+                .iter()
+                .copied()
+                .filter(|c| self.clouds.get(c).is_some_and(|cl| !cl.is_empty()))
+                .filter(|c| seen.insert(*c))
+                .collect()
+        };
+        if group.len() <= 1 {
+            return None;
+        }
+        if self.config.disable_secondary {
+            self.combine(&group.iter().copied().collect());
+            return None;
+        }
+
+        // Free nodes per cloud and overall.
+        let adjacency: Vec<Vec<NodeId>> = group.iter().map(|&c| self.free_nodes_of(c)).collect();
+        let union_free: BTreeSet<NodeId> = adjacency.iter().flatten().copied().collect();
+        if union_free.len() < group.len() {
+            // Fewer free nodes than clouds: combine (Case 2.1 prose).
+            self.combine(&group.iter().copied().collect());
+            return None;
+        }
+
+        // Distinct representatives: maximum bipartite matching preferring
+        // each cloud's own members, then sharing for any cloud left over.
+        let mut reps = match_representatives(&group, &adjacency);
+        let mut used: BTreeSet<NodeId> = reps.iter().flatten().copied().collect();
+        for (i, rep) in reps.iter_mut().enumerate() {
+            if rep.is_none() {
+                if self.config.disable_sharing {
+                    self.combine(&group.iter().copied().collect());
+                    return None;
+                }
+                let z = union_free
+                    .iter()
+                    .copied()
+                    .find(|z| !used.contains(z))
+                    .expect("union_free.len() >= group.len() guarantees a spare");
+                used.insert(z);
+                // Sharing: the borrowed node joins the deficient cloud.
+                self.insert_into_cloud(group[i], z);
+                self.op_shares += 1;
+                *rep = Some(z);
+            }
+        }
+
+        let members: Vec<NodeId> = reps.iter().map(|r| r.expect("filled")).collect();
+        let f = self.create_cloud_raw(CloudKind::Secondary, &members);
+        for (i, &rep) in members.iter().enumerate() {
+            self.clouds
+                .get_mut(&f)
+                .expect("just created")
+                .attachments_mut()
+                .insert(rep, group[i]);
+            self.nodes
+                .get_mut(&rep)
+                .expect("members are live")
+                .secondary = Some(f);
+        }
+        self.stats.secondaries_built += 1;
+        Some(f)
+    }
+
+    /// Combines a set of primary clouds into one fresh primary cloud
+    /// (the paper's expensive amortized operation).
+    ///
+    /// Secondary clouds all of whose attached primaries lie inside the set
+    /// are dissolved (their bridges become free again); secondaries that also
+    /// connect outside clouds have their attachments re-pointed at the new
+    /// combined cloud.
+    fn combine(&mut self, colors: &BTreeSet<CloudColor>) -> Option<CloudColor> {
+        self.op_combines += 1;
+        let mut all_nodes: BTreeSet<NodeId> = BTreeSet::new();
+        for c in colors {
+            if let Some(cl) = self.clouds.get(c) {
+                all_nodes.extend(cl.members().iter().copied());
+            }
+        }
+        if all_nodes.is_empty() {
+            return None;
+        }
+
+        // Delete the old primary clouds.
+        for &c in colors {
+            if self.clouds.contains_key(&c) {
+                self.delete_cloud(c);
+            }
+        }
+
+        // Handle secondaries referencing the combined primaries.
+        let new_color = self.fresh_color();
+        let referencing: Vec<CloudColor> = self
+            .clouds
+            .iter()
+            .filter(|(_, cl)| {
+                cl.kind() == CloudKind::Secondary
+                    && cl.attachments().values().any(|p| colors.contains(p))
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        for fc in referencing {
+            let all_inside = self.clouds[&fc]
+                .attachments()
+                .values()
+                .all(|p| colors.contains(p));
+            if all_inside {
+                // Redundant: the combined cloud connects these directly.
+                self.delete_cloud(fc);
+            } else {
+                let cloud = self.clouds.get_mut(&fc).expect("live");
+                for target in cloud.attachments_mut().values_mut() {
+                    if colors.contains(target) {
+                        *target = new_color;
+                    }
+                }
+            }
+        }
+
+        // Build the combined primary cloud.
+        let members: Vec<NodeId> = all_nodes.into_iter().collect();
+        self.create_cloud_with_color(new_color, CloudKind::Primary, &members);
+        Some(new_color)
+    }
+
+    // ------------------------------------------------------------------
+    // Cloud registry primitives (every graph effect goes through `emit`)
+    // ------------------------------------------------------------------
+
+    fn fresh_color(&mut self) -> CloudColor {
+        let c = CloudColor::new(self.next_color);
+        self.next_color += 1;
+        c
+    }
+
+    fn emit(&mut self, action: PlanAction) {
+        let delta = action.delta();
+        self.op_added += delta.added.len();
+        self.op_removed += delta.removed.len();
+        self.actions.push(action);
+    }
+
+    /// Creates a primary cloud over `members` and registers memberships.
+    fn create_primary_cloud(&mut self, members: &[NodeId]) -> CloudColor {
+        let color = self.fresh_color();
+        self.create_cloud_with_color(color, CloudKind::Primary, members);
+        color
+    }
+
+    /// Creates a cloud (either kind) without setting secondary attachments.
+    fn create_cloud_raw(&mut self, kind: CloudKind, members: &[NodeId]) -> CloudColor {
+        let color = self.fresh_color();
+        self.create_cloud_with_color(color, kind, members);
+        color
+    }
+
+    fn create_cloud_with_color(&mut self, color: CloudColor, kind: CloudKind, members: &[NodeId]) {
+        let (expander, edges) = MaintainedExpander::new(members, self.config.kappa, &mut self.rng);
+        let delta = EdgeDelta {
+            added: edges,
+            removed: Vec::new(),
+        };
+        self.clouds.insert(color, Cloud::new(kind, expander));
+        self.emit(PlanAction::BuildCloud {
+            color,
+            kind,
+            members: members.to_vec(),
+            delta,
+        });
+        if kind == CloudKind::Primary {
+            for &m in members {
+                self.nodes
+                    .get_mut(&m)
+                    .expect("members are live")
+                    .primaries
+                    .insert(color);
+            }
+        }
+    }
+
+    /// Removes `v` from a cloud, returning `true` when the cloud emptied and
+    /// was deleted.
+    fn remove_from_cloud(&mut self, color: CloudColor, v: NodeId) -> bool {
+        let Some(cloud) = self.clouds.get_mut(&color) else {
+            return true;
+        };
+        if !cloud.expander().contains(v) {
+            return cloud.is_empty();
+        }
+        let delta = {
+            let rng = &mut self.rng;
+            cloud.expander_mut().remove(v, rng)
+        };
+        let kind = cloud.kind();
+        self.emit(PlanAction::PatchCloud {
+            color,
+            removed: vec![v],
+            delta,
+        });
+        if let Some(st) = self.nodes.get_mut(&v) {
+            match kind {
+                CloudKind::Primary => {
+                    st.primaries.remove(&color);
+                }
+                CloudKind::Secondary => {
+                    if st.secondary == Some(color) {
+                        st.secondary = None;
+                    }
+                }
+            }
+        }
+        let emptied = self.clouds.get(&color).is_some_and(Cloud::is_empty);
+        if emptied {
+            self.clouds.remove(&color);
+        }
+        emptied
+    }
+
+    /// Adds a live node to a primary cloud (the sharing operation).
+    fn insert_into_cloud(&mut self, color: CloudColor, v: NodeId) {
+        let cloud = self.clouds.get_mut(&color).expect("cloud alive");
+        debug_assert_eq!(
+            cloud.kind(),
+            CloudKind::Primary,
+            "sharing targets primaries"
+        );
+        if cloud.expander().contains(v) {
+            return;
+        }
+        let delta = {
+            let rng = &mut self.rng;
+            cloud.expander_mut().insert(v, rng)
+        };
+        self.emit(PlanAction::ExtendCloud {
+            color,
+            node: v,
+            shared: true,
+            delta,
+        });
+        self.nodes
+            .get_mut(&v)
+            .expect("live node")
+            .primaries
+            .insert(color);
+    }
+
+    /// Inserts `z` into secondary `f` as the bridge for primary `ci`.
+    fn insert_bridge(&mut self, f: CloudColor, z: NodeId, ci: CloudColor) {
+        let cloud = self.clouds.get_mut(&f).expect("secondary alive");
+        let delta = {
+            let rng = &mut self.rng;
+            cloud.expander_mut().insert(z, rng)
+        };
+        self.emit(PlanAction::ExtendCloud {
+            color: f,
+            node: z,
+            shared: false,
+            delta,
+        });
+        self.clouds
+            .get_mut(&f)
+            .expect("secondary alive")
+            .attachments_mut()
+            .insert(z, ci);
+        self.nodes.get_mut(&z).expect("live node").secondary = Some(f);
+    }
+
+    /// Deletes a cloud entirely: strips its edges and clears memberships.
+    fn delete_cloud(&mut self, color: CloudColor) {
+        let Some(cloud) = self.clouds.remove(&color) else {
+            return;
+        };
+        let edges: Vec<(NodeId, NodeId)> = cloud.expander().edges().iter().copied().collect();
+        self.emit(PlanAction::DissolveCloud {
+            color,
+            delta: EdgeDelta {
+                added: Vec::new(),
+                removed: edges,
+            },
+        });
+        for &m in cloud.members() {
+            if let Some(st) = self.nodes.get_mut(&m) {
+                match cloud.kind() {
+                    CloudKind::Primary => {
+                        st.primaries.remove(&color);
+                    }
+                    CloudKind::Secondary => {
+                        if st.secondary == Some(color) {
+                            st.secondary = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_op_counters(&mut self) {
+        self.op_added = 0;
+        self.op_removed = 0;
+        self.op_shares = 0;
+        self.op_combines = 0;
+    }
+
+    fn fold_op_counters(&mut self) {
+        self.stats.edges_added += self.op_added;
+        self.stats.edges_removed += self.op_removed;
+        self.stats.shares += self.op_shares;
+        self.stats.combines += self.op_combines;
+    }
+
+    /// Free nodes (no secondary duty) of a cloud, ascending.
+    fn free_nodes_of(&self, color: CloudColor) -> Vec<NodeId> {
+        let Some(cloud) = self.clouds.get(&color) else {
+            return Vec::new();
+        };
+        cloud
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| self.nodes.get(m).is_some_and(NodeState::is_free))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Batch-deletion support (crate-internal; see batch.rs)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn batch_begin(&mut self) {
+        self.reset_op_counters();
+        self.actions.clear();
+    }
+
+    /// Hands the actions planned so far to the executor.
+    pub(crate) fn batch_take_actions(&mut self) -> Vec<PlanAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    pub(crate) fn batch_take_state(&mut self, v: NodeId) -> NodeState {
+        self.nodes.remove(&v).unwrap_or_default()
+    }
+
+    /// Detaches several (already graph-removed) victims from one cloud,
+    /// applying only the *net* edge delta — intermediate expander rebuilds
+    /// may transiently reference other still-registered victims, but the
+    /// final edge set only spans live members.
+    pub(crate) fn batch_detach_many(&mut self, color: CloudColor, victims: &[NodeId]) {
+        let Some(cloud) = self.clouds.get_mut(&color) else {
+            return;
+        };
+        let before = cloud.expander().edges().clone();
+        let mut any = false;
+        let mut detached = Vec::new();
+        for &v in victims {
+            if cloud.expander().contains(v) {
+                let _ = cloud.expander_mut().remove(v, &mut self.rng);
+                any = true;
+                detached.push(v);
+            }
+        }
+        if any {
+            let after = cloud.expander().edges().clone();
+            let delta = EdgeDelta {
+                added: after.difference(&before).copied().collect(),
+                removed: before.difference(&after).copied().collect(),
+            };
+            self.emit(PlanAction::PatchCloud {
+                color,
+                removed: detached,
+                delta,
+            });
+        }
+        if self.clouds.get(&color).is_some_and(Cloud::is_empty) {
+            self.clouds.remove(&color);
+        }
+    }
+
+    /// Removes the attachment entry of a deleted bridge, returning the
+    /// primary cloud it was bridging for.
+    pub(crate) fn batch_take_bridge_target(
+        &mut self,
+        f: CloudColor,
+        v: NodeId,
+    ) -> Option<CloudColor> {
+        self.clouds
+            .get_mut(&f)
+            .and_then(|cl| cl.attachments_mut().remove(&v))
+    }
+
+    pub(crate) fn batch_fix_secondary(
+        &mut self,
+        f: CloudColor,
+        ci_alive: Option<CloudColor>,
+    ) -> Option<CloudColor> {
+        self.fix_secondary(f, ci_alive)
+    }
+
+    pub(crate) fn batch_singleton(&mut self, w: NodeId) -> CloudColor {
+        self.create_primary_cloud(&[w])
+    }
+
+    pub(crate) fn batch_make_secondary(&mut self, group: &[CloudColor]) {
+        self.make_secondary_among(group);
+    }
+
+    pub(crate) fn batch_finish(&mut self, victims: usize, black_degree_sum: usize) {
+        self.stats.deletions += victims;
+        self.stats.black_degree_sum += black_degree_sum;
+        self.fold_op_counters();
+    }
+}
+
+/// Maximum bipartite matching (Kuhn's algorithm) of clouds to free nodes.
+/// Returns one chosen representative per cloud where matchable.
+fn match_representatives(group: &[CloudColor], adjacency: &[Vec<NodeId>]) -> Vec<Option<NodeId>> {
+    let mut owner: BTreeMap<NodeId, usize> = BTreeMap::new();
+
+    fn try_assign(
+        i: usize,
+        adjacency: &[Vec<NodeId>],
+        owner: &mut BTreeMap<NodeId, usize>,
+        visited: &mut BTreeSet<NodeId>,
+    ) -> bool {
+        for &z in &adjacency[i] {
+            if visited.contains(&z) {
+                continue;
+            }
+            visited.insert(z);
+            let current = owner.get(&z).copied();
+            match current {
+                None => {
+                    owner.insert(z, i);
+                    return true;
+                }
+                Some(j) => {
+                    if try_assign(j, adjacency, owner, visited) {
+                        owner.insert(z, i);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    for i in 0..group.len() {
+        let mut visited = BTreeSet::new();
+        let _ = try_assign(i, adjacency, &mut owner, &mut visited);
+    }
+
+    let mut reps = vec![None; group.len()];
+    for (z, i) in owner {
+        reps[i] = Some(z);
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn match_representatives_prefers_distinct() {
+        let g = [CloudColor::new(0), CloudColor::new(1)];
+        let adj = vec![vec![n(1), n(2)], vec![n(1)]];
+        let reps = match_representatives(&g, &adj);
+        assert_eq!(reps[1], Some(n(1)), "cloud 1 only has node 1");
+        assert_eq!(reps[0], Some(n(2)), "cloud 0 must yield node 1");
+    }
+
+    #[test]
+    fn match_representatives_reports_deficit() {
+        let g = [CloudColor::new(0), CloudColor::new(1)];
+        let adj = vec![vec![n(1)], vec![n(1)]];
+        let reps = match_representatives(&g, &adj);
+        let filled = reps.iter().flatten().count();
+        assert_eq!(filled, 1);
+    }
+
+    #[test]
+    fn plans_carry_every_edge_effect() {
+        use xheal_graph::generators;
+        let mut star = generators::star(10);
+        let mut planner = RepairPlanner::new(star.nodes(), XhealConfig::new(4).with_seed(1));
+        let incident = star.remove_node(n(0)).unwrap();
+        let plan = planner.plan_deletion(n(0), &incident, incident.len());
+        let added: usize = plan.actions.iter().map(|a| a.delta().added.len()).sum();
+        assert_eq!(added, plan.report.edges_added);
+        assert_eq!(plan.case(), HealCase::AllBlack);
+        assert!(plan.participants().len() >= 9);
+    }
+
+    #[test]
+    fn dropped_deletions_plan_nothing() {
+        use xheal_graph::generators;
+        let mut path = generators::path(3);
+        let mut planner = RepairPlanner::new(path.nodes(), XhealConfig::default());
+        let incident = path.remove_node(n(0)).unwrap();
+        let plan = planner.plan_deletion(n(0), &incident, 1);
+        assert_eq!(plan.case(), HealCase::Dropped);
+        assert!(plan.actions.is_empty());
+    }
+}

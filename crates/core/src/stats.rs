@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn amortized_lower_bound_averages_black_degrees() {
-        let s = HealStats { deletions: 4, black_degree_sum: 10, ..Default::default() };
+        let s = HealStats {
+            deletions: 4,
+            black_degree_sum: 10,
+            ..Default::default()
+        };
         assert_eq!(s.amortized_lower_bound(), 2.5);
     }
 }

@@ -1,0 +1,527 @@
+//! # xheal-dist
+//!
+//! The distributed Xheal of the paper's Section 5: the same healing
+//! decisions as the centralized implementation — literally the same
+//! [`RepairPlanner`] — executed as a message-passing protocol over the
+//! LOCAL-model engine [`xheal_sim::SyncNetwork`]. The design follows the
+//! fully-distributed direction of *DEX: Self-healing Expanders*
+//! (Pandurangan, Robinson & Trehan): healing logic is fixed, only the
+//! execution substrate changes.
+//!
+//! Each deletion repair runs in phases over the synchronous network:
+//!
+//! 1. **Probe** — the coordinator (the least-id affected node) contacts
+//!    every participant of the repair plan;
+//! 2. **Grant** — participants return their local cloud state;
+//! 3. **Link** — the coordinator disseminates edge install/strip
+//!    instructions to both endpoints of every planned edge;
+//! 4. **Splice** — cloud construction finishes with ⌈log₂ m⌉ gossip waves
+//!    for the largest cloud of m members being built (the distributed
+//!    Hamilton-cycle splice).
+//!
+//! Rounds are therefore O(log n) per deletion and messages O(κ·deg(v))
+//! amortized — Theorem 5's budgets, measured for real by [`DistXheal::costs`]
+//! and checked by experiments E5/E7.
+//!
+//! Because the planner consumes the healer's seeded randomness identically
+//! in both executors, [`DistXheal`] and [`xheal_core::Xheal`] produce
+//! bit-identical topologies on identical schedules — the cross-validation
+//! suite asserts exactly that.
+//!
+//! # Examples
+//!
+//! ```
+//! use xheal_core::XhealConfig;
+//! use xheal_dist::DistXheal;
+//! use xheal_graph::{components, generators, NodeId};
+//!
+//! let mut net = DistXheal::new(&generators::star(10), XhealConfig::new(4));
+//! net.delete(NodeId::new(0))?; // adversary kills the hub
+//! assert!(components::is_connected(net.graph()));
+//! let cost = &net.costs()[0];
+//! assert!(cost.rounds > 0 && cost.messages > 0);
+//! # Ok::<(), xheal_core::HealError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod messages;
+
+use std::collections::BTreeSet;
+
+use xheal_core::{
+    DeletionReport, HealError, Healer, PlanAction, RepairPlan, RepairPlanner, XhealConfig,
+};
+use xheal_graph::{Graph, NodeId};
+use xheal_sim::{Counters, SyncNetwork};
+
+pub use messages::{Msg, RepairCost};
+
+/// The distributed Xheal network: the live graph, the shared repair
+/// planner, and the LOCAL-model message engine executing every plan.
+#[derive(Clone, Debug)]
+pub struct DistXheal {
+    graph: Graph,
+    planner: RepairPlanner,
+    network: SyncNetwork<Msg>,
+    costs: Vec<RepairCost>,
+    /// Sequence number tagging each repair's probe/grant exchange.
+    repair_seq: u64,
+}
+
+impl DistXheal {
+    /// Wraps an initial network: every node becomes a processor of the
+    /// message engine; all existing edges are black, per the model.
+    pub fn new(initial: &Graph, config: XhealConfig) -> Self {
+        let mut network = SyncNetwork::new();
+        for v in initial.nodes() {
+            network.add_node(v);
+        }
+        DistXheal {
+            graph: initial.clone(),
+            planner: RepairPlanner::new(initial.nodes(), config),
+            network,
+            costs: Vec::new(),
+            repair_seq: 0,
+        }
+    }
+
+    /// The current (healed) network graph `G_t`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared decision engine — identical state to a centralized
+    /// [`xheal_core::Xheal`] replaying the same schedule with the same seed.
+    pub fn planner(&self) -> &RepairPlanner {
+        &self.planner
+    }
+
+    /// Per-deletion protocol costs, in deletion order.
+    pub fn costs(&self) -> &[RepairCost] {
+        &self.costs
+    }
+
+    /// Engine-level totals (rounds, messages, drops) across the whole run.
+    pub fn counters(&self) -> Counters {
+        self.network.counters()
+    }
+
+    /// Adversarial insertion of `v` with black edges to `neighbors`.
+    /// No healing action and no messages (Algorithm 3.1 lines 1–2) — the
+    /// new processor is just registered.
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeExists`] if `v` is present;
+    /// [`HealError::NeighborMissing`] if any neighbor is absent.
+    pub fn insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
+        if self.graph.contains_node(v) {
+            return Err(HealError::NodeExists(v));
+        }
+        for &u in neighbors {
+            if !self.graph.contains_node(u) {
+                return Err(HealError::NeighborMissing(u));
+            }
+        }
+        self.graph.add_node(v).expect("checked fresh");
+        for &u in neighbors {
+            if u != v {
+                let _ = self.graph.add_black_edge(v, u);
+            }
+        }
+        self.planner.note_insert(v);
+        self.network.add_node(v);
+        Ok(())
+    }
+
+    /// Adversarial deletion of `v`, healed by running the repair plan as a
+    /// probe/grant/link/splice protocol over the synchronous network.
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeMissing`] if `v` is not in the network.
+    pub fn delete(&mut self, v: NodeId) -> Result<DeletionReport, HealError> {
+        self.delete_inner(v, None)
+    }
+
+    /// Like [`DistXheal::delete`], but the adversary additionally kills
+    /// `casualty` *mid-protocol* (right after the probe wave), so every
+    /// later message addressed to it is dropped by the engine — visible in
+    /// [`DistXheal::counters`]'s `dropped` — and the casualty itself is
+    /// healed immediately afterwards. Fault-injection surface for testing
+    /// protocol robustness.
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeMissing`] if either node is absent (`casualty` must
+    /// also differ from `v`).
+    pub fn delete_with_mid_protocol_failure(
+        &mut self,
+        v: NodeId,
+        casualty: NodeId,
+    ) -> Result<(DeletionReport, DeletionReport), HealError> {
+        if casualty == v || !self.graph.contains_node(casualty) {
+            return Err(HealError::NodeMissing(casualty));
+        }
+        let first = self.delete_inner(v, Some(casualty))?;
+        let second = self.delete_inner(casualty, None)?;
+        Ok((first, second))
+    }
+
+    fn delete_inner(
+        &mut self,
+        v: NodeId,
+        mid_protocol_casualty: Option<NodeId>,
+    ) -> Result<DeletionReport, HealError> {
+        if !self.graph.contains_node(v) {
+            return Err(HealError::NodeMissing(v));
+        }
+        let degree = self.graph.degree(v).expect("checked present");
+        let incident = self.graph.remove_node(v).expect("checked present");
+        self.network.remove_node(v);
+
+        // Pre-repair bridge-duty snapshot: the grant messages must carry
+        // the state the decisions were *made* from, and plan_deletion
+        // advances the planner past it.
+        let free_before: BTreeSet<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&u| self.planner.node_state(u).is_none_or(|st| st.is_free()))
+            .collect();
+
+        let before = self.network.counters();
+        let plan = self.planner.plan_deletion(v, &incident, degree);
+        self.execute_protocol(&plan, v, &free_before, mid_protocol_casualty);
+        plan.apply_to(&mut self.graph);
+        let spent = self.network.counters().since(before);
+
+        self.costs.push(RepairCost {
+            rounds: spent.rounds,
+            messages: spent.messages,
+            black_degree: plan.report.black_degree,
+            degree,
+            case: plan.case(),
+            combined: plan.report.combined,
+        });
+        Ok(plan.report)
+    }
+
+    /// Runs the plan's message protocol. The graph is untouched here — the
+    /// engine only accounts rounds/messages (and drops, when nodes die
+    /// mid-protocol). `victim` is the announced deletion: everyone knows it
+    /// is gone, so no instruction is ever addressed to it; an unannounced
+    /// `casualty` instead has its in-flight messages dropped by the engine.
+    fn execute_protocol(
+        &mut self,
+        plan: &RepairPlan,
+        victim: NodeId,
+        free_before: &BTreeSet<NodeId>,
+        casualty: Option<NodeId>,
+    ) {
+        let participants: Vec<NodeId> = plan
+            .participants()
+            .into_iter()
+            .filter(|&p| self.network.contains(p))
+            .collect();
+        let Some(&coordinator) = participants.first() else {
+            // Nothing to coordinate (degree <= 1 drop, or empty plan).
+            return;
+        };
+        self.repair_seq += 1;
+        let repair = self.repair_seq;
+
+        // Phase 1 — probe: the coordinator contacts every participant.
+        for &p in &participants {
+            if p != coordinator {
+                self.network.send(coordinator, p, Msg::Probe { repair });
+            }
+        }
+        self.step_and_drain();
+
+        // The adversary may strike while the repair is in flight: messages
+        // to the casualty from here on are dropped by the engine.
+        if let Some(dead) = casualty {
+            self.network.remove_node(dead);
+        }
+        // Coordinator failover: if the casualty was the coordinator, the
+        // next-smallest live participant takes over for the remaining
+        // phases (it holds the same plan after the grant exchange).
+        let coordinator = if self.network.contains(coordinator) {
+            coordinator
+        } else {
+            match participants
+                .iter()
+                .copied()
+                .find(|&p| self.network.contains(p))
+            {
+                Some(successor) => successor,
+                None => return,
+            }
+        };
+
+        // Phase 2 — grant: participants return the membership state the
+        // repair decisions are based on (their duty *before* this repair).
+        for &p in &participants {
+            if p != coordinator && self.network.contains(p) {
+                let free = free_before.contains(&p);
+                self.network
+                    .send(p, coordinator, Msg::Grant { repair, free });
+            }
+        }
+        self.step_and_drain();
+
+        // Phase 3 — link: edge install/strip instructions to both endpoints
+        // of every planned edge (all actions disseminate in one round; the
+        // coordinator has the full plan after the grants).
+        for action in &plan.actions {
+            let color = action.color();
+            let delta = action.delta();
+            for &(a, b) in &delta.removed {
+                self.send_to_endpoints(coordinator, victim, a, b, |other| Msg::Unlink {
+                    color,
+                    other,
+                });
+            }
+            for &(a, b) in &delta.added {
+                self.send_to_endpoints(coordinator, victim, a, b, |other| Msg::Link {
+                    color,
+                    other,
+                });
+            }
+        }
+        self.step_and_drain();
+
+        // Phase 4 — splice gossip: the largest cloud under construction
+        // needs ceil(log2 m) further waves to finish its Hamilton-cycle
+        // splice; smaller builds complete within those same rounds.
+        let m = plan.max_built_cloud();
+        if m >= 2 {
+            let built: Vec<(xheal_graph::CloudColor, Vec<NodeId>)> = plan
+                .actions
+                .iter()
+                .filter_map(|a| match a {
+                    PlanAction::BuildCloud { color, members, .. } if members.len() >= 2 => {
+                        Some((*color, members.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let waves = usize::BITS - (m - 1).leading_zeros(); // ceil(log2 m)
+            for wave in 0..waves {
+                for (color, members) in &built {
+                    // One token per cloud per wave, rotating over the
+                    // members other than the coordinator (its own splice
+                    // work is local) so every modeled wave costs a round.
+                    let eligible: Vec<NodeId> = members
+                        .iter()
+                        .copied()
+                        .filter(|&u| u != coordinator && self.network.contains(u))
+                        .collect();
+                    if let Some(&target) = eligible.get(wave as usize % eligible.len().max(1)) {
+                        self.network.send(
+                            coordinator,
+                            target,
+                            Msg::Splice {
+                                color: *color,
+                                wave,
+                            },
+                        );
+                    }
+                }
+                self.step_and_drain();
+            }
+        }
+    }
+
+    /// Sends `make(other)` to both endpoints of the edge `(a, b)` — each
+    /// endpoint must install/strip its side. Self-sends are local
+    /// computation at the coordinator and cost nothing; the announced
+    /// `victim` is known-dead and skipped.
+    fn send_to_endpoints(
+        &mut self,
+        coordinator: NodeId,
+        victim: NodeId,
+        a: NodeId,
+        b: NodeId,
+        make: impl Fn(NodeId) -> Msg,
+    ) {
+        if a != coordinator && a != victim {
+            self.network.send(coordinator, a, make(b));
+        }
+        if b != coordinator && b != victim {
+            self.network.send(coordinator, b, make(a));
+        }
+    }
+
+    /// Advances one round if messages are staged and clears delivered mail
+    /// (recipients process instructions immediately).
+    fn step_and_drain(&mut self) {
+        if self.network.step_if_pending() {
+            for v in self.network.nodes_with_mail() {
+                let _ = self.network.drain_inbox(v);
+            }
+        }
+    }
+}
+
+impl Healer for DistXheal {
+    fn name(&self) -> &'static str {
+        "xheal-dist"
+    }
+
+    fn graph(&self) -> &Graph {
+        DistXheal::graph(self)
+    }
+
+    fn on_insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
+        self.insert(v, neighbors)
+    }
+
+    fn on_delete(&mut self, v: NodeId) -> Result<(), HealError> {
+        self.delete(v).map(|_| ())
+    }
+}
+
+/// Check helper: the processors registered in the engine are exactly the
+/// graph's nodes (used by tests).
+pub fn network_mirrors_graph(net: &DistXheal) -> bool {
+    let graph_nodes: BTreeSet<NodeId> = net.graph.nodes().collect();
+    graph_nodes.len() == net.network.len() && graph_nodes.iter().all(|&v| net.network.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use xheal_core::{HealCase, Xheal};
+    use xheal_graph::{components, generators};
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn star_deletion_matches_centralized() {
+        let g0 = generators::star(12);
+        let cfg = XhealConfig::new(4).with_seed(5);
+        let mut central = Xheal::new(&g0, cfg.clone());
+        let mut dist = DistXheal::new(&g0, cfg);
+        central.heal_delete(n(0)).unwrap();
+        dist.delete(n(0)).unwrap();
+        assert_eq!(central.graph(), dist.graph());
+        assert_eq!(central.stats(), dist.planner().stats());
+    }
+
+    #[test]
+    fn costs_record_case_and_degree() {
+        let mut dist = DistXheal::new(&generators::star(9), XhealConfig::new(4).with_seed(1));
+        dist.delete(n(0)).unwrap();
+        let c = &dist.costs()[0];
+        assert_eq!(c.case, HealCase::AllBlack);
+        assert_eq!(c.black_degree, 8);
+        assert_eq!(c.degree, 8);
+        assert!(c.rounds >= 3, "probe, grant, link at minimum");
+        assert!(c.messages as usize >= 2 * 8, "probe+grant to 8 leaves");
+    }
+
+    #[test]
+    fn dropped_deletion_costs_nothing() {
+        let mut dist = DistXheal::new(&generators::path(4), XhealConfig::default());
+        dist.delete(n(0)).unwrap();
+        let c = &dist.costs()[0];
+        assert_eq!(c.case, HealCase::Dropped);
+        assert_eq!((c.rounds, c.messages), (0, 0));
+    }
+
+    #[test]
+    fn churn_keeps_network_and_engine_in_step() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g0 = generators::connected_erdos_renyi(24, 0.15, &mut rng);
+        let mut dist = DistXheal::new(&g0, XhealConfig::new(4).with_seed(9));
+        let mut next = 1000u64;
+        for step in 0..40 {
+            let nodes = dist.graph().node_vec();
+            if step % 3 == 0 {
+                let u = nodes[rng.random_range(0..nodes.len())];
+                dist.insert(n(next), &[u]).unwrap();
+                next += 1;
+            } else {
+                let victim = nodes[rng.random_range(0..nodes.len())];
+                dist.delete(victim).unwrap();
+            }
+            assert!(components::is_connected(dist.graph()), "step {step}");
+            assert!(network_mirrors_graph(&dist), "step {step}");
+        }
+    }
+
+    #[test]
+    fn mid_protocol_failure_drops_messages_but_converges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g0 = generators::connected_erdos_renyi(30, 0.12, &mut rng);
+        let mut dist = DistXheal::new(&g0, XhealConfig::new(4).with_seed(2));
+        // Warm up so clouds exist and plans touch many nodes.
+        for _ in 0..6 {
+            let nodes = dist.graph().node_vec();
+            dist.delete(nodes[rng.random_range(0..nodes.len())])
+                .unwrap();
+        }
+        assert_eq!(
+            dist.counters().dropped,
+            0,
+            "clean protocol runs never drop messages"
+        );
+        // Kill a neighbor of the victim mid-protocol: it participates in
+        // the repair, so link/splice messages addressed to it get dropped.
+        let v = dist
+            .graph()
+            .node_vec()
+            .into_iter()
+            .max_by_key(|&u| dist.graph().degree(u))
+            .unwrap();
+        let casualty = dist.graph().neighbors(v).next().unwrap();
+        dist.delete_with_mid_protocol_failure(v, casualty).unwrap();
+        assert!(
+            dist.counters().dropped > 0,
+            "in-flight messages were dropped"
+        );
+        assert!(!dist.graph().contains_node(v));
+        assert!(!dist.graph().contains_node(casualty));
+        assert!(components::is_connected(dist.graph()));
+        assert_eq!(dist.costs().len(), 8, "both deletions accounted");
+    }
+
+    #[test]
+    fn coordinator_death_mid_protocol_fails_over() {
+        // The casualty is chosen as the plan's coordinator (the least-id
+        // participant): a successor must finish the repair.
+        let g0 = generators::star(10);
+        let mut dist = DistXheal::new(&g0, XhealConfig::new(4).with_seed(7));
+        // Deleting the hub makes every leaf a participant; the least-id
+        // leaf (node 1) coordinates. Kill it mid-protocol.
+        dist.delete_with_mid_protocol_failure(n(0), n(1)).unwrap();
+        assert!(components::is_connected(dist.graph()));
+        assert_eq!(dist.graph().node_count(), 8);
+    }
+
+    #[test]
+    fn insert_and_delete_validation_errors() {
+        let mut dist = DistXheal::new(&generators::cycle(5), XhealConfig::default());
+        assert_eq!(dist.insert(n(0), &[]), Err(HealError::NodeExists(n(0))));
+        assert_eq!(
+            dist.insert(n(9), &[n(44)]),
+            Err(HealError::NeighborMissing(n(44)))
+        );
+        assert_eq!(
+            dist.delete(n(77)).map(|_| ()).unwrap_err(),
+            HealError::NodeMissing(n(77))
+        );
+        assert_eq!(
+            dist.delete_with_mid_protocol_failure(n(0), n(0))
+                .map(|_| ())
+                .unwrap_err(),
+            HealError::NodeMissing(n(0))
+        );
+    }
+}

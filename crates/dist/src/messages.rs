@@ -1,0 +1,71 @@
+//! The recovery protocol's message vocabulary and per-deletion cost record.
+
+use xheal_core::HealCase;
+use xheal_graph::{CloudColor, NodeId};
+
+/// Messages of the distributed recovery protocol (Section 5's LOCAL model:
+/// unbounded payloads, one hop per synchronous round).
+///
+/// A repair runs in phases: the coordinator **probes** every affected node,
+/// affected nodes **grant** their local cloud state back, the coordinator
+/// computes the repair plan and disseminates **link**/**unlink** edge
+/// instructions, and cloud construction finishes with O(log m) **splice**
+/// gossip waves (the distributed Hamilton-cycle splice of the Law–Siu
+/// expander).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Coordinator → participant: report your cloud memberships for this
+    /// repair (keyed by the deletion's sequence number).
+    Probe {
+        /// Sequence number of the repair.
+        repair: u64,
+    },
+    /// Participant → coordinator: local membership state (whether the node
+    /// is free for bridge duty — the decision input of MakeSecondary).
+    Grant {
+        /// Sequence number of the repair.
+        repair: u64,
+        /// True when the sender has no secondary-cloud duty.
+        free: bool,
+    },
+    /// Coordinator → edge endpoint: install a colored cloud edge to `other`.
+    Link {
+        /// Cloud color of the new edge.
+        color: CloudColor,
+        /// The other endpoint.
+        other: NodeId,
+    },
+    /// Coordinator → edge endpoint: strip `color` from the edge to `other`.
+    Unlink {
+        /// Cloud color to strip.
+        color: CloudColor,
+        /// The other endpoint.
+        other: NodeId,
+    },
+    /// Hamilton-cycle splice gossip while a cloud of `color` is under
+    /// construction.
+    Splice {
+        /// Cloud under construction.
+        color: CloudColor,
+        /// Gossip wave number (0-based).
+        wave: u32,
+    },
+}
+
+/// Protocol cost of healing one deletion (the paper's success metrics 4
+/// and 5: recovery time and communication complexity).
+#[derive(Clone, Debug)]
+pub struct RepairCost {
+    /// Synchronous rounds the repair took.
+    pub rounds: u64,
+    /// Messages delivered during the repair.
+    pub messages: u64,
+    /// Black degree of the deleted node (Lemma 5's lower-bound unit).
+    pub black_degree: usize,
+    /// Total degree of the deleted node at deletion time.
+    pub degree: usize,
+    /// Which healing case of Algorithm 3.1 applied.
+    pub case: HealCase,
+    /// Whether the expensive combine operation ran.
+    pub combined: bool,
+}

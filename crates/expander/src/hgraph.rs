@@ -76,7 +76,9 @@ impl Cycle {
         if self.next.len() != members.len() || self.prev.len() != members.len() {
             return Err("cycle membership mismatch".into());
         }
-        let Some(&start) = members.first() else { return Ok(()) };
+        let Some(&start) = members.first() else {
+            return Ok(());
+        };
         let mut seen = 1usize;
         let mut cur = self.next[&start];
         while cur != start {
@@ -90,10 +92,7 @@ impl Cycle {
             seen += 1;
         }
         if seen != members.len() {
-            return Err(format!(
-                "cycle covers {seen} of {} members",
-                members.len()
-            ));
+            return Err(format!("cycle covers {seen} of {} members", members.len()));
         }
         Ok(())
     }
@@ -148,7 +147,11 @@ impl HGraph {
                 Cycle::from_order(&order)
             })
             .collect();
-        HGraph { d, members: set, cycles }
+        HGraph {
+            d,
+            members: set,
+            cycles,
+        }
     }
 
     /// Number of Hamilton cycles (`κ = 2d`).
@@ -233,7 +236,8 @@ impl HGraph {
     /// member set.
     pub fn validate(&self) -> Result<(), String> {
         for (i, c) in self.cycles.iter().enumerate() {
-            c.validate(&self.members).map_err(|e| format!("cycle {i}: {e}"))?;
+            c.validate(&self.members)
+                .map_err(|e| format!("cycle {i}: {e}"))?;
         }
         Ok(())
     }
@@ -270,10 +274,7 @@ mod tests {
         // Every member appears in the simple edge set.
         let edges = h.simple_edges();
         for v in ids(0..12) {
-            assert!(
-                edges.iter().any(|&(a, b)| a == v || b == v),
-                "{v} isolated"
-            );
+            assert!(edges.iter().any(|&(a, b)| a == v || b == v), "{v} isolated");
         }
     }
 

@@ -225,8 +225,7 @@ impl MaintainedExpander {
             Topology::Clique => clique_edges(&self.members),
             Topology::HGraph(h) => {
                 h.delete(v);
-                if self.members.len() <= self.kappa + 1
-                    || self.members.len() * 2 <= self.peak_size
+                if self.members.len() <= self.kappa + 1 || self.members.len() * 2 <= self.peak_size
                 {
                     self.rebuild(rng)
                 } else {

@@ -71,7 +71,13 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
         let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
         info.insert(
             root,
-            Info { disc: timer, low: timer, parent: None, children: 0, is_cut: false },
+            Info {
+                disc: timer,
+                low: timer,
+                parent: None,
+                children: 0,
+                is_cut: false,
+            },
         );
         timer += 1;
         stack.push((root, g.neighbors(root).collect(), 0));

@@ -91,7 +91,7 @@ pub fn edge_expansion_exact(g: &Graph) -> Option<ExactCut> {
         }
         let cross = crossing_edges(&masks, subset);
         let value = cross as f64 / size as f64;
-        if best.map_or(true, |(b, _, _)| value < b) {
+        if best.is_none_or(|(b, _, _)| value < b) {
             best = Some((value, subset, cross));
         }
     }
@@ -139,7 +139,7 @@ pub fn conductance_exact(g: &Graph) -> Option<ExactCut> {
         }
         let cross = crossing_edges(&masks, subset);
         let value = cross as f64 / denom as f64;
-        if best.map_or(true, |(b, _, _)| value < b) {
+        if best.is_none_or(|(b, _, _)| value < b) {
             best = Some((value, subset, cross));
         }
     }

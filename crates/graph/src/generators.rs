@@ -118,7 +118,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
 
     let norm = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
     'attempt: for _ in 0..50 {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut pairs: Vec<(usize, usize)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
         let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
@@ -159,7 +159,8 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
         }
         let mut g = base(n);
         for (a, b) in pairs {
-            g.add_black_edge(id(a), id(b)).expect("repaired pairs are simple");
+            g.add_black_edge(id(a), id(b))
+                .expect("repaired pairs are simple");
         }
         return g;
     }
@@ -203,11 +204,7 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R)
 /// split nodes into two halves, keep the crossing edges, and turn each half
 /// into a clique. Edge expansion stays constant while conductance drops to
 /// `O(1/n)`.
-pub fn clique_pair_with_expander_bridge<R: Rng + ?Sized>(
-    n: usize,
-    d: usize,
-    rng: &mut R,
-) -> Graph {
+pub fn clique_pair_with_expander_bridge<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
     let reg = random_regular(n, d, rng);
     let half = n / 2;
     let mut g = base(n);
@@ -302,7 +299,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for (n, d) in [(10, 3), (16, 4), (21, 6)] {
             let g = random_regular(n, d, &mut rng);
-            assert!(g.node_vec().iter().all(|&v| g.degree(v) == Some(d)), "({n},{d})");
+            assert!(
+                g.node_vec().iter().all(|&v| g.degree(v) == Some(d)),
+                "({n},{d})"
+            );
             g.validate().unwrap();
         }
     }

@@ -127,10 +127,7 @@ impl Graph {
     }
 
     /// Neighbors of `v` together with edge labels.
-    pub fn neighbors_labeled(
-        &self,
-        v: NodeId,
-    ) -> impl Iterator<Item = (NodeId, &EdgeLabels)> + '_ {
+    pub fn neighbors_labeled(&self, v: NodeId) -> impl Iterator<Item = (NodeId, &EdgeLabels)> + '_ {
         self.adj
             .get(&v)
             .into_iter()
@@ -157,10 +154,7 @@ impl Graph {
     ///
     /// Nodes absent from the graph contribute zero.
     pub fn volume<I: IntoIterator<Item = NodeId>>(&self, nodes: I) -> usize {
-        nodes
-            .into_iter()
-            .filter_map(|v| self.degree(v))
-            .sum()
+        nodes.into_iter().filter_map(|v| self.degree(v)).sum()
     }
 
     /// Adds an isolated node.
@@ -223,11 +217,27 @@ impl Graph {
         let created = !self.has_edge(u, v);
         if created {
             self.edge_count += 1;
-            self.adj.get_mut(&u).expect("checked").insert(v, EdgeLabels::black());
-            self.adj.get_mut(&v).expect("checked").insert(u, EdgeLabels::black());
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .insert(v, EdgeLabels::black());
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .insert(u, EdgeLabels::black());
         } else {
-            self.adj.get_mut(&u).expect("checked").get_mut(&v).expect("checked").set_black();
-            self.adj.get_mut(&v).expect("checked").get_mut(&u).expect("checked").set_black();
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .get_mut(&v)
+                .expect("checked")
+                .set_black();
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .get_mut(&u)
+                .expect("checked")
+                .set_black();
         }
         Ok(created)
     }
@@ -249,8 +259,14 @@ impl Graph {
         let created = !self.has_edge(u, v);
         if created {
             self.edge_count += 1;
-            self.adj.get_mut(&u).expect("checked").insert(v, EdgeLabels::colored(color));
-            self.adj.get_mut(&v).expect("checked").insert(u, EdgeLabels::colored(color));
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .insert(v, EdgeLabels::colored(color));
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .insert(u, EdgeLabels::colored(color));
         } else {
             self.adj
                 .get_mut(&u)
@@ -274,8 +290,12 @@ impl Graph {
     /// Missing edges and missing colors are tolerated (returns `false`): cloud
     /// teardown may race with node deletions that already removed edges.
     pub fn strip_color(&mut self, u: NodeId, v: NodeId, color: CloudColor) -> bool {
-        let Some(nu) = self.adj.get_mut(&u) else { return false };
-        let Some(labels) = nu.get_mut(&v) else { return false };
+        let Some(nu) = self.adj.get_mut(&u) else {
+            return false;
+        };
+        let Some(labels) = nu.get_mut(&v) else {
+            return false;
+        };
         labels.remove_color(color);
         let empty = labels.is_empty();
         if empty {
@@ -296,8 +316,12 @@ impl Graph {
     /// Removes the black label from edge `(u, v)`; deletes the edge entirely
     /// if no label remains. Returns `true` if the edge was fully removed.
     pub fn strip_black(&mut self, u: NodeId, v: NodeId) -> bool {
-        let Some(nu) = self.adj.get_mut(&u) else { return false };
-        let Some(labels) = nu.get_mut(&v) else { return false };
+        let Some(nu) = self.adj.get_mut(&u) else {
+            return false;
+        };
+        let Some(labels) = nu.get_mut(&v) else {
+            return false;
+        };
         labels.clear_black();
         let empty = labels.is_empty();
         if empty {
@@ -380,7 +404,12 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "graph: {} nodes, {} edges",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for (u, v, l) in self.edges() {
             writeln!(f, "  {u} -- {v} [{l}]")?;
         }
@@ -422,7 +451,10 @@ mod tests {
     fn self_loops_rejected() {
         let mut g = Graph::new();
         g.add_node(n(1)).unwrap();
-        assert_eq!(g.add_black_edge(n(1), n(1)), Err(GraphError::SelfLoop(n(1))));
+        assert_eq!(
+            g.add_black_edge(n(1), n(1)),
+            Err(GraphError::SelfLoop(n(1)))
+        );
     }
 
     #[test]

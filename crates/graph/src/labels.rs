@@ -94,12 +94,18 @@ pub struct EdgeLabels {
 impl EdgeLabels {
     /// A label set containing only the black flag.
     pub fn black() -> Self {
-        EdgeLabels { black: true, colors: Vec::new() }
+        EdgeLabels {
+            black: true,
+            colors: Vec::new(),
+        }
     }
 
     /// A label set containing a single cloud color.
     pub fn colored(color: CloudColor) -> Self {
-        EdgeLabels { black: false, colors: vec![color] }
+        EdgeLabels {
+            black: false,
+            colors: vec![color],
+        }
     }
 
     /// An empty label set (an edge with these labels must be removed).

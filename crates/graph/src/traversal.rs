@@ -80,8 +80,8 @@ pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
     parent.insert(u, u);
     while let Some(x) = queue.pop_front() {
         for y in g.neighbors(x) {
-            if !parent.contains_key(&y) {
-                parent.insert(y, x);
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(y) {
+                e.insert(x);
                 if y == v {
                     let mut path = vec![v];
                     let mut cur = v;

@@ -29,7 +29,9 @@ pub struct GPrime {
 impl GPrime {
     /// Starts tracking from the initial network `G_0`.
     pub fn new(initial: &Graph) -> Self {
-        GPrime { graph: initial.clone() }
+        GPrime {
+            graph: initial.clone(),
+        }
     }
 
     /// Records an adversarial insertion.
@@ -70,7 +72,8 @@ mod tests {
     #[test]
     fn insert_appends() {
         let mut gp = GPrime::new(&generators::star(3));
-        gp.record_insert(NodeId::new(10), &[NodeId::new(0), NodeId::new(1)]).unwrap();
+        gp.record_insert(NodeId::new(10), &[NodeId::new(0), NodeId::new(1)])
+            .unwrap();
         assert_eq!(gp.graph().degree(NodeId::new(10)), Some(2));
         assert!(gp.record_insert(NodeId::new(10), &[]).is_err());
     }

@@ -86,11 +86,7 @@ pub struct ExpansionReport {
 pub fn expansion_report(g: &Graph) -> ExpansionReport {
     let lambda = algebraic_connectivity(g);
     let lambda_norm = normalized_algebraic_connectivity(g);
-    let dmin = g
-        .nodes()
-        .filter_map(|v| g.degree(v))
-        .min()
-        .unwrap_or(0) as f64;
+    let dmin = g.nodes().filter_map(|v| g.degree(v)).min().unwrap_or(0) as f64;
     let (exact_h, exact_phi) = if g.node_count() <= cuts::MAX_EXACT_NODES {
         (
             cuts::edge_expansion_exact(g).map(|c| c.value),
@@ -171,7 +167,8 @@ mod tests {
         let mut g = gp.clone();
         g.remove_node(NodeId::new(0)).unwrap();
         for i in 1..4 {
-            g.add_black_edge(NodeId::new(i), NodeId::new(i + 1)).unwrap();
+            g.add_black_edge(NodeId::new(i), NodeId::new(i + 1))
+                .unwrap();
         }
         // Worst pair (1,4): G' distance 2, G distance 3 => 1.5.
         assert_eq!(stretch(&g, &gp, 100, 4), Some(1.5));

@@ -24,7 +24,10 @@ pub struct SymMatrix {
 impl SymMatrix {
     /// Creates the `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        SymMatrix { n, data: vec![0.0; n * n] }
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Dimension `n`.
@@ -70,9 +73,9 @@ impl SymMatrix {
     pub fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, out) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n..(i + 1) * self.n];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
     }
 

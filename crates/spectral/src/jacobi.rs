@@ -34,7 +34,10 @@ pub struct EigenDecomposition {
 pub fn jacobi_eigen(m: &SymMatrix) -> EigenDecomposition {
     let n = m.dim();
     if n == 0 {
-        return EigenDecomposition { values: Vec::new(), vectors: Vec::new() };
+        return EigenDecomposition {
+            values: Vec::new(),
+            vectors: Vec::new(),
+        };
     }
     let mut a = m.clone();
     // v holds the accumulated rotations: columns are eigenvectors.
@@ -44,10 +47,7 @@ pub fn jacobi_eigen(m: &SymMatrix) -> EigenDecomposition {
     }
 
     const MAX_SWEEPS: usize = 100;
-    let tol = 1e-14
-        * (0..n)
-            .map(|i| a.get(i, i).abs())
-            .fold(1.0f64, f64::max);
+    let tol = 1e-14 * (0..n).map(|i| a.get(i, i).abs()).fold(1.0f64, f64::max);
 
     for _ in 0..MAX_SWEEPS {
         if a.max_offdiag() <= tol.max(1e-300) {
@@ -116,7 +116,10 @@ mod tests {
         let n = m.dim();
         let mut y = vec![0.0; n];
         m.apply(vec, &mut y);
-        (0..n).map(|i| (y[i] - val * vec[i]).powi(2)).sum::<f64>().sqrt()
+        (0..n)
+            .map(|i| (y[i] - val * vec[i]).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -179,7 +182,11 @@ mod tests {
         let e = jacobi_eigen(&m);
         for a in 0..4 {
             for b in 0..4 {
-                let dot: f64 = e.vectors[a].iter().zip(&e.vectors[b]).map(|(x, y)| x * y).sum();
+                let dot: f64 = e.vectors[a]
+                    .iter()
+                    .zip(&e.vectors[b])
+                    .map(|(x, y)| x * y)
+                    .sum();
                 let expect = if a == b { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-9, "({a},{b}) dot={dot}");
             }

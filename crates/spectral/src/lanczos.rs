@@ -41,7 +41,9 @@ fn seeded_vector(n: usize, seed: u64) -> Vec<f64> {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
     };
-    (0..n).map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5).collect()
+    (0..n)
+        .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect()
 }
 
 /// Result of a deflated Lanczos run.
@@ -143,7 +145,10 @@ pub fn lanczos_deflated(
             *x /= nv;
         }
     }
-    Some(LanczosResult { ritz_values, smallest_vector: vec })
+    Some(LanczosResult {
+        ritz_values,
+        smallest_vector: vec,
+    })
 }
 
 #[cfg(test)]

@@ -55,7 +55,12 @@ impl LaplacianOp {
             offsets.push(neighbors.len());
             degrees.push(g.degree(v).unwrap_or(0) as f64);
         }
-        LaplacianOp { nodes, offsets, neighbors, degrees }
+        LaplacianOp {
+            nodes,
+            offsets,
+            neighbors,
+            degrees,
+        }
     }
 
     /// The node order backing the operator's coordinates.
@@ -191,7 +196,12 @@ impl NormalizedLaplacianOp {
             let d = g.degree(v).unwrap_or(0) as f64;
             inv_sqrt_deg.push(if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 });
         }
-        NormalizedLaplacianOp { nodes, offsets, neighbors, inv_sqrt_deg }
+        NormalizedLaplacianOp {
+            nodes,
+            offsets,
+            neighbors,
+            inv_sqrt_deg,
+        }
     }
 
     /// The node order backing the operator's coordinates.

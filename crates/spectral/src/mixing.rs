@@ -114,8 +114,8 @@ mod tests {
     fn expander_beats_bridged_cliques() {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(1);
-        let expander = generators::random_regular(32, 6, &mut rng);
-        let cliques = generators::clique_pair_with_expander_bridge(32, 2, &mut rng);
+        let expander = generators::random_regular(64, 6, &mut rng);
+        let cliques = generators::clique_pair_with_expander_bridge(64, 2, &mut rng);
         let te = mixing_time(&expander, 0.25, 50_000).unwrap();
         let tc = mixing_time(&cliques, 0.25, 50_000).unwrap();
         assert!(

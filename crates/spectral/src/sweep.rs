@@ -71,7 +71,11 @@ pub fn sweep_cut(g: &Graph) -> Option<SweepCut> {
         s.sort_unstable();
         s
     };
-    Some(SweepCut { conductance: best_cond, expansion: best_exp, side })
+    Some(SweepCut {
+        conductance: best_cond,
+        expansion: best_exp,
+        side,
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +131,11 @@ mod tests {
         let g = generators::clique_pair_with_expander_bridge(16, 2, &mut rng);
         let s = sweep_cut(&g).unwrap();
         // The best cut is (close to) the clique split: 8 nodes per side.
-        assert!(s.side.len() >= 6 && s.side.len() <= 10, "side {:?}", s.side.len());
+        assert!(
+            s.side.len() >= 6 && s.side.len() <= 10,
+            "side {:?}",
+            s.side.len()
+        );
         assert!(s.conductance < 0.2, "conductance {}", s.conductance);
     }
 

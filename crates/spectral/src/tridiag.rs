@@ -151,11 +151,11 @@ mod tests {
         let e: Vec<f64> = (0..n - 1).map(|_| next()).collect();
 
         let mut m = SymMatrix::zeros(n);
-        for i in 0..n {
-            m.set(i, i, d[i]);
+        for (i, &di) in d.iter().enumerate() {
+            m.set(i, i, di);
         }
-        for i in 0..n - 1 {
-            m.set(i, i + 1, e[i]);
+        for (i, &ei) in e.iter().enumerate() {
+            m.set(i, i + 1, ei);
         }
         let expect = jacobi_eigen(&m).values;
         let got = tridiagonal_eigenvalues(&d, &e);

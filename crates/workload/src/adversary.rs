@@ -67,7 +67,12 @@ impl RandomChurn {
         for v in graph.nodes() {
             ids.observe(v);
         }
-        RandomChurn { p_insert, max_neighbors, min_nodes, ids }
+        RandomChurn {
+            p_insert,
+            max_neighbors,
+            min_nodes,
+            ids,
+        }
     }
 }
 
@@ -84,7 +89,9 @@ impl Adversary for RandomChurn {
                 neighbors: random_neighbors(graph, rng, self.max_neighbors),
             })
         } else {
-            Some(Event::Delete { node: random_live(graph, rng)? })
+            Some(Event::Delete {
+                node: random_live(graph, rng)?,
+            })
         }
     }
 }
@@ -114,7 +121,10 @@ pub enum Targeting {
 impl DeleteOnly {
     /// Creates the strategy.
     pub fn new(targeting: Targeting, min_nodes: usize) -> Self {
-        DeleteOnly { targeting, min_nodes }
+        DeleteOnly {
+            targeting,
+            min_nodes,
+        }
     }
 }
 
@@ -193,7 +203,9 @@ pub struct Scripted {
 impl Scripted {
     /// Wraps a fixed sequence of events.
     pub fn new(events: Vec<Event>) -> Self {
-        Scripted { events: events.into_iter() }
+        Scripted {
+            events: events.into_iter(),
+        }
     }
 }
 
@@ -240,7 +252,12 @@ mod tests {
         let mut adv = DeleteOnly::new(Targeting::HighestDegree, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let e = adv.next_event(&g, &mut rng).unwrap();
-        assert_eq!(e, Event::Delete { node: NodeId::new(0) });
+        assert_eq!(
+            e,
+            Event::Delete {
+                node: NodeId::new(0)
+            }
+        );
     }
 
     #[test]
@@ -250,7 +267,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let e = adv.next_event(&g, &mut rng).unwrap();
         // Interior nodes 1..=3 are the articulation points; the first is 1.
-        assert_eq!(e, Event::Delete { node: NodeId::new(1) });
+        assert_eq!(
+            e,
+            Event::Delete {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -266,8 +288,13 @@ mod tests {
         let g = generators::cycle(3);
         let mut rng = StdRng::seed_from_u64(6);
         let script = vec![
-            Event::Delete { node: NodeId::new(0) },
-            Event::Insert { node: NodeId::new(9), neighbors: vec![NodeId::new(1)] },
+            Event::Delete {
+                node: NodeId::new(0),
+            },
+            Event::Insert {
+                node: NodeId::new(9),
+                neighbors: vec![NodeId::new(1)],
+            },
         ];
         let mut adv = Scripted::new(script.clone());
         assert_eq!(adv.next_event(&g, &mut rng), Some(script[0].clone()));

@@ -39,10 +39,15 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let e = Event::Delete { node: NodeId::new(4) };
+        let e = Event::Delete {
+            node: NodeId::new(4),
+        };
         assert!(e.is_delete());
         assert_eq!(e.node(), NodeId::new(4));
-        let i = Event::Insert { node: NodeId::new(5), neighbors: vec![] };
+        let i = Event::Insert {
+            node: NodeId::new(5),
+            neighbors: vec![],
+        };
         assert!(!i.is_delete());
         assert_eq!(i.node(), NodeId::new(5));
     }

@@ -69,7 +69,12 @@ pub fn run(
         events.push(event);
     }
 
-    RunSummary { gprime, events, insertions, deletions }
+    RunSummary {
+        gprime,
+        events,
+        insertions,
+        deletions,
+    }
 }
 
 /// Replays a recorded event list against a healer (for cross-validation of
@@ -100,11 +105,7 @@ mod tests {
 
     #[test]
     fn run_tracks_gprime_and_counts() {
-        let g0 = generators::connected_erdos_renyi(
-            20,
-            0.15,
-            &mut StdRng::seed_from_u64(1),
-        );
+        let g0 = generators::connected_erdos_renyi(20, 0.15, &mut StdRng::seed_from_u64(1));
         let mut healer = Xheal::new(&g0, XhealConfig::new(4).with_seed(7));
         let mut adv = RandomChurn::new(0.5, 3, 4, &g0);
         let summary = run(&mut healer, &mut adv, 40, 99);
@@ -127,11 +128,7 @@ mod tests {
 
     #[test]
     fn replay_reproduces_topology() {
-        let g0 = generators::connected_erdos_renyi(
-            16,
-            0.2,
-            &mut StdRng::seed_from_u64(2),
-        );
+        let g0 = generators::connected_erdos_renyi(16, 0.2, &mut StdRng::seed_from_u64(2));
         let mut a = Xheal::new(&g0, XhealConfig::new(4).with_seed(5));
         let mut adv = RandomChurn::new(0.4, 2, 3, &g0);
         let summary = run(&mut a, &mut adv, 30, 11);

@@ -48,7 +48,10 @@ fn main() {
     let rounds_max = costs.iter().map(|c| c.rounds).max().unwrap();
     let log2n = (n as f64).log2();
     println!("deletions healed:        {}", costs.len());
-    println!("max rounds per deletion: {rounds_max}  (log2 n = {})", fmt(log2n));
+    println!(
+        "max rounds per deletion: {rounds_max}  (log2 n = {})",
+        fmt(log2n)
+    );
     println!("mean messages:           {}", fmt(msgs));
     println!("Lemma 5 lower bound A(p): {}", fmt(a_p));
     println!(

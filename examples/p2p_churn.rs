@@ -50,7 +50,10 @@ fn main() {
     replay(&mut cycle, &all_events);
     replay(&mut tree, &all_events);
 
-    println!("{:<20}{:>12}{:>14}{:>12}", "healer", "peers", "lambda_norm", "connected");
+    println!(
+        "{:<20}{:>12}{:>14}{:>12}",
+        "healer", "peers", "lambda_norm", "connected"
+    );
     for h in [&xheal as &dyn Healer, &cycle, &tree] {
         println!(
             "{:<20}{:>12}{:>14}{:>12}",

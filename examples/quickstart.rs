@@ -38,7 +38,10 @@ fn main() {
         fmt(degree_increase(healer.graph(), &summary.gprime))
     );
     let s = stretch(healer.graph(), &summary.gprime, 150, 8).unwrap_or(f64::INFINITY);
-    println!("network stretch (metric 3):  {}  [Thm 2.2 bound: O(log n)]", fmt(s));
+    println!(
+        "network stretch (metric 3):  {}  [Thm 2.2 bound: O(log n)]",
+        fmt(s)
+    );
     let rep = expansion_report(healer.graph());
     println!(
         "expansion (metric 2): lambda = {}, lambda_norm = {}, sweep h <= {}",
@@ -59,5 +62,8 @@ fn main() {
         st.edges_removed,
         healer.cloud_count()
     );
-    println!("amortized Lemma 5 lower bound A(p): {}", fmt(st.amortized_lower_bound()));
+    println!(
+        "amortized Lemma 5 lower bound A(p): {}",
+        fmt(st.amortized_lower_bound())
+    );
 }

@@ -28,6 +28,10 @@ pub fn describe(label: &str, g: &Graph) {
         "{label}: {} nodes, {} edges, {}",
         g.node_count(),
         g.edge_count(),
-        if connected { "connected" } else { "DISCONNECTED" }
+        if connected {
+            "connected"
+        } else {
+            "DISCONNECTED"
+        }
     );
 }

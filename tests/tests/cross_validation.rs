@@ -6,7 +6,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use xheal_core::{Healer, Xheal, XhealConfig};
 use xheal_dist::DistXheal;
 use xheal_graph::{components, generators};
-use xheal_workload::{run, replay, RandomChurn};
+use xheal_workload::{replay, run, RandomChurn};
 
 #[test]
 fn distributed_equals_centralized_on_random_churn() {

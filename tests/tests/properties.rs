@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use xheal_core::{invariants, Healer, Xheal, XhealConfig};
+use xheal_core::{invariants, Xheal, XhealConfig};
 use xheal_dist::DistXheal;
 use xheal_graph::{components, generators, NodeId};
-use xheal_workload::{run, replay, RandomChurn};
+use xheal_workload::{replay, run, RandomChurn};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

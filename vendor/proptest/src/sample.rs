@@ -1,0 +1,55 @@
+//! Sampling helpers: collection indices and element selection.
+
+use crate::{Arbitrary, Strategy, TestRunner};
+use rand::Rng;
+
+/// An index into a collection whose length is unknown at generation time:
+/// the raw draw is mapped into `0..len` at use time.
+#[derive(Clone, Copy, Debug)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Projects the draw into `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.raw % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        Index {
+            raw: runner.rng().random::<u64>() as usize,
+        }
+    }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let i = runner.rng().random_range(0..self.items.len());
+        self.items[i].clone()
+    }
+}
+
+/// Uniformly selects one of `items`.
+///
+/// # Panics
+///
+/// The returned strategy panics on generation if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
