@@ -46,8 +46,7 @@ fn bench_hgraph_ops(c: &mut Criterion) {
             |mut h| {
                 h.insert(NodeId::new(next), &mut rng);
                 next += 1;
-                let idx = rng.random_range(0..h.len());
-                let &v = h.members().iter().nth(idx).unwrap();
+                let v = h.member_at(rng.random_range(0..h.len()));
                 h.delete(v);
                 h
             },

@@ -14,6 +14,11 @@ pub struct Cloud {
     /// Secondary clouds only: which primary cloud each member bridges for.
     /// Keys are exactly the expander members (invariant I4).
     attachments: BTreeMap<NodeId, CloudColor>,
+    /// Primary clouds only: the members currently *free* (no secondary
+    /// duty), maintained incrementally by the planner so free-node picks
+    /// never scan the full membership. Invariant I7:
+    /// `free_members = members ∩ {v | v.secondary == None}`.
+    free_members: BTreeSet<NodeId>,
 }
 
 impl Cloud {
@@ -22,6 +27,7 @@ impl Cloud {
             kind,
             expander,
             attachments: BTreeMap::new(),
+            free_members: BTreeSet::new(),
         }
     }
 
@@ -62,6 +68,16 @@ impl Cloud {
 
     pub(crate) fn attachments_mut(&mut self) -> &mut BTreeMap<NodeId, CloudColor> {
         &mut self.attachments
+    }
+
+    /// Members with no secondary duty, ascending (primary clouds; empty for
+    /// secondaries). Maintained incrementally — reading it is free.
+    pub fn free_members(&self) -> &BTreeSet<NodeId> {
+        &self.free_members
+    }
+
+    pub(crate) fn free_members_mut(&mut self) -> &mut BTreeSet<NodeId> {
+        &mut self.free_members
     }
 }
 

@@ -9,7 +9,7 @@
 //! engine, which is why the two produce bit-identical topologies on
 //! identical schedules.
 
-use xheal_graph::{CloudColor, CloudKind, Graph, NodeId};
+use xheal_graph::{CloudColor, CloudKind, EdgeLabels, Graph, NodeId};
 
 use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
@@ -36,6 +36,8 @@ use crate::stats::{DeletionReport, HealStats};
 pub struct Xheal {
     graph: Graph,
     planner: RepairPlanner,
+    /// Reusable incident-edge buffer for the deletion hot loop.
+    scratch_incident: Vec<(NodeId, EdgeLabels)>,
 }
 
 impl Xheal {
@@ -45,6 +47,7 @@ impl Xheal {
         Xheal {
             graph: initial.clone(),
             planner: RepairPlanner::new(initial.nodes(), config),
+            scratch_incident: Vec::new(),
         }
     }
 
@@ -135,8 +138,13 @@ impl Xheal {
             return Err(HealError::NodeMissing(v));
         }
         let degree = self.graph.degree(v).expect("checked present");
-        let incident = self.graph.remove_node(v).expect("checked present");
+        let mut incident = std::mem::take(&mut self.scratch_incident);
+        incident.clear();
+        self.graph
+            .remove_node_into(v, &mut incident)
+            .expect("checked present");
         let plan = self.planner.plan_deletion(v, &incident, degree);
+        self.scratch_incident = incident;
         plan.apply_to(&mut self.graph);
         Ok(plan.report)
     }

@@ -3,10 +3,11 @@
 //! These are checked after every heal in the test suites and property tests;
 //! each corresponds to a structural fact the paper's analysis relies on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use xheal_graph::{CloudColor, CloudKind, NodeId};
 
+use crate::cloud::NodeState;
 use crate::heal::Xheal;
 
 /// Checks all structural invariants, returning the first violation found.
@@ -21,8 +22,14 @@ use crate::heal::Xheal;
 /// - **I5** membership symmetry: `node.primaries` contains a color iff that
 ///   primary cloud contains the node;
 /// - **I6** every color on any graph edge belongs to a live cloud that lists
-///   the edge.
+///   the edge;
+/// - **I7** each primary cloud's maintained free-member set is exactly its
+///   members with no secondary duty (the incremental bookkeeping never
+///   drifts from a recomputation);
+/// - **I8** the planner's reverse attachment index matches the bridge
+///   counts recomputed from the live secondary clouds.
 pub fn check_invariants(x: &Xheal) -> Result<(), String> {
+    x.planner().validate_attachment_index()?;
     let graph = x.graph();
 
     // Collect node -> primaries from the cloud side for the symmetry check.
@@ -49,6 +56,21 @@ pub fn check_invariants(x: &Xheal) -> Result<(), String> {
                     return Err(format!("edge ({u},{w}) missing color {color} of its cloud"))
                 }
                 None => return Err(format!("cloud {color} edge ({u},{w}) absent from graph")),
+            }
+        }
+        // I7: maintained free sets match a recomputation from node states.
+        if kind == CloudKind::Primary {
+            let recomputed: BTreeSet<NodeId> = cloud
+                .members()
+                .iter()
+                .copied()
+                .filter(|m| x.node_state(*m).is_some_and(NodeState::is_free))
+                .collect();
+            if &recomputed != cloud.free_members() {
+                return Err(format!(
+                    "cloud {color}: free set {:?} != recomputed {recomputed:?}",
+                    cloud.free_members()
+                ));
             }
         }
         // I4: secondary structure.

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xheal_expander::{EdgeDelta, MaintainedExpander};
-use xheal_graph::{CloudColor, CloudKind, EdgeLabels, NodeId};
+use xheal_graph::{CloudColor, CloudKind, EdgeLabels, FxHashMap, NodeId};
 
 use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
@@ -43,13 +43,23 @@ use crate::stats::{DeletionReport, HealCase, HealStats};
 #[derive(Clone, Debug)]
 pub struct RepairPlanner {
     clouds: BTreeMap<CloudColor, Cloud>,
-    nodes: BTreeMap<NodeId, NodeState>,
+    /// Reverse attachment index: primary color → (secondary color → number
+    /// of that secondary's bridges targeting the primary). Lets `combine`
+    /// find referencing secondaries without scanning the whole registry.
+    attached_to: BTreeMap<CloudColor, BTreeMap<CloudColor, u32>>,
+    /// Per-node membership state. Point-lookup only — never iterated — so
+    /// the deterministic replay does not depend on its order and the hot
+    /// path gets O(1) access.
+    nodes: FxHashMap<NodeId, NodeState>,
     config: XhealConfig,
     rng: StdRng,
     next_color: u64,
     stats: HealStats,
     /// Plan buffer of the operation being planned.
     actions: Vec<PlanAction>,
+    /// Reusable scratch for per-deletion black-neighbor extraction, so the
+    /// churn hot loop allocates nothing per event.
+    scratch_black: Vec<NodeId>,
     // Per-operation counters (reset at the start of each deletion).
     op_added: usize,
     op_removed: usize,
@@ -62,18 +72,20 @@ impl RepairPlanner {
     /// cloudless (every existing edge is black, per the model).
     pub fn new(nodes: impl IntoIterator<Item = NodeId>, config: XhealConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        let nodes = nodes
+        let nodes: FxHashMap<NodeId, NodeState> = nodes
             .into_iter()
             .map(|v| (v, NodeState::default()))
             .collect();
         RepairPlanner {
             clouds: BTreeMap::new(),
+            attached_to: BTreeMap::new(),
             nodes,
             config,
             rng,
             next_color: 0,
             stats: HealStats::default(),
             actions: Vec::new(),
+            scratch_black: Vec::new(),
             op_added: 0,
             op_removed: 0,
             op_shares: 0,
@@ -116,6 +128,26 @@ impl RepairPlanner {
         self.clouds.len()
     }
 
+    /// Invariant check (I8): the reverse attachment index holds exactly the
+    /// bridge counts recomputable from the live secondary clouds.
+    pub(crate) fn validate_attachment_index(&self) -> Result<(), String> {
+        let mut recomputed: BTreeMap<CloudColor, BTreeMap<CloudColor, u32>> = BTreeMap::new();
+        for (&f, cloud) in &self.clouds {
+            if cloud.kind() == CloudKind::Secondary {
+                for &p in cloud.attachments().values() {
+                    *recomputed.entry(p).or_default().entry(f).or_insert(0) += 1;
+                }
+            }
+        }
+        if recomputed != self.attached_to {
+            return Err(format!(
+                "attachment index {:?} != recomputed {recomputed:?}",
+                self.attached_to
+            ));
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Model events
     // ------------------------------------------------------------------
@@ -144,11 +176,14 @@ impl RepairPlanner {
         self.actions.clear();
 
         let state = self.nodes.remove(&v).unwrap_or_default();
-        let black_nbrs: Vec<NodeId> = incident
-            .iter()
-            .filter(|(_, l)| l.is_black())
-            .map(|&(u, _)| u)
-            .collect();
+        let mut black_nbrs = std::mem::take(&mut self.scratch_black);
+        black_nbrs.clear();
+        black_nbrs.extend(
+            incident
+                .iter()
+                .filter(|(_, l)| l.is_black())
+                .map(|&(u, _)| u),
+        );
         let black_degree = black_nbrs.len();
         self.stats.deletions += 1;
         self.stats.black_degree_sum += black_degree;
@@ -165,6 +200,7 @@ impl RepairPlanner {
         } else {
             self.plan_colored_deletion(v, state, &black_nbrs)
         };
+        self.scratch_black = black_nbrs;
 
         let report = DeletionReport {
             case,
@@ -220,6 +256,9 @@ impl RepairPlanner {
                     .clouds
                     .get_mut(&f)
                     .and_then(|cl| cl.attachments_mut().remove(&v));
+                if let Some(ci) = ci {
+                    self.attach_index_dec(ci, f);
+                }
                 let f_emptied = self.remove_from_cloud(f, v);
                 let ci_alive = ci.filter(|c| self.clouds.contains_key(c));
                 let anchor = if f_emptied {
@@ -270,13 +309,12 @@ impl RepairPlanner {
 
         if let Some(ci) = ci_alive {
             // Prefer a free node of ci itself.
-            let mut pick: Option<(NodeId, bool)> =
-                self.free_nodes_of(ci).first().map(|&z| (z, false));
+            let mut pick: Option<(NodeId, bool)> = self.first_free_node_of(ci).map(|z| (z, false));
             if pick.is_none() && !self.config.disable_sharing {
                 // Borrow from the other primaries of F (PickFreeNode's "ask
                 // neighbor clouds").
                 for &c in f_primaries.iter().filter(|&&c| c != ci) {
-                    if let Some(&z) = self.free_nodes_of(c).first() {
+                    if let Some(z) = self.first_free_node_of(c) {
                         pick = Some((z, true));
                         break;
                     }
@@ -340,25 +378,37 @@ impl RepairPlanner {
             return None;
         }
 
-        // Free nodes per cloud and overall.
-        let adjacency: Vec<Vec<NodeId>> = group.iter().map(|&c| self.free_nodes_of(c)).collect();
-        let union_free: BTreeSet<NodeId> = adjacency.iter().flatten().copied().collect();
-        if union_free.len() < group.len() {
-            // Fewer free nodes than clouds: combine (Case 2.1 prose).
-            self.combine(&group.iter().copied().collect());
-            return None;
-        }
-
         // Distinct representatives: maximum bipartite matching preferring
-        // each cloud's own members, then sharing for any cloud left over.
-        let mut reps = match_representatives(&group, &adjacency);
+        // each cloud's own members (over the incrementally maintained free
+        // sets — no membership scans), then sharing for any cloud left over.
+        let mut reps = {
+            let adjacency: Vec<&BTreeSet<NodeId>> =
+                group.iter().map(|&c| self.free_set_of(c)).collect();
+            match_representatives(&adjacency)
+        };
+        let deficit = reps.iter().any(Option::is_none);
+        let mut union_free: Vec<NodeId> = Vec::new();
+        if deficit {
+            // Materialize the free-node union (ascending) only when some
+            // cloud went unmatched — the slow path.
+            let u: BTreeSet<NodeId> = group
+                .iter()
+                .flat_map(|&c| self.free_set_of(c).iter().copied())
+                .collect();
+            if u.len() < group.len() {
+                // Fewer free nodes than clouds: combine (Case 2.1 prose).
+                self.combine(&group.iter().copied().collect());
+                return None;
+            }
+            if self.config.disable_sharing {
+                self.combine(&group.iter().copied().collect());
+                return None;
+            }
+            union_free = u.into_iter().collect();
+        }
         let mut used: BTreeSet<NodeId> = reps.iter().flatten().copied().collect();
         for (i, rep) in reps.iter_mut().enumerate() {
             if rep.is_none() {
-                if self.config.disable_sharing {
-                    self.combine(&group.iter().copied().collect());
-                    return None;
-                }
                 let z = union_free
                     .iter()
                     .copied()
@@ -380,10 +430,12 @@ impl RepairPlanner {
                 .expect("just created")
                 .attachments_mut()
                 .insert(rep, group[i]);
+            self.attach_index_inc(group[i], f);
             self.nodes
                 .get_mut(&rep)
                 .expect("members are live")
                 .secondary = Some(f);
+            self.set_free_status(rep, false);
         }
         self.stats.secondaries_built += 1;
         Some(f)
@@ -415,17 +467,10 @@ impl RepairPlanner {
             }
         }
 
-        // Handle secondaries referencing the combined primaries.
+        // Handle secondaries referencing the combined primaries (found via
+        // the reverse attachment index — no registry scan).
         let new_color = self.fresh_color();
-        let referencing: Vec<CloudColor> = self
-            .clouds
-            .iter()
-            .filter(|(_, cl)| {
-                cl.kind() == CloudKind::Secondary
-                    && cl.attachments().values().any(|p| colors.contains(p))
-            })
-            .map(|(&c, _)| c)
-            .collect();
+        let referencing = self.secondaries_attached_to(colors);
         for fc in referencing {
             let all_inside = self.clouds[&fc]
                 .attachments()
@@ -436,10 +481,16 @@ impl RepairPlanner {
                 self.delete_cloud(fc);
             } else {
                 let cloud = self.clouds.get_mut(&fc).expect("live");
+                let mut old_targets: Vec<CloudColor> = Vec::new();
                 for target in cloud.attachments_mut().values_mut() {
                     if colors.contains(target) {
+                        old_targets.push(*target);
                         *target = new_color;
                     }
+                }
+                for p in old_targets {
+                    self.attach_index_dec(p, fc);
+                    self.attach_index_inc(new_color, fc);
                 }
             }
         }
@@ -495,12 +546,75 @@ impl RepairPlanner {
             delta,
         });
         if kind == CloudKind::Primary {
+            let mut free: Vec<NodeId> = Vec::with_capacity(members.len());
             for &m in members {
-                self.nodes
-                    .get_mut(&m)
-                    .expect("members are live")
-                    .primaries
-                    .insert(color);
+                let st = self.nodes.get_mut(&m).expect("members are live");
+                st.primaries.insert(color);
+                if st.is_free() {
+                    free.push(m);
+                }
+            }
+            self.clouds
+                .get_mut(&color)
+                .expect("just created")
+                .free_members_mut()
+                .extend(free);
+        }
+    }
+
+    /// Records one more bridge of secondary `f` targeting primary `p`.
+    fn attach_index_inc(&mut self, p: CloudColor, f: CloudColor) {
+        *self.attached_to.entry(p).or_default().entry(f).or_insert(0) += 1;
+    }
+
+    /// Removes one bridge of secondary `f` targeting primary `p`.
+    fn attach_index_dec(&mut self, p: CloudColor, f: CloudColor) {
+        let Some(m) = self.attached_to.get_mut(&p) else {
+            debug_assert!(false, "attachment index missing primary {p}");
+            return;
+        };
+        match m.get_mut(&f) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                m.remove(&f);
+                if m.is_empty() {
+                    self.attached_to.remove(&p);
+                }
+            }
+            None => debug_assert!(false, "attachment index missing ({p},{f})"),
+        }
+    }
+
+    /// The live secondary clouds with a bridge into any color of `colors`,
+    /// ascending (the set `combine` must dissolve or re-point).
+    fn secondaries_attached_to(&self, colors: &BTreeSet<CloudColor>) -> Vec<CloudColor> {
+        let mut out: BTreeSet<CloudColor> = BTreeSet::new();
+        for c in colors {
+            if let Some(m) = self.attached_to.get(c) {
+                out.extend(m.keys().copied());
+            }
+        }
+        out.into_iter()
+            .filter(|fc| self.clouds.contains_key(fc))
+            .collect()
+    }
+
+    /// Re-files `v` in the free-member sets of all of its primary clouds
+    /// after its secondary duty changed.
+    fn set_free_status(&mut self, v: NodeId, free: bool) {
+        let Some(st) = self.nodes.get(&v) else {
+            return;
+        };
+        // Membership lists are tiny (a node is in O(1) primaries); clone to
+        // release the borrow.
+        let primaries: Vec<CloudColor> = st.primaries.iter().copied().collect();
+        for c in primaries {
+            if let Some(cloud) = self.clouds.get_mut(&c) {
+                if free {
+                    cloud.free_members_mut().insert(v);
+                } else {
+                    cloud.free_members_mut().remove(&v);
+                }
             }
         }
     }
@@ -519,11 +633,15 @@ impl RepairPlanner {
             cloud.expander_mut().remove(v, rng)
         };
         let kind = cloud.kind();
+        if kind == CloudKind::Primary {
+            cloud.free_members_mut().remove(&v);
+        }
         self.emit(PlanAction::PatchCloud {
             color,
             removed: vec![v],
             delta,
         });
+        let mut freed = false;
         if let Some(st) = self.nodes.get_mut(&v) {
             match kind {
                 CloudKind::Primary => {
@@ -532,9 +650,14 @@ impl RepairPlanner {
                 CloudKind::Secondary => {
                     if st.secondary == Some(color) {
                         st.secondary = None;
+                        freed = true;
                     }
                 }
             }
+        }
+        if freed {
+            // Losing its bridge duty makes v free again in its primaries.
+            self.set_free_status(v, true);
         }
         let emptied = self.clouds.get(&color).is_some_and(Cloud::is_empty);
         if emptied {
@@ -564,11 +687,15 @@ impl RepairPlanner {
             shared: true,
             delta,
         });
-        self.nodes
-            .get_mut(&v)
-            .expect("live node")
-            .primaries
-            .insert(color);
+        let st = self.nodes.get_mut(&v).expect("live node");
+        st.primaries.insert(color);
+        if st.is_free() {
+            self.clouds
+                .get_mut(&color)
+                .expect("cloud alive")
+                .free_members_mut()
+                .insert(v);
+        }
     }
 
     /// Inserts `z` into secondary `f` as the bridge for primary `ci`.
@@ -584,12 +711,16 @@ impl RepairPlanner {
             shared: false,
             delta,
         });
-        self.clouds
+        let replaced = self
+            .clouds
             .get_mut(&f)
             .expect("secondary alive")
             .attachments_mut()
             .insert(z, ci);
+        debug_assert!(replaced.is_none(), "bridge {z} already attached in {f}");
+        self.attach_index_inc(ci, f);
         self.nodes.get_mut(&z).expect("live node").secondary = Some(f);
+        self.set_free_status(z, false);
     }
 
     /// Deletes a cloud entirely: strips its edges and clears memberships.
@@ -597,6 +728,11 @@ impl RepairPlanner {
         let Some(cloud) = self.clouds.remove(&color) else {
             return;
         };
+        if cloud.kind() == CloudKind::Secondary {
+            for &p in cloud.attachments().values() {
+                self.attach_index_dec(p, color);
+            }
+        }
         let edges: Vec<(NodeId, NodeId)> = cloud.expander().edges().iter().copied().collect();
         self.emit(PlanAction::DissolveCloud {
             color,
@@ -606,6 +742,7 @@ impl RepairPlanner {
             },
         });
         for &m in cloud.members() {
+            let mut freed = false;
             if let Some(st) = self.nodes.get_mut(&m) {
                 match cloud.kind() {
                     CloudKind::Primary => {
@@ -614,9 +751,13 @@ impl RepairPlanner {
                     CloudKind::Secondary => {
                         if st.secondary == Some(color) {
                             st.secondary = None;
+                            freed = true;
                         }
                     }
                 }
+            }
+            if freed {
+                self.set_free_status(m, true);
             }
         }
     }
@@ -635,17 +776,20 @@ impl RepairPlanner {
         self.stats.combines += self.op_combines;
     }
 
-    /// Free nodes (no secondary duty) of a cloud, ascending.
-    fn free_nodes_of(&self, color: CloudColor) -> Vec<NodeId> {
-        let Some(cloud) = self.clouds.get(&color) else {
-            return Vec::new();
-        };
-        cloud
-            .members()
-            .iter()
-            .copied()
-            .filter(|m| self.nodes.get(m).is_some_and(NodeState::is_free))
-            .collect()
+    /// The incrementally maintained free-node set of a cloud, ascending
+    /// (empty set for dead clouds).
+    fn free_set_of(&self, color: CloudColor) -> &BTreeSet<NodeId> {
+        static EMPTY: BTreeSet<NodeId> = BTreeSet::new();
+        self.clouds
+            .get(&color)
+            .map(Cloud::free_members)
+            .unwrap_or(&EMPTY)
+    }
+
+    /// The smallest free node of a cloud — O(log n) off the maintained set
+    /// (the FixSecondary hot path only ever takes the first).
+    fn first_free_node_of(&self, color: CloudColor) -> Option<NodeId> {
+        self.free_set_of(color).first().copied()
     }
 
     // ------------------------------------------------------------------
@@ -680,6 +824,7 @@ impl RepairPlanner {
         for &v in victims {
             if cloud.expander().contains(v) {
                 let _ = cloud.expander_mut().remove(v, &mut self.rng);
+                cloud.free_members_mut().remove(&v);
                 any = true;
                 detached.push(v);
             }
@@ -708,9 +853,14 @@ impl RepairPlanner {
         f: CloudColor,
         v: NodeId,
     ) -> Option<CloudColor> {
-        self.clouds
+        let ci = self
+            .clouds
             .get_mut(&f)
-            .and_then(|cl| cl.attachments_mut().remove(&v))
+            .and_then(|cl| cl.attachments_mut().remove(&v));
+        if let Some(ci) = ci {
+            self.attach_index_dec(ci, f);
+        }
+        ci
     }
 
     pub(crate) fn batch_fix_secondary(
@@ -738,16 +888,21 @@ impl RepairPlanner {
 
 /// Maximum bipartite matching (Kuhn's algorithm) of clouds to free nodes.
 /// Returns one chosen representative per cloud where matchable.
-fn match_representatives(group: &[CloudColor], adjacency: &[Vec<NodeId>]) -> Vec<Option<NodeId>> {
+///
+/// Adjacency is consumed lazily off each cloud's maintained free set: in the
+/// common case (every cloud has an unclaimed free node early in its set) only
+/// the first few candidates are ever visited, so huge combined clouds cost
+/// nothing here.
+fn match_representatives(adjacency: &[&BTreeSet<NodeId>]) -> Vec<Option<NodeId>> {
     let mut owner: BTreeMap<NodeId, usize> = BTreeMap::new();
 
     fn try_assign(
         i: usize,
-        adjacency: &[Vec<NodeId>],
+        adjacency: &[&BTreeSet<NodeId>],
         owner: &mut BTreeMap<NodeId, usize>,
         visited: &mut BTreeSet<NodeId>,
     ) -> bool {
-        for &z in &adjacency[i] {
+        for &z in adjacency[i].iter() {
             if visited.contains(&z) {
                 continue;
             }
@@ -769,12 +924,12 @@ fn match_representatives(group: &[CloudColor], adjacency: &[Vec<NodeId>]) -> Vec
         false
     }
 
-    for i in 0..group.len() {
+    for i in 0..adjacency.len() {
         let mut visited = BTreeSet::new();
         let _ = try_assign(i, adjacency, &mut owner, &mut visited);
     }
 
-    let mut reps = vec![None; group.len()];
+    let mut reps = vec![None; adjacency.len()];
     for (z, i) in owner {
         reps[i] = Some(z);
     }
@@ -791,18 +946,18 @@ mod tests {
 
     #[test]
     fn match_representatives_prefers_distinct() {
-        let g = [CloudColor::new(0), CloudColor::new(1)];
-        let adj = vec![vec![n(1), n(2)], vec![n(1)]];
-        let reps = match_representatives(&g, &adj);
+        let a: BTreeSet<NodeId> = [n(1), n(2)].into_iter().collect();
+        let b: BTreeSet<NodeId> = [n(1)].into_iter().collect();
+        let reps = match_representatives(&[&a, &b]);
         assert_eq!(reps[1], Some(n(1)), "cloud 1 only has node 1");
         assert_eq!(reps[0], Some(n(2)), "cloud 0 must yield node 1");
     }
 
     #[test]
     fn match_representatives_reports_deficit() {
-        let g = [CloudColor::new(0), CloudColor::new(1)];
-        let adj = vec![vec![n(1)], vec![n(1)]];
-        let reps = match_representatives(&g, &adj);
+        let a: BTreeSet<NodeId> = [n(1)].into_iter().collect();
+        let b: BTreeSet<NodeId> = [n(1)].into_iter().collect();
+        let reps = match_representatives(&[&a, &b]);
         let filled = reps.iter().flatten().count();
         assert_eq!(filled, 1);
     }

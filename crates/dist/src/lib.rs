@@ -53,7 +53,7 @@ use std::collections::BTreeSet;
 use xheal_core::{
     DeletionReport, HealError, Healer, PlanAction, RepairPlan, RepairPlanner, XhealConfig,
 };
-use xheal_graph::{Graph, NodeId};
+use xheal_graph::{EdgeLabels, Graph, NodeId};
 use xheal_sim::{Counters, SyncNetwork};
 
 pub use messages::{Msg, RepairCost};
@@ -68,6 +68,10 @@ pub struct DistXheal {
     costs: Vec<RepairCost>,
     /// Sequence number tagging each repair's probe/grant exchange.
     repair_seq: u64,
+    /// Reusable incident-edge buffer for the deletion hot loop.
+    scratch_incident: Vec<(NodeId, EdgeLabels)>,
+    /// Reusable sorted buffer holding the pre-repair free-node snapshot.
+    scratch_free: Vec<NodeId>,
 }
 
 impl DistXheal {
@@ -84,6 +88,8 @@ impl DistXheal {
             network,
             costs: Vec::new(),
             repair_seq: 0,
+            scratch_incident: Vec::new(),
+            scratch_free: Vec::new(),
         }
     }
 
@@ -179,22 +185,31 @@ impl DistXheal {
             return Err(HealError::NodeMissing(v));
         }
         let degree = self.graph.degree(v).expect("checked present");
-        let incident = self.graph.remove_node(v).expect("checked present");
+        let mut incident = std::mem::take(&mut self.scratch_incident);
+        incident.clear();
+        self.graph
+            .remove_node_into(v, &mut incident)
+            .expect("checked present");
         self.network.remove_node(v);
 
         // Pre-repair bridge-duty snapshot: the grant messages must carry
         // the state the decisions were *made* from, and plan_deletion
-        // advances the planner past it.
-        let free_before: BTreeSet<NodeId> = self
-            .graph
-            .nodes()
-            .filter(|&u| self.planner.node_state(u).is_none_or(|st| st.is_free()))
-            .collect();
+        // advances the planner past it. `nodes()` is ascending, so the
+        // reused buffer stays sorted for binary-search membership tests.
+        let mut free_before = std::mem::take(&mut self.scratch_free);
+        free_before.clear();
+        free_before.extend(
+            self.graph
+                .nodes()
+                .filter(|&u| self.planner.node_state(u).is_none_or(|st| st.is_free())),
+        );
 
         let before = self.network.counters();
         let plan = self.planner.plan_deletion(v, &incident, degree);
         self.execute_protocol(&plan, v, &free_before, mid_protocol_casualty);
         plan.apply_to(&mut self.graph);
+        self.scratch_incident = incident;
+        self.scratch_free = free_before;
         let spent = self.network.counters().since(before);
 
         self.costs.push(RepairCost {
@@ -217,7 +232,7 @@ impl DistXheal {
         &mut self,
         plan: &RepairPlan,
         victim: NodeId,
-        free_before: &BTreeSet<NodeId>,
+        free_before: &[NodeId],
         casualty: Option<NodeId>,
     ) {
         let participants: Vec<NodeId> = plan
@@ -265,7 +280,7 @@ impl DistXheal {
         // repair decisions are based on (their duty *before* this repair).
         for &p in &participants {
             if p != coordinator && self.network.contains(p) {
-                let free = free_before.contains(&p);
+                let free = free_before.binary_search(&p).is_ok();
                 self.network
                     .send(p, coordinator, Msg::Grant { repair, free });
             }

@@ -8,26 +8,46 @@
 //! (Friedman / Law–Siu) shows a random H-graph is an expander with high
 //! probability.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use xheal_graph::NodeId;
+use xheal_graph::{FxHashMap, NodeId};
+
+/// The `(added, removed)` change a splice makes to the projected simple
+/// edge set, both sorted ascending.
+pub type SpliceDelta = (Vec<(NodeId, NodeId)>, Vec<(NodeId, NodeId)>);
+
+/// Canonical `u < v` orientation of an undirected edge pair.
+fn norm(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
 
 /// One Hamilton cycle stored as successor/predecessor maps.
+///
+/// The maps are point-lookup-only (splices, incident queries); every
+/// enumeration that reaches output or randomness goes through a sorted
+/// collection, so the unordered FxHash maps stay deterministic-safe while
+/// making large-cloud rebuilds several times cheaper than tree maps.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct Cycle {
-    next: BTreeMap<NodeId, NodeId>,
-    prev: BTreeMap<NodeId, NodeId>,
+    next: FxHashMap<NodeId, NodeId>,
+    prev: FxHashMap<NodeId, NodeId>,
 }
 
 impl Cycle {
     fn from_order(order: &[NodeId]) -> Self {
-        let mut next = BTreeMap::new();
-        let mut prev = BTreeMap::new();
         let n = order.len();
+        let mut next = FxHashMap::default();
+        let mut prev = FxHashMap::default();
+        next.reserve(n);
+        prev.reserve(n);
         for i in 0..n {
             let a = order[i];
             let b = order[(i + 1) % n];
@@ -126,6 +146,11 @@ pub struct HGraph {
     d: usize,
     members: BTreeSet<NodeId>,
     cycles: Vec<Cycle>,
+    /// Members in an arbitrary-but-deterministic enumeration order backing
+    /// the O(1) [`HGraph::member_at`] accessor (swap-removal on delete).
+    order: Vec<NodeId>,
+    /// Position of each member in `order`.
+    pos: FxHashMap<NodeId, usize>,
 }
 
 impl HGraph {
@@ -147,10 +172,14 @@ impl HGraph {
                 Cycle::from_order(&order)
             })
             .collect();
+        let enumeration: Vec<NodeId> = set.iter().copied().collect();
+        let pos: FxHashMap<NodeId, usize> = enumeration.iter().copied().zip(0..).collect();
         HGraph {
             d,
             members: set,
             cycles,
+            order: enumeration,
+            pos,
         }
     }
 
@@ -184,6 +213,21 @@ impl HGraph {
         &self.members
     }
 
+    /// The member at position `idx` of the internal enumeration order — an
+    /// O(1) indexed accessor for samplers that pick uniform members (the
+    /// `BTreeSet` alternative, `members().iter().nth(idx)`, is O(n)).
+    ///
+    /// The order is deterministic across identical operation sequences but
+    /// otherwise unspecified (deletions swap-remove), so treat `idx` as an
+    /// opaque sampling coordinate, not a sorted rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn member_at(&self, idx: usize) -> NodeId {
+        self.order[idx]
+    }
+
     /// Law–Siu INSERT: splice `u` into each cycle at an independently random
     /// position.
     ///
@@ -191,13 +235,45 @@ impl HGraph {
     ///
     /// Panics if `u` is already a member.
     pub fn insert<R: Rng + ?Sized>(&mut self, u: NodeId, rng: &mut R) {
+        let _ = self.insert_with_delta(u, rng);
+    }
+
+    /// [`HGraph::insert`], additionally returning the change to the
+    /// *projected simple edge set* as `(added, removed)`, both sorted.
+    ///
+    /// The splice is O(d²): each cycle contributes at most two new incident
+    /// edges and one broken edge, and broken candidates are membership-checked
+    /// against the other cycles — no full projection rebuild. Consumes
+    /// exactly the same randomness as [`HGraph::insert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is already a member.
+    pub fn insert_with_delta<R: Rng + ?Sized>(&mut self, u: NodeId, rng: &mut R) -> SpliceDelta {
         assert!(!self.members.contains(&u), "{u} already a member");
         let positions: Vec<NodeId> = self.members.iter().copied().collect();
+        let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut broken: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for cycle in &mut self.cycles {
             let v = positions[rng.random_range(0..positions.len())];
+            let w = cycle.next[&v];
             cycle.insert_after(v, u);
+            added.insert(norm(v, u));
+            if v != w {
+                added.insert(norm(u, w));
+                broken.insert(norm(v, w));
+            }
         }
         self.members.insert(u);
+        self.pos.insert(u, self.order.len());
+        self.order.push(u);
+        // A broken (v, w) leaves the projection only if no cycle still walks
+        // it after all splices.
+        let removed: Vec<(NodeId, NodeId)> = broken
+            .into_iter()
+            .filter(|&(a, b)| !self.contains_edge(a, b))
+            .collect();
+        (added.into_iter().collect(), removed)
     }
 
     /// Law–Siu DELETE: remove `u` from each cycle, connecting its
@@ -207,10 +283,58 @@ impl HGraph {
     ///
     /// Panics if `u` is not a member.
     pub fn delete(&mut self, u: NodeId) {
-        assert!(self.members.remove(&u), "{u} not a member");
+        let _ = self.delete_with_delta(u);
+    }
+
+    /// [`HGraph::delete`], additionally returning the change to the
+    /// *projected simple edge set* as `(added, removed)`, both sorted.
+    ///
+    /// O(d²) like [`HGraph::insert_with_delta`]: the removed edges are
+    /// exactly `u`'s projected incident edges; the healed `(prev, next)`
+    /// pairs count as added only when absent from the pre-splice projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a member.
+    pub fn delete_with_delta(&mut self, u: NodeId) -> SpliceDelta {
+        assert!(self.members.contains(&u), "{u} not a member");
+        // Read phase: collect incident and healed pairs before any splice so
+        // "present before" checks see the pre-op cycles.
+        let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut healed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for cycle in &self.cycles {
+            let p = cycle.prev[&u];
+            let n = cycle.next[&u];
+            if p == u {
+                continue; // u was the cycle's last member
+            }
+            removed.insert(norm(p, u));
+            removed.insert(norm(u, n));
+            if p != n {
+                healed.insert(norm(p, n));
+            }
+        }
+        let added: Vec<(NodeId, NodeId)> = healed
+            .into_iter()
+            .filter(|&(a, b)| !self.contains_edge(a, b))
+            .collect();
+        self.members.remove(&u);
         for cycle in &mut self.cycles {
             cycle.remove(u);
         }
+        let p = self.pos.remove(&u).expect("member position tracked");
+        self.order.swap_remove(p);
+        if let Some(&moved) = self.order.get(p) {
+            self.pos.insert(moved, p);
+        }
+        (added, removed.into_iter().collect())
+    }
+
+    /// Does any cycle currently walk the edge `(a, b)` (either direction)?
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.cycles
+            .iter()
+            .any(|c| c.next.get(&a) == Some(&b) || c.next.get(&b) == Some(&a))
     }
 
     /// The projected simple edge set (union of cycle edges, deduplicated,
@@ -233,11 +357,22 @@ impl HGraph {
     }
 
     /// Structural self-check: every cycle is a single closed tour over the
-    /// member set.
+    /// member set, and the indexed enumeration covers it exactly.
     pub fn validate(&self) -> Result<(), String> {
         for (i, c) in self.cycles.iter().enumerate() {
             c.validate(&self.members)
                 .map_err(|e| format!("cycle {i}: {e}"))?;
+        }
+        if self.order.len() != self.members.len() || self.pos.len() != self.members.len() {
+            return Err("enumeration order out of sync with member set".into());
+        }
+        for (i, &v) in self.order.iter().enumerate() {
+            if !self.members.contains(&v) {
+                return Err(format!("enumeration lists non-member {v}"));
+            }
+            if self.pos.get(&v) != Some(&i) {
+                return Err(format!("position index stale for {v}"));
+            }
         }
         Ok(())
     }
@@ -346,6 +481,54 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut h = HGraph::random(&ids(0..4), 2, &mut rng);
         h.insert(NodeId::new(0), &mut rng);
+    }
+
+    #[test]
+    fn splice_deltas_match_recomputed_projection() {
+        // The local O(d²) deltas must track the full projection exactly,
+        // edge for edge, across long mixed churn.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut h = HGraph::random(&ids(0..10), 3, &mut rng);
+        let mut mirror = h.simple_edges();
+        let mut next = 100u64;
+        for round in 0..300 {
+            if h.len() <= 4 || round % 3 != 0 {
+                let (added, removed) = h.insert_with_delta(NodeId::new(next), &mut rng);
+                next += 1;
+                for e in &removed {
+                    assert!(mirror.remove(e), "round {round}: removed {e:?} absent");
+                }
+                for &e in &added {
+                    assert!(mirror.insert(e), "round {round}: added {e:?} present");
+                }
+            } else {
+                let v = h.member_at(rng.random_range(0..h.len()));
+                let (added, removed) = h.delete_with_delta(v);
+                for e in &removed {
+                    assert!(mirror.remove(e), "round {round}: removed {e:?} absent");
+                }
+                for &e in &added {
+                    assert!(mirror.insert(e), "round {round}: added {e:?} present");
+                }
+            }
+            assert_eq!(mirror, h.simple_edges(), "round {round}: projection drift");
+            h.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn member_at_enumerates_exactly_the_members_under_churn() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut h = HGraph::random(&ids(0..12), 2, &mut rng);
+        for i in 12..20 {
+            h.insert(NodeId::new(i), &mut rng);
+        }
+        for i in (0..12).step_by(3) {
+            h.delete(NodeId::new(i));
+        }
+        h.validate().unwrap();
+        let enumerated: BTreeSet<NodeId> = (0..h.len()).map(|i| h.member_at(i)).collect();
+        assert_eq!(&enumerated, h.members());
     }
 
     #[test]

@@ -181,61 +181,101 @@ impl MaintainedExpander {
         }
     }
 
+    /// Applies a locally-computed splice delta to the maintained projection
+    /// and packages it as an [`EdgeDelta`].
+    fn apply_local_delta(&mut self, added: Vec<EdgePair>, removed: Vec<EdgePair>) -> EdgeDelta {
+        for e in &removed {
+            self.edges.remove(e);
+        }
+        for &e in &added {
+            self.edges.insert(e);
+        }
+        EdgeDelta { added, removed }
+    }
+
     /// Adds `v` to the expander, returning the edge delta to apply.
+    ///
+    /// H-graph splices compute their delta locally (O(d²) via
+    /// [`HGraph::insert_with_delta`]) instead of re-projecting the whole
+    /// edge set; only rebuilds pay a full edge-set diff. Note the insert
+    /// path still materializes the member list once to draw the splice
+    /// positions (required to keep the RNG stream bit-identical to the
+    /// original implementation), so inserts remain O(m) in cloud size —
+    /// just without the former O(d·m log m) projection rebuild.
     ///
     /// # Panics
     ///
     /// Panics if `v` is already a member.
     pub fn insert<R: Rng + ?Sized>(&mut self, v: NodeId, rng: &mut R) -> EdgeDelta {
         assert!(self.members.insert(v), "{v} already a member");
-        let old = std::mem::take(&mut self.edges);
-        let new = match &mut self.topology {
+        match &mut self.topology {
             Topology::Clique => {
                 if self.members.len() > self.kappa + 1 {
                     // Clique outgrew its bound: promote to an H-graph.
-                    self.rebuild(rng)
+                    let old = std::mem::take(&mut self.edges);
+                    let new = self.rebuild(rng);
+                    let delta = EdgeDelta::between(&old, &new);
+                    self.edges = new;
+                    delta
                 } else {
-                    clique_edges(&self.members)
+                    // Clique insert: exactly the new node's pairs appear.
+                    let added: Vec<EdgePair> = self
+                        .members
+                        .iter()
+                        .filter(|&&u| u != v)
+                        .map(|&u| if u < v { (u, v) } else { (v, u) })
+                        .collect();
+                    let mut added = added;
+                    added.sort_unstable();
+                    self.apply_local_delta(added, Vec::new())
                 }
             }
             Topology::HGraph(h) => {
-                h.insert(v, rng);
+                let (added, removed) = h.insert_with_delta(v, rng);
                 if self.members.len() > self.peak_size {
                     self.peak_size = self.members.len();
                 }
-                h.simple_edges()
+                self.apply_local_delta(added, removed)
             }
-        };
-        let delta = EdgeDelta::between(&old, &new);
-        self.edges = new;
-        delta
+        }
     }
 
     /// Removes `v`, returning the edge delta to apply. Applies the paper's
     /// rules: fall back to a clique at `κ + 1` members, rebuild the H-graph
-    /// once half of the membership since the last build is gone.
+    /// once half of the membership since the last build is gone. Like
+    /// [`MaintainedExpander::insert`], non-rebuild splices are O(d²).
     ///
     /// # Panics
     ///
     /// Panics if `v` is not a member.
     pub fn remove<R: Rng + ?Sized>(&mut self, v: NodeId, rng: &mut R) -> EdgeDelta {
         assert!(self.members.remove(&v), "{v} not a member");
-        let old = std::mem::take(&mut self.edges);
-        let new = match &mut self.topology {
-            Topology::Clique => clique_edges(&self.members),
+        match &mut self.topology {
+            Topology::Clique => {
+                // Clique removal: exactly the node's pairs disappear.
+                let mut removed: Vec<EdgePair> = self
+                    .members
+                    .iter()
+                    .map(|&u| if u < v { (u, v) } else { (v, u) })
+                    .collect();
+                removed.sort_unstable();
+                self.apply_local_delta(Vec::new(), removed)
+            }
             Topology::HGraph(h) => {
-                h.delete(v);
                 if self.members.len() <= self.kappa + 1 || self.members.len() * 2 <= self.peak_size
                 {
-                    self.rebuild(rng)
+                    h.delete(v);
+                    let old = std::mem::take(&mut self.edges);
+                    let new = self.rebuild(rng);
+                    let delta = EdgeDelta::between(&old, &new);
+                    self.edges = new;
+                    delta
                 } else {
-                    h.simple_edges()
+                    let (added, removed) = h.delete_with_delta(v);
+                    self.apply_local_delta(added, removed)
                 }
             }
-        };
-        let delta = EdgeDelta::between(&old, &new);
-        self.edges = new;
-        delta
+        }
     }
 
     /// Forces a full rebuild (fresh random topology), returning the delta.

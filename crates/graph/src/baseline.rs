@@ -1,0 +1,367 @@
+//! The seed (pre-arena) graph representation, kept as a reference model.
+//!
+//! This is the original `BTreeMap<NodeId, BTreeMap<NodeId, EdgeLabels>>`
+//! adjacency the reproduction shipped with, preserved verbatim behind the
+//! same inherent API as [`crate::Graph`]. It exists for two reasons:
+//!
+//! 1. **Model-based testing** — the property suite in `tests/model.rs`
+//!    replays random operation sequences against both representations and
+//!    asserts identical observable behavior (node order, edge order, labels,
+//!    errors), which is what licenses the arena rewrite of the hot path.
+//! 2. **Measured baselines** — the `churn_throughput` harness in
+//!    `xheal-bench` drives the same seeded repair schedule through both
+//!    representations and records the seed-vs-arena speedup in
+//!    `BENCH_throughput.json`.
+//!
+//! Do not use this type in new code paths; it is deliberately the slow one.
+
+use std::collections::BTreeMap;
+
+use crate::{CloudColor, EdgeLabels, GraphError, NodeId};
+
+/// The seed representation: deterministic, tree-backed, pointer-chasing.
+///
+/// API-compatible with [`crate::Graph`] (the subset that existed before the
+/// arena rewrite).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineGraph {
+    adj: BTreeMap<NodeId, BTreeMap<NodeId, EdgeLabels>>,
+    edge_count: usize,
+}
+
+impl BaselineGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        BaselineGraph::default()
+    }
+
+    /// Number of nodes currently present.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Is the node present?
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.adj.contains_key(&v)
+    }
+
+    /// Is the edge present (with any label)?
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj.get(&u).is_some_and(|n| n.contains_key(&v))
+    }
+
+    /// The labels on edge `(u, v)`, if it exists.
+    pub fn edge_labels(&self, u: NodeId, v: NodeId) -> Option<&EdgeLabels> {
+        self.adj.get(&u).and_then(|n| n.get(&v))
+    }
+
+    /// Iterator over all node ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Sorted vector of all node ids.
+    pub fn node_vec(&self) -> Vec<NodeId> {
+        self.adj.keys().copied().collect()
+    }
+
+    /// Iterator over all undirected edges as `(u, v, labels)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &EdgeLabels)> + '_ {
+        self.adj.iter().flat_map(|(&u, nbrs)| {
+            nbrs.iter()
+                .filter(move |(&v, _)| u < v)
+                .map(move |(&v, l)| (u, v, l))
+        })
+    }
+
+    /// Degree of `v` (number of incident edges of any label), if present.
+    pub fn degree(&self, v: NodeId) -> Option<usize> {
+        self.adj.get(&v).map(|n| n.len())
+    }
+
+    /// Number of incident *black* edges of `v`, if present.
+    pub fn black_degree(&self, v: NodeId) -> Option<usize> {
+        self.adj
+            .get(&v)
+            .map(|n| n.values().filter(|l| l.is_black()).count())
+    }
+
+    /// Iterator over neighbors of `v` (empty if `v` absent), ascending.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.get(&v).into_iter().flat_map(|n| n.keys().copied())
+    }
+
+    /// Neighbors of `v` together with edge labels.
+    pub fn neighbors_labeled(&self, v: NodeId) -> impl Iterator<Item = (NodeId, &EdgeLabels)> + '_ {
+        self.adj
+            .get(&v)
+            .into_iter()
+            .flat_map(|n| n.iter().map(|(&u, l)| (u, l)))
+    }
+
+    /// Adds an isolated node.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeExists`] if `v` is already present.
+    pub fn add_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        if self.adj.contains_key(&v) {
+            return Err(GraphError::NodeExists(v));
+        }
+        self.adj.insert(v, BTreeMap::new());
+        Ok(())
+    }
+
+    /// Removes `v` and all incident edges, returning `(neighbor, labels)` for
+    /// each incident edge (ascending by neighbor).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeMissing`] if `v` is not present.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<(NodeId, EdgeLabels)>, GraphError> {
+        let nbrs = self.adj.remove(&v).ok_or(GraphError::NodeMissing(v))?;
+        let mut out = Vec::with_capacity(nbrs.len());
+        for (u, labels) in nbrs {
+            if let Some(n) = self.adj.get_mut(&u) {
+                n.remove(&v);
+            }
+            self.edge_count -= 1;
+            out.push((u, labels));
+        }
+        Ok(out)
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !self.adj.contains_key(&u) {
+            return Err(GraphError::NodeMissing(u));
+        }
+        if !self.adj.contains_key(&v) {
+            return Err(GraphError::NodeMissing(v));
+        }
+        Ok(())
+    }
+
+    /// Adds the black label to edge `(u, v)`, creating the edge if needed.
+    /// Returns `true` if a brand-new edge was created.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] / [`GraphError::NodeMissing`] on bad endpoints.
+    pub fn add_black_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        let created = !self.has_edge(u, v);
+        if created {
+            self.edge_count += 1;
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .insert(v, EdgeLabels::black());
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .insert(u, EdgeLabels::black());
+        } else {
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .get_mut(&v)
+                .expect("checked")
+                .set_black();
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .get_mut(&u)
+                .expect("checked")
+                .set_black();
+        }
+        Ok(created)
+    }
+
+    /// Adds cloud color `color` to edge `(u, v)`, creating the edge if needed.
+    /// Returns `true` if a brand-new edge was created.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] / [`GraphError::NodeMissing`] on bad endpoints.
+    pub fn add_colored_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        color: CloudColor,
+    ) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        let created = !self.has_edge(u, v);
+        if created {
+            self.edge_count += 1;
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .insert(v, EdgeLabels::colored(color));
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .insert(u, EdgeLabels::colored(color));
+        } else {
+            self.adj
+                .get_mut(&u)
+                .expect("checked")
+                .get_mut(&v)
+                .expect("checked")
+                .add_color(color);
+            self.adj
+                .get_mut(&v)
+                .expect("checked")
+                .get_mut(&u)
+                .expect("checked")
+                .add_color(color);
+        }
+        Ok(created)
+    }
+
+    /// Removes `color` from edge `(u, v)`; deletes the edge entirely if no
+    /// label remains. Returns `true` if the edge was fully removed.
+    pub fn strip_color(&mut self, u: NodeId, v: NodeId, color: CloudColor) -> bool {
+        let Some(nu) = self.adj.get_mut(&u) else {
+            return false;
+        };
+        let Some(labels) = nu.get_mut(&v) else {
+            return false;
+        };
+        labels.remove_color(color);
+        let empty = labels.is_empty();
+        if empty {
+            nu.remove(&v);
+            self.adj.get_mut(&v).expect("mirror").remove(&u);
+            self.edge_count -= 1;
+        } else {
+            self.adj
+                .get_mut(&v)
+                .expect("mirror")
+                .get_mut(&u)
+                .expect("mirror")
+                .remove_color(color);
+        }
+        empty
+    }
+
+    /// Removes the black label from edge `(u, v)`; deletes the edge entirely
+    /// if no label remains. Returns `true` if the edge was fully removed.
+    pub fn strip_black(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(nu) = self.adj.get_mut(&u) else {
+            return false;
+        };
+        let Some(labels) = nu.get_mut(&v) else {
+            return false;
+        };
+        labels.clear_black();
+        let empty = labels.is_empty();
+        if empty {
+            nu.remove(&v);
+            self.adj.get_mut(&v).expect("mirror").remove(&u);
+            self.edge_count -= 1;
+        } else {
+            self.adj
+                .get_mut(&v)
+                .expect("mirror")
+                .get_mut(&u)
+                .expect("mirror")
+                .clear_black();
+        }
+        empty
+    }
+
+    /// Removes the edge regardless of labels.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeMissing`] if the edge is not present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeLabels, GraphError> {
+        let labels = self
+            .adj
+            .get_mut(&u)
+            .and_then(|n| n.remove(&v))
+            .ok_or(GraphError::EdgeMissing(u, v))?;
+        self.adj.get_mut(&v).expect("mirror").remove(&u);
+        self.edge_count -= 1;
+        Ok(labels)
+    }
+
+    /// Number of edges crossing the cut `(S, V - S)`.
+    pub fn cut_size(&self, s: &[NodeId]) -> usize {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<NodeId> = s.iter().copied().collect();
+        set.iter()
+            .filter_map(|&v| self.adj.get(&v))
+            .map(|nbrs| nbrs.keys().filter(|u| !set.contains(u)).count())
+            .sum()
+    }
+
+    /// Consistency check: adjacency symmetric, labels mirror, no self-loops,
+    /// edge count matches.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        for (&u, nbrs) in &self.adj {
+            for (&v, l) in nbrs {
+                if u == v {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if l.is_empty() {
+                    return Err(format!("empty labels on ({u},{v})"));
+                }
+                let mirror = self
+                    .adj
+                    .get(&v)
+                    .and_then(|n| n.get(&u))
+                    .ok_or_else(|| format!("asymmetric edge ({u},{v})"))?;
+                if mirror != l {
+                    return Err(format!("label mismatch on ({u},{v})"));
+                }
+                if u < v {
+                    count += 1;
+                }
+            }
+        }
+        if count != self.edge_count {
+            return Err(format!(
+                "edge count {} does not match stored {}",
+                count, self.edge_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn baseline_matches_expected_triangle_behavior() {
+        let mut g = BaselineGraph::new();
+        for i in 0..3 {
+            g.add_node(n(i)).unwrap();
+        }
+        g.add_black_edge(n(0), n(1)).unwrap();
+        g.add_black_edge(n(1), n(2)).unwrap();
+        g.add_black_edge(n(2), n(0)).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(n(0)), Some(2));
+        assert_eq!(g.black_degree(n(0)), Some(2));
+        assert_eq!(g.cut_size(&[n(0)]), 2);
+        let incident = g.remove_node(n(0)).unwrap();
+        assert_eq!(incident.len(), 2);
+        g.validate().unwrap();
+    }
+}

@@ -5,27 +5,27 @@
 //! adversary's nastiest strategy (deleting cut vertices, which maximally
 //! stresses the healer).
 
-use std::collections::BTreeMap;
-
 use crate::{Graph, NodeId};
 
 /// The connected components, each sorted ascending; components sorted by
 /// their smallest node.
 pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
-    let mut seen: BTreeMap<NodeId, bool> = g.nodes().map(|v| (v, false)).collect();
+    let csr = g.csr_view();
+    let mut seen = vec![false; csr.len()];
     let mut out = Vec::new();
-    for v in g.nodes() {
-        if seen[&v] {
+    let mut stack: Vec<u32> = Vec::new();
+    for root in 0..csr.len() {
+        if seen[root] {
             continue;
         }
         let mut comp = Vec::new();
-        let mut stack = vec![v];
-        seen.insert(v, true);
+        seen[root] = true;
+        stack.push(root as u32);
         while let Some(x) = stack.pop() {
-            comp.push(x);
-            for y in g.neighbors(x) {
-                if !seen[&y] {
-                    seen.insert(y, true);
+            comp.push(csr.node(x as usize));
+            for &y in csr.neighbors_of(x as usize) {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
                     stack.push(y);
                 }
             }
@@ -38,7 +38,25 @@ pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
 
 /// Is the graph connected? The empty graph counts as connected.
 pub fn is_connected(g: &Graph) -> bool {
-    components(g).len() <= 1
+    let csr = g.csr_view();
+    if csr.len() <= 1 {
+        return true;
+    }
+    // Single BFS over the dense view; no need to materialize components.
+    let mut seen = vec![false; csr.len()];
+    let mut stack: Vec<u32> = vec![0];
+    seen[0] = true;
+    let mut visited = 1usize;
+    while let Some(x) = stack.pop() {
+        for &y in csr.neighbors_of(x as usize) {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                visited += 1;
+                stack.push(y);
+            }
+        }
+    }
+    visited == csr.len()
 }
 
 /// Size of the largest connected component (0 for an empty graph).
@@ -51,95 +69,72 @@ pub fn largest_component_size(g: &Graph) -> usize {
 /// A node is an articulation point if removing it increases the number of
 /// connected components. Returned sorted ascending.
 pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
-    #[derive(Clone)]
-    struct Info {
-        disc: u32,
-        low: u32,
-        parent: Option<NodeId>,
-        children: u32,
-        is_cut: bool,
-    }
-
-    let mut info: BTreeMap<NodeId, Info> = BTreeMap::new();
+    const NIL: u32 = u32::MAX;
+    let csr = g.csr_view();
+    let n = csr.len();
+    let mut disc = vec![NIL; n];
+    let mut low = vec![0u32; n];
+    let mut parent = vec![NIL; n];
+    let mut children = vec![0u32; n];
+    let mut is_cut = vec![false; n];
     let mut timer = 0u32;
+    // Iterative DFS with an explicit neighbor cursor per frame.
+    let mut stack: Vec<(u32, u32)> = Vec::new();
 
-    for root in g.node_vec() {
-        if info.contains_key(&root) {
+    for root in 0..n {
+        if disc[root] != NIL {
             continue;
         }
-        // Iterative DFS with an explicit neighbor cursor per frame.
-        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
-        info.insert(
-            root,
-            Info {
-                disc: timer,
-                low: timer,
-                parent: None,
-                children: 0,
-                is_cut: false,
-            },
-        );
+        disc[root] = timer;
+        low[root] = timer;
         timer += 1;
-        stack.push((root, g.neighbors(root).collect(), 0));
+        stack.push((root as u32, 0));
 
-        while let Some((v, nbrs, cursor)) = stack.last_mut() {
-            let v = *v;
-            if *cursor < nbrs.len() {
-                let u = nbrs[*cursor];
-                *cursor += 1;
-                if let Some(iu) = info.get(&u) {
+        while let Some(frame) = stack.last_mut() {
+            let v = frame.0 as usize;
+            let nbrs = csr.neighbors_of(v);
+            if (frame.1 as usize) < nbrs.len() {
+                let u = nbrs[frame.1 as usize] as usize;
+                frame.1 += 1;
+                if disc[u] != NIL {
                     // Back edge (ignore the tree edge to the parent).
-                    if info[&v].parent != Some(u) {
-                        let du = iu.disc;
-                        let iv = info.get_mut(&v).expect("on stack");
-                        if du < iv.low {
-                            iv.low = du;
-                        }
+                    if parent[v] != u as u32 && disc[u] < low[v] {
+                        low[v] = disc[u];
                     }
                 } else {
-                    info.insert(
-                        u,
-                        Info {
-                            disc: timer,
-                            low: timer,
-                            parent: Some(v),
-                            children: 0,
-                            is_cut: false,
-                        },
-                    );
+                    disc[u] = timer;
+                    low[u] = timer;
                     timer += 1;
-                    info.get_mut(&v).expect("on stack").children += 1;
-                    stack.push((u, g.neighbors(u).collect(), 0));
+                    parent[u] = v as u32;
+                    children[v] += 1;
+                    stack.push((u as u32, 0));
                 }
             } else {
                 // Finished v: propagate low-link to parent.
                 stack.pop();
-                let iv = info[&v].clone();
-                if let Some(p) = iv.parent {
-                    let low_v = iv.low;
-                    let ip = info.get_mut(&p).expect("parent visited");
-                    if low_v < ip.low {
-                        ip.low = low_v;
+                let p = parent[v];
+                if p != NIL {
+                    let p = p as usize;
+                    if low[v] < low[p] {
+                        low[p] = low[v];
                     }
                     // Non-root parent is a cut vertex if no back edge from
                     // v's subtree climbs above p.
-                    if ip.parent.is_some() && low_v >= ip.disc {
-                        ip.is_cut = true;
+                    if parent[p] != NIL && low[v] >= disc[p] {
+                        is_cut[p] = true;
                     }
                 }
             }
         }
 
         // Root rule: cut vertex iff it has >= 2 DFS children.
-        if info[&root].children >= 2 {
-            info.get_mut(&root).expect("root").is_cut = true;
+        if children[root] >= 2 {
+            is_cut[root] = true;
         }
     }
 
-    info.into_iter()
-        .filter(|(_, i)| i.is_cut)
-        .map(|(v, _)| v)
-        .collect()
+    // Dense order is ascending NodeId, so the result is already sorted.
+    (0..n).filter(|&i| is_cut[i]).map(|i| csr.node(i)).collect()
 }
 
 #[cfg(test)]

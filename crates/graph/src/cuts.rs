@@ -25,19 +25,18 @@ pub struct ExactCut {
 }
 
 fn adjacency_masks(g: &Graph) -> Option<(Vec<NodeId>, Vec<u32>)> {
-    let nodes = g.node_vec();
-    let n = nodes.len();
+    let csr = g.csr_view();
+    let n = csr.len();
     if n > MAX_EXACT_NODES {
         return None;
     }
-    let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
     let mut masks = vec![0u32; n];
-    for (i, &v) in nodes.iter().enumerate() {
-        for u in g.neighbors(v) {
-            masks[i] |= 1 << index(u);
+    for (i, mask) in masks.iter_mut().enumerate() {
+        for &u in csr.neighbors_of(i) {
+            *mask |= 1 << u;
         }
     }
-    Some((nodes, masks))
+    Some((csr.nodes().to_vec(), masks))
 }
 
 fn crossing_edges(masks: &[u32], subset: u32) -> usize {

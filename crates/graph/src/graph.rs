@@ -2,12 +2,29 @@
 //!
 //! An undirected *simple* graph (no self-loops, no multi-edges — the paper is
 //! explicit that Xheal never creates multi-edges) whose edges carry an
-//! [`EdgeLabels`] set. Iteration order is deterministic (`BTreeMap`-backed),
-//! which keeps every experiment reproducible from a seed.
+//! [`EdgeLabels`] set.
+//!
+//! # Representation
+//!
+//! Nodes live in a **slot arena**: an interner maps each [`NodeId`] to a
+//! `u32` slot (O(1) hash lookup on the hot path), each slot holds a sorted
+//! neighbor list `Vec<Nbr>` plus a maintained black-degree counter, and slots
+//! of deleted nodes are recycled through a free list so heavy churn never
+//! grows the arena beyond the peak population. A side `BTreeSet` keeps the
+//! deterministic ascending-`NodeId` iteration order the seeded experiments
+//! replay against — [`Graph::nodes`] and [`Graph::edges`] enumerate in
+//! exactly the order the seed `BTreeMap` representation did (preserved
+//! verbatim as [`crate::baseline::BaselineGraph`] and proven equivalent by
+//! the model-based suite in `tests/model.rs`).
+//!
+//! Algorithms that sweep whole neighborhoods (BFS, Laplacians, cut
+//! enumeration) should grab a [`Graph::csr_view`] snapshot once and work in
+//! dense `0..n` coordinates instead of re-deriving a node index per call.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{CloudColor, EdgeLabels, NodeId};
 
@@ -37,7 +54,145 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
-/// An undirected simple graph with labeled edges and deterministic iteration.
+/// A fast multiplicative hasher (FxHash-style) for the `NodeId → slot`
+/// interner. `NodeId` feeds a single `u64`; SipHash's DoS resistance buys
+/// nothing here and costs ~3× per lookup on the churn hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `HashMap` wired to [`FxHasher`] — the workspace's hot-path map for keys
+/// that are small integers (node ids, colors). Iteration order is
+/// unspecified: never iterate one of these into RNG consumption or output;
+/// canonicalize through a sorted structure first.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Ids below this bound are interned through a direct-indexed table.
+///
+/// Node ids are allocated sequentially (generators number `0..n`,
+/// [`crate::IdAllocator`] counts upward), so in practice every id is small
+/// and dense; the table costs 4 bytes per id ever seen and turns the
+/// hot-path id→slot lookup into one array read — sequential for the sorted
+/// bulk edge deltas the healer applies. Arbitrary large ids still work
+/// through the spill map.
+const DENSE_ID_LIMIT: u64 = 1 << 22;
+
+const ABSENT: u32 = u32::MAX;
+
+/// The `NodeId → slot` interner: direct-indexed for dense ids, hashed spill
+/// for pathological ones.
+#[derive(Clone, Debug, Default)]
+struct SlotIndex {
+    dense: Vec<u32>,
+    spill: FxHashMap<NodeId, u32>,
+    len: usize,
+}
+
+impl SlotIndex {
+    #[inline]
+    fn get(&self, v: NodeId) -> Option<u32> {
+        let id = v.as_u64();
+        if id < DENSE_ID_LIMIT {
+            match self.dense.get(id as usize) {
+                Some(&s) if s != ABSENT => Some(s),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&v).copied()
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        self.get(v).is_some()
+    }
+
+    fn insert(&mut self, v: NodeId, slot: u32) {
+        let id = v.as_u64();
+        if id < DENSE_ID_LIMIT {
+            let i = id as usize;
+            if i >= self.dense.len() {
+                let new_len = (i + 1).next_power_of_two().max(64);
+                self.dense.resize(new_len, ABSENT);
+            }
+            debug_assert_eq!(self.dense[i], ABSENT);
+            self.dense[i] = slot;
+        } else {
+            self.spill.insert(v, slot);
+        }
+        self.len += 1;
+    }
+
+    fn remove(&mut self, v: NodeId) -> Option<u32> {
+        let id = v.as_u64();
+        let out = if id < DENSE_ID_LIMIT {
+            match self.dense.get_mut(id as usize) {
+                Some(s) if *s != ABSENT => Some(std::mem::replace(s, ABSENT)),
+                _ => None,
+            }
+        } else {
+            self.spill.remove(&v)
+        };
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// One directed half of an undirected edge, stored in the owner's sorted
+/// neighbor list. `slot` caches the neighbor's arena slot so mirror updates
+/// never re-hash.
+#[derive(Clone, Debug)]
+struct Nbr {
+    id: NodeId,
+    slot: u32,
+    labels: EdgeLabels,
+}
+
+/// Arena slot: a (possibly recycled) node record.
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    node: NodeId,
+    live: bool,
+    black_degree: u32,
+    /// Sorted ascending by neighbor `NodeId`.
+    nbrs: Vec<Nbr>,
+}
+
+/// An undirected simple graph with labeled edges and deterministic iteration,
+/// backed by a slot arena (see the module docs for the layout).
 ///
 /// # Examples
 ///
@@ -53,11 +208,39 @@ impl Error for GraphError {}
 /// assert!(g.has_edge(a, b));
 /// # Ok::<(), xheal_graph::GraphError>(())
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
-    adj: BTreeMap<NodeId, BTreeMap<NodeId, EdgeLabels>>,
+    /// `NodeId → slot`: the O(1) hot-path lookup.
+    index: SlotIndex,
+    /// Live node ids in ascending order: the deterministic iteration spine.
+    ordered: BTreeSet<NodeId>,
+    /// The slot arena; `free` lists recyclable entries.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     edge_count: usize,
 }
+
+impl PartialEq for Graph {
+    /// Semantic equality: same node set, same edges, same labels. Arena
+    /// layout (slot numbers, free-list history) is intentionally ignored so
+    /// two graphs built through different churn histories compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        if self.ordered != other.ordered || self.edge_count != other.edge_count {
+            return false;
+        }
+        self.ordered.iter().all(|&v| {
+            let a = &self.slots[self.index.get(v).expect("ordered node interned") as usize];
+            let b = &other.slots[other.index.get(v).expect("ordered node interned") as usize];
+            a.nbrs.len() == b.nbrs.len()
+                && a.nbrs
+                    .iter()
+                    .zip(&b.nbrs)
+                    .all(|(x, y)| x.id == y.id && x.labels == y.labels)
+        })
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph.
@@ -65,9 +248,19 @@ impl Graph {
         Graph::default()
     }
 
+    #[inline]
+    fn slot(&self, v: NodeId) -> Option<&Slot> {
+        self.index.get(v).map(|s| &self.slots[s as usize])
+    }
+
+    #[inline]
+    fn find_nbr(slot: &Slot, v: NodeId) -> Result<usize, usize> {
+        slot.nbrs.binary_search_by(|n| n.id.cmp(&v))
+    }
+
     /// Number of nodes currently present.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.ordered.len()
     }
 
     /// Number of (undirected) edges currently present.
@@ -77,61 +270,83 @@ impl Graph {
 
     /// Is the node present?
     pub fn contains_node(&self, v: NodeId) -> bool {
-        self.adj.contains_key(&v)
+        self.index.contains(v)
+    }
+
+    /// The arena slot of `v`, if present.
+    ///
+    /// Slots are stable while the node lives and may be recycled after its
+    /// removal; they index the dense structures handed out by
+    /// [`Graph::csr_view`] builders and [`Graph::slot_capacity`]-sized
+    /// scratch bitmaps.
+    pub fn slot_of(&self, v: NodeId) -> Option<u32> {
+        self.index.get(v)
+    }
+
+    /// Upper bound (exclusive) on every slot value currently in use — the
+    /// arena length. Size scratch bitmaps with this.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Is the edge present (with any label)?
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj.get(&u).is_some_and(|n| n.contains_key(&v))
+        self.slot(u).is_some_and(|s| Self::find_nbr(s, v).is_ok())
     }
 
     /// The labels on edge `(u, v)`, if it exists.
     pub fn edge_labels(&self, u: NodeId, v: NodeId) -> Option<&EdgeLabels> {
-        self.adj.get(&u).and_then(|n| n.get(&v))
+        let s = self.slot(u)?;
+        Self::find_nbr(s, v).ok().map(|i| &s.nbrs[i].labels)
     }
 
     /// Iterator over all node ids, ascending.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.keys().copied()
+        self.ordered.iter().copied()
     }
 
     /// Sorted vector of all node ids.
     pub fn node_vec(&self) -> Vec<NodeId> {
-        self.adj.keys().copied().collect()
+        self.ordered.iter().copied().collect()
     }
 
-    /// Iterator over all undirected edges as `(u, v, labels)` with `u < v`.
+    /// Iterator over all undirected edges as `(u, v, labels)` with `u < v`,
+    /// ascending lexicographically — identical order to the seed
+    /// representation.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &EdgeLabels)> + '_ {
-        self.adj.iter().flat_map(|(&u, nbrs)| {
-            nbrs.iter()
-                .filter(move |(&v, _)| u < v)
-                .map(move |(&v, l)| (u, v, l))
+        self.ordered.iter().flat_map(move |&u| {
+            let s = &self.slots[self.index.get(u).expect("ordered node interned") as usize];
+            s.nbrs
+                .iter()
+                .filter(move |n| u < n.id)
+                .map(move |n| (u, n.id, &n.labels))
         })
     }
 
     /// Degree of `v` (number of incident edges of any label), if present.
     pub fn degree(&self, v: NodeId) -> Option<usize> {
-        self.adj.get(&v).map(|n| n.len())
+        self.slot(v).map(|s| s.nbrs.len())
     }
 
     /// Number of incident *black* edges of `v`, if present.
+    ///
+    /// Maintained as a per-slot counter — O(1), never a label scan.
     pub fn black_degree(&self, v: NodeId) -> Option<usize> {
-        self.adj
-            .get(&v)
-            .map(|n| n.values().filter(|l| l.is_black()).count())
+        self.slot(v).map(|s| s.black_degree as usize)
     }
 
     /// Iterator over neighbors of `v` (empty if `v` absent), ascending.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.get(&v).into_iter().flat_map(|n| n.keys().copied())
+        self.slot(v)
+            .into_iter()
+            .flat_map(|s| s.nbrs.iter().map(|n| n.id))
     }
 
     /// Neighbors of `v` together with edge labels.
     pub fn neighbors_labeled(&self, v: NodeId) -> impl Iterator<Item = (NodeId, &EdgeLabels)> + '_ {
-        self.adj
-            .get(&v)
+        self.slot(v)
             .into_iter()
-            .flat_map(|n| n.iter().map(|(&u, l)| (u, l)))
+            .flat_map(|s| s.nbrs.iter().map(|n| (n.id, &n.labels)))
     }
 
     /// Neighbors of `v` connected by a black edge.
@@ -163,10 +378,30 @@ impl Graph {
     ///
     /// [`GraphError::NodeExists`] if `v` is already present.
     pub fn add_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        if self.adj.contains_key(&v) {
+        if self.index.contains(v) {
             return Err(GraphError::NodeExists(v));
         }
-        self.adj.insert(v, BTreeMap::new());
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                debug_assert!(!sl.live && sl.nbrs.is_empty());
+                sl.node = v;
+                sl.live = true;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("arena fits in u32");
+                self.slots.push(Slot {
+                    node: v,
+                    live: true,
+                    black_degree: 0,
+                    nbrs: Vec::new(),
+                });
+                s
+            }
+        };
+        self.index.insert(v, slot);
+        self.ordered.insert(v);
         Ok(())
     }
 
@@ -181,29 +416,108 @@ impl Graph {
     ///
     /// [`GraphError::NodeMissing`] if `v` is not present.
     pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<(NodeId, EdgeLabels)>, GraphError> {
-        let nbrs = self.adj.remove(&v).ok_or(GraphError::NodeMissing(v))?;
-        let mut out = Vec::with_capacity(nbrs.len());
-        for (u, labels) in nbrs {
-            if let Some(n) = self.adj.get_mut(&u) {
-                n.remove(&v);
-            }
-            self.edge_count -= 1;
-            out.push((u, labels));
-        }
+        let mut out = Vec::new();
+        self.remove_node_into(v, &mut out)?;
         Ok(out)
     }
 
-    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+    /// Allocation-free variant of [`Graph::remove_node`]: appends the
+    /// incident `(neighbor, labels)` pairs (ascending by neighbor) to `out`
+    /// instead of returning a fresh vector, so executor hot loops can reuse
+    /// one scratch buffer across deletions.
+    ///
+    /// `out` is *not* cleared first.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeMissing`] if `v` is not present (`out` untouched).
+    pub fn remove_node_into(
+        &mut self,
+        v: NodeId,
+        out: &mut Vec<(NodeId, EdgeLabels)>,
+    ) -> Result<(), GraphError> {
+        let Some(sv) = self.index.get(v) else {
+            return Err(GraphError::NodeMissing(v));
+        };
+        let sv = sv as usize;
+        let mut nbrs = std::mem::take(&mut self.slots[sv].nbrs);
+        out.reserve(nbrs.len());
+        for nbr in nbrs.drain(..) {
+            let su = nbr.slot as usize;
+            let pu = Self::find_nbr(&self.slots[su], v).expect("mirror entry");
+            self.slots[su].nbrs.remove(pu);
+            if nbr.labels.is_black() {
+                self.slots[su].black_degree -= 1;
+            }
+            self.edge_count -= 1;
+            out.push((nbr.id, nbr.labels));
+        }
+        let slot = &mut self.slots[sv];
+        // Hand the (now empty) list back so a recycled slot reuses its
+        // warmed capacity instead of reallocating from zero.
+        slot.nbrs = nbrs;
+        slot.live = false;
+        slot.black_degree = 0;
+        self.index.remove(v);
+        self.ordered.remove(&v);
+        self.free.push(sv as u32);
+        Ok(())
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(u32, u32), GraphError> {
         if u == v {
             return Err(GraphError::SelfLoop(u));
         }
-        if !self.adj.contains_key(&u) {
-            return Err(GraphError::NodeMissing(u));
+        let su = self.index.get(u).ok_or(GraphError::NodeMissing(u))?;
+        let sv = self.index.get(v).ok_or(GraphError::NodeMissing(v))?;
+        Ok((su, sv))
+    }
+
+    /// Inserts or updates the `(u → v)` half-edge. Returns `true` when the
+    /// entry was newly created.
+    fn upsert_half(&mut self, su: u32, sv: u32, v: NodeId, labels: &EdgeLabels) -> bool {
+        let slot = &mut self.slots[su as usize];
+        match Self::find_nbr(slot, v) {
+            Ok(p) => {
+                let l = &mut slot.nbrs[p].labels;
+                let was_black = l.is_black();
+                l.merge(labels);
+                if !was_black && l.is_black() {
+                    slot.black_degree += 1;
+                }
+                false
+            }
+            Err(p) => {
+                if labels.is_black() {
+                    slot.black_degree += 1;
+                }
+                slot.nbrs.insert(
+                    p,
+                    Nbr {
+                        id: v,
+                        slot: sv,
+                        labels: labels.clone(),
+                    },
+                );
+                true
+            }
         }
-        if !self.adj.contains_key(&v) {
-            return Err(GraphError::NodeMissing(v));
+    }
+
+    fn add_labeled_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        labels: EdgeLabels,
+    ) -> Result<bool, GraphError> {
+        let (su, sv) = self.check_endpoints(u, v)?;
+        let created = self.upsert_half(su, sv, v, &labels);
+        let mirrored = self.upsert_half(sv, su, u, &labels);
+        debug_assert_eq!(created, mirrored, "adjacency must stay symmetric");
+        if created {
+            self.edge_count += 1;
         }
-        Ok(())
+        Ok(created)
     }
 
     /// Adds the black label to edge `(u, v)`, creating the edge if needed.
@@ -213,33 +527,7 @@ impl Graph {
     ///
     /// [`GraphError::SelfLoop`] / [`GraphError::NodeMissing`] on bad endpoints.
     pub fn add_black_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
-        self.check_endpoints(u, v)?;
-        let created = !self.has_edge(u, v);
-        if created {
-            self.edge_count += 1;
-            self.adj
-                .get_mut(&u)
-                .expect("checked")
-                .insert(v, EdgeLabels::black());
-            self.adj
-                .get_mut(&v)
-                .expect("checked")
-                .insert(u, EdgeLabels::black());
-        } else {
-            self.adj
-                .get_mut(&u)
-                .expect("checked")
-                .get_mut(&v)
-                .expect("checked")
-                .set_black();
-            self.adj
-                .get_mut(&v)
-                .expect("checked")
-                .get_mut(&u)
-                .expect("checked")
-                .set_black();
-        }
-        Ok(created)
+        self.add_labeled_edge(u, v, EdgeLabels::black())
     }
 
     /// Adds cloud color `color` to edge `(u, v)`, creating the edge if needed
@@ -255,33 +543,39 @@ impl Graph {
         v: NodeId,
         color: CloudColor,
     ) -> Result<bool, GraphError> {
-        self.check_endpoints(u, v)?;
-        let created = !self.has_edge(u, v);
-        if created {
-            self.edge_count += 1;
-            self.adj
-                .get_mut(&u)
-                .expect("checked")
-                .insert(v, EdgeLabels::colored(color));
-            self.adj
-                .get_mut(&v)
-                .expect("checked")
-                .insert(u, EdgeLabels::colored(color));
-        } else {
-            self.adj
-                .get_mut(&u)
-                .expect("checked")
-                .get_mut(&v)
-                .expect("checked")
-                .add_color(color);
-            self.adj
-                .get_mut(&v)
-                .expect("checked")
-                .get_mut(&u)
-                .expect("checked")
-                .add_color(color);
+        self.add_labeled_edge(u, v, EdgeLabels::colored(color))
+    }
+
+    /// Applies `strip` to both halves of edge `(u, v)`; removes the edge
+    /// entirely if no label remains. Returns `true` on full removal, `false`
+    /// when labels remain or the edge/endpoint is absent.
+    fn strip_with(&mut self, u: NodeId, v: NodeId, strip: impl Fn(&mut EdgeLabels)) -> bool {
+        let Some(su) = self.index.get(u) else {
+            return false;
+        };
+        let su = su as usize;
+        let Ok(pu) = Self::find_nbr(&self.slots[su], v) else {
+            return false;
+        };
+        let sv = self.slots[su].nbrs[pu].slot as usize;
+        let entry = &mut self.slots[su].nbrs[pu];
+        let was_black = entry.labels.is_black();
+        strip(&mut entry.labels);
+        let now_black = entry.labels.is_black();
+        let empty = entry.labels.is_empty();
+        if was_black && !now_black {
+            self.slots[su].black_degree -= 1;
+            self.slots[sv].black_degree -= 1;
         }
-        Ok(created)
+        let pv = Self::find_nbr(&self.slots[sv], u).expect("mirror entry");
+        if empty {
+            self.slots[su].nbrs.remove(pu);
+            self.slots[sv].nbrs.remove(pv);
+            self.edge_count -= 1;
+        } else {
+            strip(&mut self.slots[sv].nbrs[pv].labels);
+        }
+        empty
     }
 
     /// Removes `color` from edge `(u, v)`; deletes the edge entirely if no
@@ -290,53 +584,15 @@ impl Graph {
     /// Missing edges and missing colors are tolerated (returns `false`): cloud
     /// teardown may race with node deletions that already removed edges.
     pub fn strip_color(&mut self, u: NodeId, v: NodeId, color: CloudColor) -> bool {
-        let Some(nu) = self.adj.get_mut(&u) else {
-            return false;
-        };
-        let Some(labels) = nu.get_mut(&v) else {
-            return false;
-        };
-        labels.remove_color(color);
-        let empty = labels.is_empty();
-        if empty {
-            nu.remove(&v);
-            self.adj.get_mut(&v).expect("mirror").remove(&u);
-            self.edge_count -= 1;
-        } else {
-            self.adj
-                .get_mut(&v)
-                .expect("mirror")
-                .get_mut(&u)
-                .expect("mirror")
-                .remove_color(color);
-        }
-        empty
+        self.strip_with(u, v, |l| {
+            l.remove_color(color);
+        })
     }
 
     /// Removes the black label from edge `(u, v)`; deletes the edge entirely
     /// if no label remains. Returns `true` if the edge was fully removed.
     pub fn strip_black(&mut self, u: NodeId, v: NodeId) -> bool {
-        let Some(nu) = self.adj.get_mut(&u) else {
-            return false;
-        };
-        let Some(labels) = nu.get_mut(&v) else {
-            return false;
-        };
-        labels.clear_black();
-        let empty = labels.is_empty();
-        if empty {
-            nu.remove(&v);
-            self.adj.get_mut(&v).expect("mirror").remove(&u);
-            self.edge_count -= 1;
-        } else {
-            self.adj
-                .get_mut(&v)
-                .expect("mirror")
-                .get_mut(&u)
-                .expect("mirror")
-                .clear_black();
-        }
-        empty
+        self.strip_with(u, v, EdgeLabels::clear_black)
     }
 
     /// Removes the edge regardless of labels.
@@ -345,51 +601,147 @@ impl Graph {
     ///
     /// [`GraphError::EdgeMissing`] if the edge is not present.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeLabels, GraphError> {
-        let labels = self
-            .adj
-            .get_mut(&u)
-            .and_then(|n| n.remove(&v))
-            .ok_or(GraphError::EdgeMissing(u, v))?;
-        self.adj.get_mut(&v).expect("mirror").remove(&u);
+        let Some(su) = self.index.get(u) else {
+            return Err(GraphError::EdgeMissing(u, v));
+        };
+        let su = su as usize;
+        let Ok(pu) = Self::find_nbr(&self.slots[su], v) else {
+            return Err(GraphError::EdgeMissing(u, v));
+        };
+        let nbr = self.slots[su].nbrs.remove(pu);
+        let sv = nbr.slot as usize;
+        let pv = Self::find_nbr(&self.slots[sv], u).expect("mirror entry");
+        self.slots[sv].nbrs.remove(pv);
+        if nbr.labels.is_black() {
+            self.slots[su].black_degree -= 1;
+            self.slots[sv].black_degree -= 1;
+        }
         self.edge_count -= 1;
-        Ok(labels)
+        Ok(nbr.labels)
     }
 
     /// Number of edges crossing the cut `(S, V - S)`.
     ///
-    /// `S` must be duplicate-free; nodes absent from the graph are ignored.
+    /// Uses an arena-slot bitmap: O(|S|·deg + capacity) with no tree or set
+    /// allocations. Duplicate entries in `S` are tolerated (counted once);
+    /// nodes absent from the graph are ignored.
     pub fn cut_size(&self, s: &[NodeId]) -> usize {
-        use std::collections::BTreeSet;
-        let set: BTreeSet<NodeId> = s.iter().copied().collect();
-        set.iter()
-            .filter_map(|&v| self.adj.get(&v))
-            .map(|nbrs| nbrs.keys().filter(|u| !set.contains(u)).count())
+        let mut in_s = vec![false; self.slots.len()];
+        let mut side: Vec<u32> = Vec::with_capacity(s.len());
+        for &v in s {
+            if let Some(sl) = self.index.get(v) {
+                if !in_s[sl as usize] {
+                    in_s[sl as usize] = true;
+                    side.push(sl);
+                }
+            }
+        }
+        side.iter()
+            .map(|&sl| {
+                self.slots[sl as usize]
+                    .nbrs
+                    .iter()
+                    .filter(|n| !in_s[n.slot as usize])
+                    .count()
+            })
             .sum()
     }
 
+    /// Builds a dense CSR snapshot of the current topology: nodes in
+    /// ascending-`NodeId` order re-numbered `0..n`, neighbor lists as dense
+    /// indices. One O(n + m) pass — no per-neighbor searches — shared by the
+    /// Laplacian operators, BFS, components, and cut enumeration.
+    pub fn csr_view(&self) -> CsrView {
+        let n = self.ordered.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut slot_to_dense = vec![u32::MAX; self.slots.len()];
+        for (i, &v) in self.ordered.iter().enumerate() {
+            nodes.push(v);
+            slot_to_dense[self.index.get(v).expect("ordered node interned") as usize] = i as u32;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * self.edge_count);
+        offsets.push(0u32);
+        for &v in &nodes {
+            let s = &self.slots[self.index.get(v).expect("ordered node interned") as usize];
+            neighbors.extend(s.nbrs.iter().map(|nb| slot_to_dense[nb.slot as usize]));
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrView {
+            nodes,
+            offsets,
+            neighbors,
+        }
+    }
+
     /// Consistency check used by tests and debug assertions: adjacency is
-    /// symmetric, labels mirror, no self-loops, edge count matches.
+    /// symmetric, labels mirror, neighbor lists sorted, no self-loops,
+    /// maintained counters and the free list agree with reality.
     pub fn validate(&self) -> Result<(), String> {
+        if self.index.len() != self.ordered.len() {
+            return Err("index/ordered size mismatch".into());
+        }
+        let live = self.slots.iter().filter(|s| s.live).count();
+        if live != self.ordered.len() {
+            return Err(format!(
+                "{live} live slots for {} nodes",
+                self.ordered.len()
+            ));
+        }
+        if self.free.len() + live != self.slots.len() {
+            return Err("free list does not cover dead slots".into());
+        }
+        for &f in &self.free {
+            let s = &self.slots[f as usize];
+            if s.live || !s.nbrs.is_empty() {
+                return Err(format!("free slot {f} still live or populated"));
+            }
+        }
         let mut count = 0usize;
-        for (&u, nbrs) in &self.adj {
-            for (&v, l) in nbrs {
+        for &u in &self.ordered {
+            let Some(su) = self.index.get(u) else {
+                return Err(format!("ordered node {u} missing from index"));
+            };
+            let s = &self.slots[su as usize];
+            if !s.live || s.node != u {
+                return Err(format!("slot {su} does not back node {u}"));
+            }
+            let mut black = 0u32;
+            for w in s.nbrs.windows(2) {
+                if w[0].id >= w[1].id {
+                    return Err(format!("unsorted neighbor list at {u}"));
+                }
+            }
+            for nbr in &s.nbrs {
+                let v = nbr.id;
                 if u == v {
                     return Err(format!("self-loop at {u}"));
                 }
-                if l.is_empty() {
+                if nbr.labels.is_empty() {
                     return Err(format!("empty labels on ({u},{v})"));
                 }
-                let mirror = self
-                    .adj
-                    .get(&v)
-                    .and_then(|n| n.get(&u))
-                    .ok_or_else(|| format!("asymmetric edge ({u},{v})"))?;
-                if mirror != l {
+                if nbr.labels.is_black() {
+                    black += 1;
+                }
+                let ms = &self.slots[nbr.slot as usize];
+                if !ms.live || ms.node != v {
+                    return Err(format!("stale neighbor slot on ({u},{v})"));
+                }
+                let mirror = Self::find_nbr(ms, u)
+                    .map(|i| &ms.nbrs[i])
+                    .map_err(|_| format!("asymmetric edge ({u},{v})"))?;
+                if mirror.labels != nbr.labels {
                     return Err(format!("label mismatch on ({u},{v})"));
                 }
                 if u < v {
                     count += 1;
                 }
+            }
+            if black != s.black_degree {
+                return Err(format!(
+                    "black degree counter {} != {} at {u}",
+                    s.black_degree, black
+                ));
             }
         }
         if count != self.edge_count {
@@ -399,6 +751,65 @@ impl Graph {
             ));
         }
         Ok(())
+    }
+}
+
+/// A dense CSR snapshot of a [`Graph`], built by [`Graph::csr_view`].
+///
+/// Node `i` (for `i` in `0..len()`) is `nodes()[i]`, the `i`-th live node in
+/// ascending `NodeId` order; `neighbors_of(i)` yields dense indices, sorted
+/// ascending. The snapshot does not track later mutations.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::generators;
+/// let g = generators::cycle(5);
+/// let csr = g.csr_view();
+/// assert_eq!(csr.len(), 5);
+/// assert_eq!(csr.neighbors_of(0), &[1, 4]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrView {
+    nodes: Vec<NodeId>,
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrView {
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the snapshot has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node ids backing dense coordinates, ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The node id at dense index `i`.
+    pub fn node(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// Dense index of `v`, if present (binary search over the sorted spine).
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&v).ok()
+    }
+
+    /// Dense neighbor indices of dense node `i`, ascending.
+    pub fn neighbors_of(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree of dense node `i`.
+    pub fn degree_of(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 }
 
@@ -546,6 +957,8 @@ mod tests {
         assert_eq!(g.cut_size(&[n(0), n(1)]), 2);
         assert_eq!(g.cut_size(&[n(0), n(1), n(2)]), 0);
         assert_eq!(g.cut_size(&[]), 0);
+        // Duplicates and absent nodes are tolerated.
+        assert_eq!(g.cut_size(&[n(0), n(0), n(99)]), 2);
     }
 
     #[test]
@@ -584,5 +997,89 @@ mod tests {
         let s = format!("{g}");
         assert!(s.contains("3 nodes, 3 edges"));
         assert!(s.contains("n0 -- n1 [black]"));
+    }
+
+    #[test]
+    fn slots_are_recycled_under_churn() {
+        let mut g = triangle();
+        let cap = g.slot_capacity();
+        for i in 10..100 {
+            g.add_node(n(i)).unwrap();
+            g.add_black_edge(n(0), n(i)).unwrap();
+            g.remove_node(n(i)).unwrap();
+        }
+        assert_eq!(
+            g.slot_capacity(),
+            cap + 1,
+            "churn reuses one recycled slot instead of growing the arena"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn slot_of_tracks_membership() {
+        let mut g = triangle();
+        assert!(g.slot_of(n(1)).is_some());
+        assert!(g.slot_of(n(9)).is_none());
+        g.remove_node(n(1)).unwrap();
+        assert!(g.slot_of(n(1)).is_none());
+    }
+
+    #[test]
+    fn black_degree_counter_survives_label_churn() {
+        let mut g = triangle();
+        let c = CloudColor::new(4);
+        // Toggle black off and on under an added color.
+        g.add_colored_edge(n(0), n(1), c).unwrap();
+        g.strip_black(n(0), n(1));
+        assert_eq!(g.black_degree(n(0)), Some(1));
+        assert_eq!(g.black_degree(n(1)), Some(1));
+        g.add_black_edge(n(0), n(1)).unwrap();
+        assert_eq!(g.black_degree(n(0)), Some(2));
+        g.remove_edge(n(0), n(1)).unwrap();
+        assert_eq!(g.black_degree(n(0)), Some(1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn semantic_equality_ignores_arena_history() {
+        // Same final topology via different churn histories.
+        let mut a = triangle();
+        a.add_node(n(7)).unwrap();
+        a.add_black_edge(n(0), n(7)).unwrap();
+        a.remove_node(n(7)).unwrap();
+
+        let b = triangle();
+        assert_eq!(a, b);
+        let mut c = triangle();
+        c.strip_black(n(0), n(1));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn csr_view_matches_adjacency() {
+        let mut g = triangle();
+        g.add_node(n(10)).unwrap();
+        g.add_black_edge(n(10), n(1)).unwrap();
+        // Force slot reuse so dense order != slot order.
+        g.remove_node(n(0)).unwrap();
+        g.add_node(n(20)).unwrap();
+        g.add_black_edge(n(20), n(2)).unwrap();
+
+        let csr = g.csr_view();
+        assert_eq!(csr.nodes(), &[n(1), n(2), n(10), n(20)]);
+        for i in 0..csr.len() {
+            let v = csr.node(i);
+            let expect: Vec<NodeId> = g.neighbors(v).collect();
+            let got: Vec<NodeId> = csr
+                .neighbors_of(i)
+                .iter()
+                .map(|&j| csr.node(j as usize))
+                .collect();
+            assert_eq!(got, expect, "dense adjacency of {v}");
+            assert_eq!(csr.degree_of(i), g.degree(v).unwrap());
+            assert_eq!(csr.index_of(v), Some(i));
+        }
+        assert_eq!(csr.index_of(n(0)), None);
     }
 }

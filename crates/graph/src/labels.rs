@@ -67,11 +67,104 @@ impl fmt::Display for CloudKind {
     }
 }
 
+/// Colors carried inline before spilling to the heap. Virtually every edge
+/// carries 0–2 colors, so the common case allocates nothing — edge churn is
+/// the hottest loop in the system and malloc was its dominant cost.
+const INLINE_COLORS: usize = 2;
+
+/// Sorted, duplicate-free color storage with a small inline buffer.
+///
+/// Canonical-form invariant (required for the derived `Eq`/`Hash`): the
+/// `Heap` variant holds strictly more than [`INLINE_COLORS`] entries, and
+/// unused inline slots are zeroed.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum ColorSet {
+    Inline(u8, [CloudColor; INLINE_COLORS]),
+    Heap(Vec<CloudColor>),
+}
+
+impl Default for ColorSet {
+    fn default() -> Self {
+        ColorSet::Inline(0, [CloudColor::new(0); INLINE_COLORS])
+    }
+}
+
+impl ColorSet {
+    fn as_slice(&self) -> &[CloudColor] {
+        match self {
+            ColorSet::Inline(len, buf) => &buf[..*len as usize],
+            ColorSet::Heap(v) => v,
+        }
+    }
+
+    fn insert(&mut self, c: CloudColor) -> bool {
+        match self {
+            ColorSet::Inline(len, buf) => {
+                let n = *len as usize;
+                match buf[..n].binary_search(&c) {
+                    Ok(_) => false,
+                    Err(pos) if n < INLINE_COLORS => {
+                        buf.copy_within(pos..n, pos + 1);
+                        buf[pos] = c;
+                        *len += 1;
+                        true
+                    }
+                    Err(pos) => {
+                        let mut v = Vec::with_capacity(n + 1);
+                        v.extend_from_slice(&buf[..pos]);
+                        v.push(c);
+                        v.extend_from_slice(&buf[pos..n]);
+                        *self = ColorSet::Heap(v);
+                        true
+                    }
+                }
+            }
+            ColorSet::Heap(v) => match v.binary_search(&c) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, c);
+                    true
+                }
+            },
+        }
+    }
+
+    fn remove(&mut self, c: CloudColor) -> bool {
+        match self {
+            ColorSet::Inline(len, buf) => {
+                let n = *len as usize;
+                match buf[..n].binary_search(&c) {
+                    Ok(pos) => {
+                        buf.copy_within(pos + 1..n, pos);
+                        buf[n - 1] = CloudColor::new(0);
+                        *len -= 1;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            ColorSet::Heap(v) => match v.binary_search(&c) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    if v.len() <= INLINE_COLORS {
+                        let mut buf = [CloudColor::new(0); INLINE_COLORS];
+                        buf[..v.len()].copy_from_slice(v);
+                        *self = ColorSet::Inline(v.len() as u8, buf);
+                    }
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
+}
+
 /// The label set attached to one undirected edge.
 ///
-/// Invariant: `colors` is sorted and duplicate-free; an `EdgeLabels` stored in
-/// a graph is never empty (no black flag and no colors means the edge is
-/// removed).
+/// Invariant: the color set is sorted and duplicate-free (and stored inline
+/// for up to two colors — the common case never touches the heap); an
+/// `EdgeLabels` stored in a graph is never empty (no black flag and no
+/// colors means the edge is removed).
 ///
 /// # Examples
 ///
@@ -88,7 +181,7 @@ impl fmt::Display for CloudKind {
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct EdgeLabels {
     black: bool,
-    colors: Vec<CloudColor>,
+    colors: ColorSet,
 }
 
 impl EdgeLabels {
@@ -96,15 +189,17 @@ impl EdgeLabels {
     pub fn black() -> Self {
         EdgeLabels {
             black: true,
-            colors: Vec::new(),
+            colors: ColorSet::default(),
         }
     }
 
     /// A label set containing a single cloud color.
     pub fn colored(color: CloudColor) -> Self {
+        let mut colors = ColorSet::default();
+        colors.insert(color);
         EdgeLabels {
             black: false,
-            colors: vec![color],
+            colors,
         }
     }
 
@@ -120,22 +215,22 @@ impl EdgeLabels {
 
     /// Does the edge carry any cloud color?
     pub fn is_colored(&self) -> bool {
-        !self.colors.is_empty()
+        !self.colors.as_slice().is_empty()
     }
 
     /// True when no label remains.
     pub fn is_empty(&self) -> bool {
-        !self.black && self.colors.is_empty()
+        !self.black && self.colors.as_slice().is_empty()
     }
 
     /// Does the edge carry `color`?
     pub fn has_color(&self, color: CloudColor) -> bool {
-        self.colors.binary_search(&color).is_ok()
+        self.colors.as_slice().binary_search(&color).is_ok()
     }
 
     /// The sorted slice of cloud colors on this edge.
     pub fn colors(&self) -> &[CloudColor] {
-        &self.colors
+        self.colors.as_slice()
     }
 
     /// Sets the black flag.
@@ -150,24 +245,12 @@ impl EdgeLabels {
 
     /// Adds a cloud color; returns `true` if it was not already present.
     pub fn add_color(&mut self, color: CloudColor) -> bool {
-        match self.colors.binary_search(&color) {
-            Ok(_) => false,
-            Err(pos) => {
-                self.colors.insert(pos, color);
-                true
-            }
-        }
+        self.colors.insert(color)
     }
 
     /// Removes a cloud color; returns `true` if it was present.
     pub fn remove_color(&mut self, color: CloudColor) -> bool {
-        match self.colors.binary_search(&color) {
-            Ok(pos) => {
-                self.colors.remove(pos);
-                true
-            }
-            Err(_) => false,
-        }
+        self.colors.remove(color)
     }
 
     /// Merges all labels from `other` into `self`.
@@ -175,7 +258,7 @@ impl EdgeLabels {
         if other.black {
             self.black = true;
         }
-        for &c in &other.colors {
+        for &c in other.colors.as_slice() {
             self.add_color(c);
         }
     }
@@ -188,7 +271,7 @@ impl fmt::Display for EdgeLabels {
             write!(f, "black")?;
             first = false;
         }
-        for c in &self.colors {
+        for c in self.colors.as_slice() {
             if !first {
                 write!(f, "+")?;
             }
@@ -238,6 +321,25 @@ mod tests {
         assert!(!l.is_empty());
         l.remove_color(CloudColor::new(1));
         assert!(l.is_empty());
+    }
+
+    #[test]
+    fn color_set_spills_and_unspills_canonically() {
+        // Cross the inline/heap boundary in both directions and check that
+        // equality (and therefore the canonical form) survives.
+        let mut spilled = EdgeLabels::empty();
+        for c in [5u64, 1, 9, 3, 7] {
+            assert!(spilled.add_color(CloudColor::new(c)));
+        }
+        let raw: Vec<u64> = spilled.colors().iter().map(|c| c.as_u64()).collect();
+        assert_eq!(raw, vec![1, 3, 5, 7, 9]);
+        for c in [1u64, 9, 3] {
+            assert!(spilled.remove_color(CloudColor::new(c)));
+        }
+        let mut inline = EdgeLabels::empty();
+        inline.add_color(CloudColor::new(7));
+        inline.add_color(CloudColor::new(5));
+        assert_eq!(spilled, inline, "heap->inline must restore canonical form");
     }
 
     #[test]

@@ -42,11 +42,12 @@ mod graph;
 mod ids;
 mod labels;
 
+pub mod baseline;
 pub mod components;
 pub mod cuts;
 pub mod generators;
 pub mod traversal;
 
-pub use graph::{Graph, GraphError};
+pub use graph::{CsrView, FxHashMap, FxHasher, Graph, GraphError};
 pub use ids::{IdAllocator, NodeId};
 pub use labels::{CloudColor, CloudKind, EdgeLabels};

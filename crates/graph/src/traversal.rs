@@ -3,11 +3,34 @@
 //! Stretch (success metric 3 in Figure 1 of the paper) is defined through
 //! shortest-path distances in the healed graph `G_t` and in the
 //! insertions-only graph `G'_t`; everything here is plain BFS because all
-//! graphs are unweighted.
+//! graphs are unweighted. All routines run over a dense [`crate::CsrView`]
+//! snapshot — one O(n + m) index build, then array-indexed frontier
+//! expansion — instead of per-step tree lookups.
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::{Graph, NodeId};
+use crate::{CsrView, Graph, NodeId};
+
+const UNSEEN: u32 = u32::MAX;
+
+/// Dense BFS from `src` (a dense index) over `csr`, writing distances into
+/// `dist` (reset to [`UNSEEN`] first). `queue` is reused scratch.
+fn bfs_dense(csr: &CsrView, src: usize, dist: &mut Vec<u32>, queue: &mut VecDeque<u32>) {
+    dist.clear();
+    dist.resize(csr.len(), UNSEEN);
+    queue.clear();
+    dist[src] = 0;
+    queue.push_back(src as u32);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in csr.neighbors_of(v as usize) {
+            if dist[u as usize] == UNSEEN {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+}
 
 /// BFS distances from `src` to every reachable node (including `src` at 0).
 ///
@@ -22,44 +45,41 @@ use crate::{Graph, NodeId};
 /// assert_eq!(d[&NodeId::new(4)], 4);
 /// ```
 pub fn bfs_distances(g: &Graph, src: NodeId) -> BTreeMap<NodeId, u32> {
-    let mut dist = BTreeMap::new();
-    if !g.contains_node(src) {
-        return dist;
-    }
-    dist.insert(src, 0);
-    let mut queue = VecDeque::from([src]);
-    while let Some(v) = queue.pop_front() {
-        let dv = dist[&v];
-        for u in g.neighbors(v) {
-            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(u) {
-                e.insert(dv + 1);
-                queue.push_back(u);
-            }
-        }
-    }
-    dist
+    let csr = g.csr_view();
+    let Some(s) = csr.index_of(src) else {
+        return BTreeMap::new();
+    };
+    let mut dist = Vec::new();
+    let mut queue = VecDeque::new();
+    bfs_dense(&csr, s, &mut dist, &mut queue);
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNSEEN)
+        .map(|(i, &d)| (csr.node(i), d))
+        .collect()
 }
 
 /// Shortest-path distance between `u` and `v`, or `None` if disconnected or
 /// either endpoint is absent.
 pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
-    if !g.contains_node(u) || !g.contains_node(v) {
-        return None;
-    }
-    if u == v {
+    let csr = g.csr_view();
+    let s = csr.index_of(u)?;
+    let t = csr.index_of(v)?;
+    if s == t {
         return Some(0);
     }
     // Early-exit BFS.
-    let mut dist = BTreeMap::from([(u, 0u32)]);
-    let mut queue = VecDeque::from([u]);
+    let mut dist = vec![UNSEEN; csr.len()];
+    let mut queue = VecDeque::from([s as u32]);
+    dist[s] = 0;
     while let Some(x) = queue.pop_front() {
-        let dx = dist[&x];
-        for y in g.neighbors(x) {
-            if y == v {
+        let dx = dist[x as usize];
+        for &y in csr.neighbors_of(x as usize) {
+            if y as usize == t {
                 return Some(dx + 1);
             }
-            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
-                e.insert(dx + 1);
+            if dist[y as usize] == UNSEEN {
+                dist[y as usize] = dx + 1;
                 queue.push_back(y);
             }
         }
@@ -69,25 +89,25 @@ pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
 
 /// One shortest path from `u` to `v` (inclusive of both endpoints), or `None`.
 pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
-    if !g.contains_node(u) || !g.contains_node(v) {
-        return None;
-    }
-    if u == v {
+    let csr = g.csr_view();
+    let s = csr.index_of(u)?;
+    let t = csr.index_of(v)?;
+    if s == t {
         return Some(vec![u]);
     }
-    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-    let mut queue = VecDeque::from([u]);
-    parent.insert(u, u);
+    let mut parent = vec![UNSEEN; csr.len()];
+    let mut queue = VecDeque::from([s as u32]);
+    parent[s] = s as u32;
     while let Some(x) = queue.pop_front() {
-        for y in g.neighbors(x) {
-            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(y) {
-                e.insert(x);
-                if y == v {
-                    let mut path = vec![v];
-                    let mut cur = v;
-                    while cur != u {
-                        cur = parent[&cur];
-                        path.push(cur);
+        for &y in csr.neighbors_of(x as usize) {
+            if parent[y as usize] == UNSEEN {
+                parent[y as usize] = x;
+                if y as usize == t {
+                    let mut path = vec![csr.node(t)];
+                    let mut cur = t;
+                    while cur != s {
+                        cur = parent[cur] as usize;
+                        path.push(csr.node(cur));
                     }
                     path.reverse();
                     return Some(path);
@@ -101,8 +121,12 @@ pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
 
 /// Eccentricity of `src`: the largest BFS distance to any reachable node.
 pub fn eccentricity(g: &Graph, src: NodeId) -> Option<u32> {
-    let d = bfs_distances(g, src);
-    d.values().copied().max()
+    let csr = g.csr_view();
+    let s = csr.index_of(src)?;
+    let mut dist = Vec::new();
+    let mut queue = VecDeque::new();
+    bfs_dense(&csr, s, &mut dist, &mut queue);
+    dist.iter().filter(|&&d| d != UNSEEN).max().copied()
 }
 
 /// Diameter of the graph restricted to reachable pairs, or `None` for an
@@ -110,18 +134,33 @@ pub fn eccentricity(g: &Graph, src: NodeId) -> Option<u32> {
 /// diameters (infinite pairs are ignored; use [`crate::components::is_connected`]
 /// first if that matters).
 pub fn diameter(g: &Graph) -> Option<u32> {
-    g.nodes().filter_map(|v| eccentricity(g, v)).max()
+    let csr = g.csr_view();
+    let mut dist = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut best: Option<u32> = None;
+    for s in 0..csr.len() {
+        bfs_dense(&csr, s, &mut dist, &mut queue);
+        let ecc = dist.iter().filter(|&&d| d != UNSEEN).max().copied();
+        best = best.max(ecc);
+    }
+    best
 }
 
 /// All-pairs shortest distances (each unordered reachable pair once).
 ///
-/// O(n·m); intended for the experiment scales (n up to a few thousand).
+/// O(n·m) with one shared CSR snapshot; intended for the experiment scales
+/// (n up to a few thousand).
 pub fn all_pairs_distances(g: &Graph) -> BTreeMap<(NodeId, NodeId), u32> {
+    let csr = g.csr_view();
+    let mut dist = Vec::new();
+    let mut queue = VecDeque::new();
     let mut out = BTreeMap::new();
-    for v in g.nodes() {
-        for (u, d) in bfs_distances(g, v) {
-            if v < u {
-                out.insert((v, u), d);
+    for s in 0..csr.len() {
+        bfs_dense(&csr, s, &mut dist, &mut queue);
+        let v = csr.node(s);
+        for (i, &d) in dist.iter().enumerate() {
+            if d != UNSEEN && s < i {
+                out.insert((v, csr.node(i)), d);
             }
         }
     }
@@ -175,6 +214,13 @@ mod tests {
     }
 
     #[test]
+    fn shortest_path_absent_endpoints_are_none() {
+        let g = generators::path(3);
+        assert_eq!(shortest_path(&g, n(0), n(9)), None);
+        assert_eq!(shortest_path(&g, n(9), n(0)), None);
+    }
+
+    #[test]
     fn cycle_distance_wraps() {
         let g = generators::cycle(8);
         assert_eq!(distance(&g, n(0), n(5)), Some(3));
@@ -194,5 +240,16 @@ mod tests {
         let ap = all_pairs_distances(&g);
         assert_eq!(ap.len(), 10);
         assert!(ap.values().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn all_pairs_matches_pairwise_distance_on_disconnected_graph() {
+        let mut g = generators::path(4);
+        g.add_node(n(50)).unwrap();
+        let ap = all_pairs_distances(&g);
+        for (&(u, v), &d) in &ap {
+            assert_eq!(distance(&g, u, v), Some(d));
+        }
+        assert!(!ap.contains_key(&(n(0), n(50))));
     }
 }

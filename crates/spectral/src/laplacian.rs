@@ -18,16 +18,19 @@ pub const DENSE_CUTOFF: usize = 220;
 /// Dense Laplacian of `g` over the sorted node order; returns the node order
 /// alongside so eigenvector entries can be mapped back to nodes.
 pub fn laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
-    let nodes = g.node_vec();
-    let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
-    let mut m = SymMatrix::zeros(nodes.len());
-    for (u, v, _) in g.edges() {
-        let (i, j) = (index(u), index(v));
-        m.add(i, i, 1.0);
-        m.add(j, j, 1.0);
-        m.add(i, j, -1.0);
+    let csr = g.csr_view();
+    let n = csr.len();
+    let mut m = SymMatrix::zeros(n);
+    for i in 0..n {
+        m.set(i, i, csr.degree_of(i) as f64);
+        for &j in csr.neighbors_of(i) {
+            let j = j as usize;
+            if i < j {
+                m.set(i, j, -1.0);
+            }
+        }
     }
-    (nodes, m)
+    (csr.nodes().to_vec(), m)
 }
 
 /// Matrix-free Laplacian operator (CSR-style) for the Lanczos path.
@@ -40,23 +43,22 @@ pub struct LaplacianOp {
 }
 
 impl LaplacianOp {
-    /// Builds the operator from a graph snapshot.
+    /// Builds the operator from a graph snapshot (one [`Graph::csr_view`]
+    /// pass; no per-neighbor index searches).
     pub fn new(g: &Graph) -> Self {
-        let nodes = g.node_vec();
-        let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
-        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let csr = g.csr_view();
+        let n = csr.len();
+        let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::with_capacity(2 * g.edge_count());
-        let mut degrees = Vec::with_capacity(nodes.len());
+        let mut degrees = Vec::with_capacity(n);
         offsets.push(0);
-        for &v in &nodes {
-            for u in g.neighbors(v) {
-                neighbors.push(index(u));
-            }
+        for i in 0..n {
+            neighbors.extend(csr.neighbors_of(i).iter().map(|&j| j as usize));
             offsets.push(neighbors.len());
-            degrees.push(g.degree(v).unwrap_or(0) as f64);
+            degrees.push(csr.degree_of(i) as f64);
         }
         LaplacianOp {
-            nodes,
+            nodes: csr.nodes().to_vec(),
             offsets,
             neighbors,
             degrees,
@@ -153,21 +155,23 @@ pub fn fiedler_vector(g: &Graph) -> Option<Vec<(NodeId, f64)>> {
 /// `D^{1/2}·1`. Isolated nodes contribute zero rows (extra 0 eigenvalues),
 /// which is correct: such a graph is disconnected.
 pub fn normalized_laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
-    let nodes = g.node_vec();
-    let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
-    let mut m = SymMatrix::zeros(nodes.len());
-    for (i, &v) in nodes.iter().enumerate() {
-        if g.degree(v).unwrap_or(0) > 0 {
+    let csr = g.csr_view();
+    let n = csr.len();
+    let mut m = SymMatrix::zeros(n);
+    for i in 0..n {
+        let di = csr.degree_of(i);
+        if di > 0 {
             m.set(i, i, 1.0);
         }
+        for &j in csr.neighbors_of(i) {
+            let j = j as usize;
+            if i < j {
+                let dj = csr.degree_of(j);
+                m.set(i, j, -1.0 / ((di * dj) as f64).sqrt());
+            }
+        }
     }
-    for (u, v, _) in g.edges() {
-        let (i, j) = (index(u), index(v));
-        let du = g.degree(u).expect("endpoint") as f64;
-        let dv = g.degree(v).expect("endpoint") as f64;
-        m.set(i, j, -1.0 / (du * dv).sqrt());
-    }
-    (nodes, m)
+    (csr.nodes().to_vec(), m)
 }
 
 /// Matrix-free normalized Laplacian operator for the Lanczos path.
@@ -180,24 +184,23 @@ pub struct NormalizedLaplacianOp {
 }
 
 impl NormalizedLaplacianOp {
-    /// Builds the operator from a graph snapshot.
+    /// Builds the operator from a graph snapshot (one [`Graph::csr_view`]
+    /// pass; no per-neighbor index searches).
     pub fn new(g: &Graph) -> Self {
-        let nodes = g.node_vec();
-        let index = |v: NodeId| nodes.binary_search(&v).expect("node present");
-        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let csr = g.csr_view();
+        let n = csr.len();
+        let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::with_capacity(2 * g.edge_count());
-        let mut inv_sqrt_deg = Vec::with_capacity(nodes.len());
+        let mut inv_sqrt_deg = Vec::with_capacity(n);
         offsets.push(0);
-        for &v in &nodes {
-            for u in g.neighbors(v) {
-                neighbors.push(index(u));
-            }
+        for i in 0..n {
+            neighbors.extend(csr.neighbors_of(i).iter().map(|&j| j as usize));
             offsets.push(neighbors.len());
-            let d = g.degree(v).unwrap_or(0) as f64;
+            let d = csr.degree_of(i) as f64;
             inv_sqrt_deg.push(if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 });
         }
         NormalizedLaplacianOp {
-            nodes,
+            nodes: csr.nodes().to_vec(),
             offsets,
             neighbors,
             inv_sqrt_deg,

@@ -5,8 +5,6 @@
 //! [two bridged cliques] has polynomial mixing time". Experiment E9
 //! regenerates that separation with this estimator.
 
-use std::collections::BTreeMap;
-
 use xheal_graph::{Graph, NodeId};
 
 /// Default total-variation threshold declaring the walk "mixed".
@@ -24,20 +22,19 @@ pub fn mixing_time_from(
     threshold: f64,
     max_steps: usize,
 ) -> Option<usize> {
-    if !g.contains_node(start) || g.edge_count() == 0 {
+    if g.edge_count() == 0 {
         return None;
     }
-    let nodes = g.node_vec();
-    let index: BTreeMap<NodeId, usize> = nodes.iter().copied().zip(0..).collect();
-    let n = nodes.len();
+    let csr = g.csr_view();
+    let start = csr.index_of(start)?;
+    let n = csr.len();
     let total_vol = 2.0 * g.edge_count() as f64;
-    let pi: Vec<f64> = nodes
-        .iter()
-        .map(|&v| g.degree(v).unwrap_or(0) as f64 / total_vol)
+    let pi: Vec<f64> = (0..n)
+        .map(|i| csr.degree_of(i) as f64 / total_vol)
         .collect();
 
     let mut p = vec![0.0f64; n];
-    p[index[&start]] = 1.0;
+    p[start] = 1.0;
     let mut next = vec![0.0f64; n];
 
     for step in 0..=max_steps {
@@ -47,20 +44,19 @@ pub fn mixing_time_from(
         }
         // Lazy walk: stay with probability 1/2, else move to uniform neighbor.
         next.iter_mut().for_each(|x| *x = 0.0);
-        for (i, &v) in nodes.iter().enumerate() {
-            let mass = p[i];
+        for (i, mass) in p.iter().copied().enumerate() {
             if mass == 0.0 {
                 continue;
             }
-            let deg = g.degree(v).unwrap_or(0);
+            let deg = csr.degree_of(i);
             if deg == 0 {
                 next[i] += mass;
                 continue;
             }
             next[i] += 0.5 * mass;
             let share = 0.5 * mass / deg as f64;
-            for u in g.neighbors(v) {
-                next[index[&u]] += share;
+            for &u in csr.neighbors_of(i) {
+                next[u as usize] += share;
             }
         }
         std::mem::swap(&mut p, &mut next);

@@ -6,8 +6,6 @@
 //! enumeration this gives the upper half of the expansion sandwich reported
 //! by `xheal-metrics`.
 
-use std::collections::BTreeSet;
-
 use xheal_graph::{Graph, NodeId};
 
 use crate::laplacian::fiedler_vector;
@@ -37,7 +35,8 @@ pub fn sweep_cut(g: &Graph) -> Option<SweepCut> {
     let n = fiedler.len();
     let total_vol = 2.0 * g.edge_count() as f64;
 
-    let mut in_side: BTreeSet<NodeId> = BTreeSet::new();
+    let csr = g.csr_view();
+    let mut in_side = vec![false; csr.len()];
     let mut cut = 0i64;
     let mut vol = 0.0f64;
     let mut best_cond = f64::INFINITY;
@@ -45,11 +44,16 @@ pub fn sweep_cut(g: &Graph) -> Option<SweepCut> {
     let mut best_exp = f64::INFINITY;
 
     for (k, &(v, _)) in fiedler.iter().enumerate().take(n - 1) {
-        let deg = g.degree(v).unwrap_or(0) as f64;
-        let inside = g.neighbors(v).filter(|u| in_side.contains(u)).count() as i64;
+        let i = csr.index_of(v).expect("fiedler nodes are live");
+        let deg = csr.degree_of(i) as f64;
+        let inside = csr
+            .neighbors_of(i)
+            .iter()
+            .filter(|&&u| in_side[u as usize])
+            .count() as i64;
         cut += deg as i64 - 2 * inside;
         vol += deg;
-        in_side.insert(v);
+        in_side[i] = true;
 
         let denom_vol = vol.min(total_vol - vol);
         if denom_vol > 0.0 {
