@@ -14,15 +14,21 @@
 //! of the component's primary clouds is repaired and re-linked by a
 //! secondary cloud, and every secondary cloud that lost a bridge gets a
 //! replacement (Case 2.2 per lost bridge).
+//!
+//! Like single deletions, the *decisions* live in the planner
+//! ([`RepairPlanner::plan_batch_deletion`] turns a captured
+//! [`BatchVictim`] context into a staged [`BatchRepairPlan`]) and executors
+//! only apply them: [`Xheal::heal_delete_batch`] applies the stages
+//! directly, `xheal-dist`'s `delete_batch` runs one message protocol per
+//! stage — concurrently — before applying the identical deltas.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
-use xheal_graph::{CloudColor, NodeId};
+use xheal_graph::{Graph, NodeId};
 
-use crate::cloud::NodeState;
 use crate::error::HealError;
 use crate::heal::Xheal;
-use crate::stats::HealStats;
+use crate::plan::PlanAction;
 
 /// Report for one batch healing operation.
 #[derive(Clone, Debug)]
@@ -37,148 +43,115 @@ pub struct BatchReport {
     pub combines: usize,
 }
 
-impl Xheal {
-    /// Deletes all `victims` simultaneously, then heals each dead component
-    /// in one repair (the multi-deletion extension).
+/// The pre-deletion context of one batch victim, captured from the graph
+/// before anything is removed: which *other victims* it was adjacent to
+/// (this induces the dead components) and which *live* black neighbors
+/// form its share of the repair boundary.
+#[derive(Clone, Debug)]
+pub struct BatchVictim {
+    /// The victim.
+    pub node: NodeId,
+    /// Fellow victims adjacent to this one (any edge kind).
+    pub victim_neighbors: Vec<NodeId>,
+    /// Surviving black neighbors — this victim's contribution to `NBR`.
+    pub black_boundary: Vec<NodeId>,
+}
+
+impl BatchVictim {
+    /// Validates `victims` against `graph` and captures the per-victim
+    /// context the planner needs, ascending by node id.
     ///
     /// # Errors
     ///
-    /// [`HealError::NodeMissing`] if any victim is absent (checked before
-    /// any mutation); duplicate victims are rejected the same way.
-    pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
-        let set: BTreeSet<NodeId> = victims.iter().copied().collect();
-        if set.len() != victims.len() {
-            // A duplicate means the second occurrence is already missing.
-            return Err(HealError::NodeMissing(
-                *victims.first().expect("non-empty dup"),
-            ));
-        }
-        for &v in &set {
-            if !self.graph().contains_node(v) {
+    /// [`HealError::NodeMissing`] if any victim is absent; duplicate victims
+    /// are rejected the same way (the second occurrence is already gone).
+    /// Nothing is mutated.
+    pub fn capture(graph: &Graph, victims: &[NodeId]) -> Result<Vec<BatchVictim>, HealError> {
+        let mut set: BTreeSet<NodeId> = BTreeSet::new();
+        for &v in victims {
+            if !set.insert(v) || !graph.contains_node(v) {
                 return Err(HealError::NodeMissing(v));
             }
         }
-        let stats_before = self.stats().clone();
-
-        // Victim adjacency (for components) and live boundaries, captured
-        // before any removal.
-        let mut victim_adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        let mut boundary_black: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        for &v in &set {
-            let mut adj = Vec::new();
-            let mut black = Vec::new();
-            for (u, labels) in self.graph().neighbors_labeled(v) {
-                if set.contains(&u) {
-                    adj.push(u);
-                } else if labels.is_black() {
-                    black.push(u);
-                }
-            }
-            victim_adj.insert(v, adj);
-            boundary_black.insert(v, black);
-        }
-
-        // Phase 1: remove every victim from the graph and detach it from
-        // every cloud (FixPrimary / the structural part of FixSecondary),
-        // remembering which secondary lost which bridge.
-        self.batch_planner().batch_begin();
-        let mut states: BTreeMap<NodeId, NodeState> = BTreeMap::new();
-        let mut lost_bridges: Vec<(NodeId, CloudColor, Option<CloudColor>)> = Vec::new();
-        for &v in &set {
-            self.batch_remove_node(v);
-            states.insert(v, self.batch_planner().batch_take_state(v));
-        }
-        // Group victims by cloud so each cloud is repaired once, with a net
-        // edge delta that never references a dead member.
-        let mut by_cloud: BTreeMap<CloudColor, Vec<NodeId>> = BTreeMap::new();
-        for (&v, state) in &states {
-            for &c in &state.primaries {
-                by_cloud.entry(c).or_default().push(v);
-            }
-            if let Some(f) = state.secondary {
-                let ci = self.batch_planner().batch_take_bridge_target(f, v);
-                lost_bridges.push((v, f, ci));
-                by_cloud.entry(f).or_default().push(v);
-            }
-        }
-        for (c, vs) in &by_cloud {
-            self.batch_planner().batch_detach_many(*c, vs);
-        }
-
-        // Phase 2: per dead component, run the healing cases on the merged
-        // state.
-        let components = victim_components(&set, &victim_adj);
-        for comp in &components {
-            // Union of the component's primary clouds and live boundary.
-            let mut primaries: BTreeSet<CloudColor> = BTreeSet::new();
-            let mut boundary: BTreeSet<NodeId> = BTreeSet::new();
-            for &v in comp {
-                primaries.extend(states[&v].primaries.iter().copied());
-                boundary.extend(boundary_black[&v].iter().copied());
-            }
-            let alive: Vec<CloudColor> = primaries
-                .into_iter()
-                .filter(|c| self.cloud(*c).is_some())
-                .collect();
-
-            // Replace each lost bridge of this component (Case 2.2 fixes),
-            // collecting anchors that must join the new secondary group.
-            let comp_set: BTreeSet<NodeId> = comp.iter().copied().collect();
-            let mut anchors: Vec<CloudColor> = Vec::new();
-            for &(victim, f, ci) in lost_bridges.iter().filter(|(v, _, _)| comp_set.contains(v)) {
-                let _ = victim;
-                let ci_alive = ci.filter(|c| self.cloud(*c).is_some());
-                if self.cloud(f).is_some() {
-                    if let Some(anchor) = self.batch_planner().batch_fix_secondary(f, ci_alive) {
-                        anchors.push(anchor);
+        Ok(set
+            .iter()
+            .map(|&v| {
+                let mut victim_neighbors = Vec::new();
+                let mut black_boundary = Vec::new();
+                for (u, labels) in graph.neighbors_labeled(v) {
+                    if set.contains(&u) {
+                        victim_neighbors.push(u);
+                    } else if labels.is_black() {
+                        black_boundary.push(u);
                     }
-                } else if let Some(a) = ci_alive {
-                    anchors.push(a);
                 }
-            }
-
-            // Boundary nodes become singleton primary clouds; connect
-            // everything with one secondary cloud (or combine).
-            let mut group: Vec<CloudColor> = alive;
-            for &w in &boundary {
-                group.push(self.batch_planner().batch_singleton(w));
-            }
-            group.extend(anchors);
-            self.batch_planner().batch_make_secondary(&group);
-        }
-
-        let black_degree_sum: usize = boundary_black.values().map(Vec::len).sum();
-        self.batch_planner()
-            .batch_finish(set.len(), black_degree_sum);
-        self.batch_apply_pending();
-        let s: &HealStats = self.stats();
-        let report = BatchReport {
-            victims: set.len(),
-            components: components.len(),
-            secondaries_built: s.secondaries_built - stats_before.secondaries_built,
-            combines: s.combines - stats_before.combines,
-        };
-        Ok(report)
+                BatchVictim {
+                    node: v,
+                    victim_neighbors,
+                    black_boundary,
+                }
+            })
+            .collect())
     }
 }
 
-/// Connected components of the victim set under pre-deletion adjacency.
-fn victim_components(
-    set: &BTreeSet<NodeId>,
-    adj: &BTreeMap<NodeId, Vec<NodeId>>,
-) -> Vec<Vec<NodeId>> {
+/// One independently executable stage of a batch repair.
+#[derive(Clone, Debug)]
+pub struct BatchStage {
+    /// The dead component this stage repairs, ascending — empty for the
+    /// *detach prologue* (removing every victim from every cloud), which is
+    /// shared by all components and must run first.
+    pub component: Vec<NodeId>,
+    /// The structural steps, in execution order.
+    pub actions: Vec<PlanAction>,
+}
+
+/// The full decision record of one batch deletion: an ordered prologue plus
+/// one stage per dead component. Stages after the prologue touch disjoint
+/// victim components and may execute concurrently — which is exactly what
+/// the distributed executor does.
+#[derive(Clone, Debug)]
+pub struct BatchRepairPlan {
+    /// Prologue first, then one stage per dead component (component order).
+    pub stages: Vec<BatchStage>,
+    /// Batch-level accounting (also folded into the planner's stats).
+    pub report: BatchReport,
+}
+
+impl BatchRepairPlan {
+    /// All actions across all stages, in execution order.
+    pub fn actions(&self) -> impl Iterator<Item = &PlanAction> {
+        self.stages.iter().flat_map(|s| s.actions.iter())
+    }
+
+    /// Applies every stage to `graph`, in order.
+    pub fn apply_to(&self, graph: &mut Graph) {
+        for action in self.actions() {
+            action.apply_to(graph);
+        }
+    }
+}
+
+/// Connected components of the victim set under pre-deletion adjacency,
+/// each ascending, in ascending order of smallest member.
+pub(crate) fn victim_components(victims: &[BatchVictim]) -> Vec<Vec<NodeId>> {
+    let index: std::collections::BTreeMap<NodeId, usize> = victims
+        .iter()
+        .enumerate()
+        .map(|(i, bv)| (bv.node, i))
+        .collect();
     let mut seen: BTreeSet<NodeId> = BTreeSet::new();
     let mut out = Vec::new();
-    for &start in set {
-        if seen.contains(&start) {
+    for bv in victims {
+        if seen.contains(&bv.node) {
             continue;
         }
         let mut comp = Vec::new();
-        let mut stack = vec![start];
-        seen.insert(start);
+        let mut stack = vec![bv.node];
+        seen.insert(bv.node);
         while let Some(v) = stack.pop() {
             comp.push(v);
-            for &u in &adj[&v] {
+            for &u in &victims[index[&v]].victim_neighbors {
                 if seen.insert(u) {
                     stack.push(u);
                 }
@@ -190,9 +163,30 @@ fn victim_components(
     out
 }
 
+impl Xheal {
+    /// Deletes all `victims` simultaneously, then heals each dead component
+    /// in one repair (the multi-deletion extension).
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeMissing`] if any victim is absent (checked before
+    /// any mutation); duplicate victims are rejected the same way.
+    pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
+        let ctx = BatchVictim::capture(self.graph(), victims)?;
+        let (graph, planner) = self.batch_parts();
+        for bv in &ctx {
+            let _ = graph.remove_node(bv.node);
+        }
+        let plan = planner.plan_batch_deletion(&ctx);
+        plan.apply_to(graph);
+        Ok(plan.report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::planner::RepairPlanner;
     use crate::{invariants, XhealConfig};
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use xheal_graph::{components, generators};
@@ -299,5 +293,103 @@ mod tests {
         x.heal_delete_batch(&[bridge, other]).unwrap();
         assert!(components::is_connected(x.graph()));
         invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn adjacent_victims_spanning_two_clouds() {
+        // Two stars joined by a black bridge edge between leaves; deleting
+        // both hubs creates two clouds; then batch-delete the two adjacent
+        // bridge-edge endpoints — one member of each cloud, forming a single
+        // dead component that spans both clouds.
+        let mut g = generators::star(6); // hub 0, leaves 1..=5
+        for i in 10..16u64 {
+            g.add_node(n(i)).unwrap();
+        }
+        for i in 11..16u64 {
+            g.add_black_edge(n(10), n(i)).unwrap(); // hub 10, leaves 11..=15
+        }
+        g.add_black_edge(n(1), n(11)).unwrap(); // the inter-star bridge edge
+        let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(8));
+        x.heal_delete(n(0)).unwrap(); // cloud A over 1..=5
+        x.heal_delete(n(10)).unwrap(); // cloud B over 11..=15
+        assert!(x.cloud_count() >= 2, "two primary clouds expected");
+        let report = x.heal_delete_batch(&[n(1), n(11)]).unwrap();
+        assert_eq!(report.components, 1, "adjacent victims are one component");
+        assert!(components::is_connected(x.graph()));
+        invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn batch_deleting_an_entire_cloud() {
+        // A star whose leaves (the future cloud) all die at once; two
+        // outside nodes hang off leaves and must be re-linked by the repair.
+        let mut g = generators::star(6); // hub 0, leaves 1..=5
+        g.add_node(n(100)).unwrap();
+        g.add_node(n(101)).unwrap();
+        g.add_black_edge(n(100), n(1)).unwrap();
+        g.add_black_edge(n(101), n(3)).unwrap();
+        let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(13));
+        x.heal_delete(n(0)).unwrap(); // cloud over leaves 1..=5
+        assert_eq!(x.cloud_count(), 1);
+        let report = x
+            .heal_delete_batch(&[n(1), n(2), n(3), n(4), n(5)])
+            .unwrap();
+        assert_eq!(report.victims, 5);
+        assert_eq!(x.graph().node_count(), 2);
+        assert!(
+            components::is_connected(x.graph()),
+            "outside nodes must be re-linked after their cloud died"
+        );
+        invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn batch_of_all_but_min_nodes() {
+        // Delete everything except two survivors in one batch.
+        let g = generators::cycle(12);
+        let mut x = Xheal::new(&g, XhealConfig::new(4).with_seed(17));
+        let victims: Vec<NodeId> = (0..10).map(n).collect();
+        let report = x.heal_delete_batch(&victims).unwrap();
+        assert_eq!(report.victims, 10);
+        assert_eq!(x.graph().node_count(), 2);
+        assert!(
+            components::is_connected(x.graph()),
+            "the two survivors must stay connected"
+        );
+        invariants::check_invariants(&x).unwrap();
+    }
+
+    #[test]
+    fn batch_plan_stages_split_prologue_and_components() {
+        let g = generators::cycle(12);
+        let ctx = BatchVictim::capture(&g, &[n(0), n(6)]).unwrap();
+        let comps = victim_components(&ctx);
+        assert_eq!(comps, vec![vec![n(0)], vec![n(6)]]);
+        let mut planner = RepairPlanner::new(g.nodes(), XhealConfig::new(4).with_seed(1));
+        let plan = planner.plan_batch_deletion(&ctx);
+        assert_eq!(plan.stages.len(), 3, "prologue + two components");
+        assert!(plan.stages[0].component.is_empty(), "prologue first");
+        assert_eq!(plan.stages[1].component, vec![n(0)]);
+        assert_eq!(plan.stages[2].component, vec![n(6)]);
+        // Edge accounting across stages matches the folded stats.
+        let added: usize = plan.actions().map(|a| a.delta().added.len()).sum();
+        assert_eq!(added, planner.stats().edges_added);
+    }
+
+    #[test]
+    fn capture_rejects_without_mutation() {
+        let g = generators::cycle(4);
+        assert_eq!(
+            BatchVictim::capture(&g, &[n(1), n(1)]).unwrap_err(),
+            HealError::NodeMissing(n(1))
+        );
+        assert_eq!(
+            BatchVictim::capture(&g, &[n(44)]).unwrap_err(),
+            HealError::NodeMissing(n(44))
+        );
+        let ctx = BatchVictim::capture(&g, &[n(2), n(1)]).unwrap();
+        assert_eq!(ctx[0].node, n(1), "context is ascending");
+        assert_eq!(ctx[0].victim_neighbors, vec![n(2)]);
+        assert_eq!(ctx[0].black_boundary, vec![n(0)]);
     }
 }

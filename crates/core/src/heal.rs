@@ -153,19 +153,10 @@ impl Xheal {
     // Batch-deletion support (crate-internal; see batch.rs)
     // ------------------------------------------------------------------
 
-    pub(crate) fn batch_planner(&mut self) -> &mut RepairPlanner {
-        &mut self.planner
-    }
-
-    pub(crate) fn batch_remove_node(&mut self, v: NodeId) {
-        let _ = self.graph.remove_node(v);
-    }
-
-    /// Applies all actions the planner buffered during a batch repair.
-    pub(crate) fn batch_apply_pending(&mut self) {
-        for action in self.planner.batch_take_actions() {
-            action.apply_to(&mut self.graph);
-        }
+    /// Simultaneous access to the graph and the planner for the batch
+    /// executor, which must mutate both around one planning call.
+    pub(crate) fn batch_parts(&mut self) -> (&mut Graph, &mut RepairPlanner) {
+        (&mut self.graph, &mut self.planner)
     }
 }
 

@@ -32,6 +32,23 @@ pub trait Healer {
     ///
     /// Implementations reject deletion of absent nodes.
     fn on_delete(&mut self, v: NodeId) -> Result<(), HealError>;
+
+    /// Handles the simultaneous adversarial deletion of several nodes.
+    ///
+    /// The default falls back to deleting them one at a time — a *sequential
+    /// approximation* that lets every baseline run burst workloads; healers
+    /// with a genuine simultaneous-deletion repair (Xheal's batch extension)
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject absent or duplicated victims.
+    fn on_delete_batch(&mut self, victims: &[NodeId]) -> Result<(), HealError> {
+        for &v in victims {
+            self.on_delete(v)?;
+        }
+        Ok(())
+    }
 }
 
 impl Healer for Xheal {
@@ -49,6 +66,10 @@ impl Healer for Xheal {
 
     fn on_delete(&mut self, v: NodeId) -> Result<(), HealError> {
         self.heal_delete(v).map(|_| ())
+    }
+
+    fn on_delete_batch(&mut self, victims: &[NodeId]) -> Result<(), HealError> {
+        self.heal_delete_batch(victims).map(|_| ())
     }
 }
 

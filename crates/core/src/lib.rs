@@ -49,7 +49,7 @@ mod plan;
 mod planner;
 mod stats;
 
-pub use batch::BatchReport;
+pub use batch::{BatchRepairPlan, BatchReport, BatchStage, BatchVictim};
 pub use cloud::{Cloud, NodeState};
 pub use config::XhealConfig;
 pub use error::HealError;

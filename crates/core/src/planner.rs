@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use xheal_expander::{EdgeDelta, MaintainedExpander};
 use xheal_graph::{CloudColor, CloudKind, EdgeLabels, FxHashMap, NodeId};
 
+use crate::batch::{victim_components, BatchRepairPlan, BatchReport, BatchStage, BatchVictim};
 use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
 use crate::plan::{PlanAction, RepairPlan};
@@ -42,7 +43,16 @@ use crate::stats::{DeletionReport, HealCase, HealStats};
 /// ```
 #[derive(Clone, Debug)]
 pub struct RepairPlanner {
-    clouds: BTreeMap<CloudColor, Cloud>,
+    /// Cloud registry. Point-lookup map plus `color_order`, the sorted live
+    /// color list maintained on create/delete, so the hot path gets O(1)
+    /// access while [`RepairPlanner::cloud_colors`] keeps its promised
+    /// ascending output (invariant I9: `color_order` is sorted and holds
+    /// exactly the registry's keys).
+    clouds: FxHashMap<CloudColor, Cloud>,
+    /// Live colors, ascending. Colors are allocated monotonically, so
+    /// insertion is an amortized-O(1) push; deletion is a binary-searched
+    /// remove.
+    color_order: Vec<CloudColor>,
     /// Reverse attachment index: primary color → (secondary color → number
     /// of that secondary's bridges targeting the primary). Lets `combine`
     /// find referencing secondaries without scanning the whole registry.
@@ -77,7 +87,8 @@ impl RepairPlanner {
             .map(|v| (v, NodeState::default()))
             .collect();
         RepairPlanner {
-            clouds: BTreeMap::new(),
+            clouds: FxHashMap::default(),
+            color_order: Vec::new(),
             attached_to: BTreeMap::new(),
             nodes,
             config,
@@ -108,9 +119,12 @@ impl RepairPlanner {
         &self.stats
     }
 
-    /// All live cloud colors with their kinds.
+    /// All live cloud colors with their kinds, ascending.
     pub fn cloud_colors(&self) -> Vec<(CloudColor, CloudKind)> {
-        self.clouds.iter().map(|(&c, cl)| (c, cl.kind())).collect()
+        self.color_order
+            .iter()
+            .map(|&c| (c, self.clouds[&c].kind()))
+            .collect()
     }
 
     /// Read access to a cloud.
@@ -128,9 +142,25 @@ impl RepairPlanner {
         self.clouds.len()
     }
 
-    /// Invariant check (I8): the reverse attachment index holds exactly the
-    /// bridge counts recomputable from the live secondary clouds.
+    /// Invariant checks (I8, I9): the reverse attachment index holds exactly
+    /// the bridge counts recomputable from the live secondary clouds, and
+    /// the maintained color order is sorted and mirrors the registry keys.
     pub(crate) fn validate_attachment_index(&self) -> Result<(), String> {
+        if !self.color_order.is_sorted() {
+            return Err(format!("color order not ascending: {:?}", self.color_order));
+        }
+        if self.color_order.len() != self.clouds.len()
+            || self
+                .color_order
+                .iter()
+                .any(|c| !self.clouds.contains_key(c))
+        {
+            return Err(format!(
+                "color order {:?} does not mirror the {} registered clouds",
+                self.color_order,
+                self.clouds.len()
+            ));
+        }
         let mut recomputed: BTreeMap<CloudColor, BTreeMap<CloudColor, u32>> = BTreeMap::new();
         for (&f, cloud) in &self.clouds {
             if cloud.kind() == CloudKind::Secondary {
@@ -511,6 +541,32 @@ impl RepairPlanner {
         c
     }
 
+    /// Registers a cloud, keeping `color_order` sorted. Colors allocate
+    /// monotonically, so the common case is a push; `combine` can finish
+    /// building its pre-allocated color after deletions, hence the
+    /// binary-searched general case.
+    fn registry_insert(&mut self, color: CloudColor, cloud: Cloud) {
+        let prev = self.clouds.insert(color, cloud);
+        debug_assert!(prev.is_none(), "color {color} registered twice");
+        match self.color_order.last() {
+            Some(&last) if last >= color => {
+                if let Err(pos) = self.color_order.binary_search(&color) {
+                    self.color_order.insert(pos, color);
+                }
+            }
+            _ => self.color_order.push(color),
+        }
+    }
+
+    /// Unregisters a cloud, keeping `color_order` in sync.
+    fn registry_remove(&mut self, color: CloudColor) -> Option<Cloud> {
+        let cloud = self.clouds.remove(&color)?;
+        if let Ok(pos) = self.color_order.binary_search(&color) {
+            self.color_order.remove(pos);
+        }
+        Some(cloud)
+    }
+
     fn emit(&mut self, action: PlanAction) {
         let delta = action.delta();
         self.op_added += delta.added.len();
@@ -538,7 +594,7 @@ impl RepairPlanner {
             added: edges,
             removed: Vec::new(),
         };
-        self.clouds.insert(color, Cloud::new(kind, expander));
+        self.registry_insert(color, Cloud::new(kind, expander));
         self.emit(PlanAction::BuildCloud {
             color,
             kind,
@@ -661,7 +717,7 @@ impl RepairPlanner {
         }
         let emptied = self.clouds.get(&color).is_some_and(Cloud::is_empty);
         if emptied {
-            self.clouds.remove(&color);
+            self.registry_remove(color);
         }
         emptied
     }
@@ -725,7 +781,7 @@ impl RepairPlanner {
 
     /// Deletes a cloud entirely: strips its edges and clears memberships.
     fn delete_cloud(&mut self, color: CloudColor) {
-        let Some(cloud) = self.clouds.remove(&color) else {
+        let Some(cloud) = self.registry_remove(color) else {
             return;
         };
         if cloud.kind() == CloudKind::Secondary {
@@ -793,28 +849,132 @@ impl RepairPlanner {
     }
 
     // ------------------------------------------------------------------
-    // Batch-deletion support (crate-internal; see batch.rs)
+    // Batch (multi-node) deletion — the decisions of `heal_delete_batch`
+    // and the distributed `delete_batch` (see batch.rs for the model).
     // ------------------------------------------------------------------
 
-    pub(crate) fn batch_begin(&mut self) {
+    /// Plans the simultaneous deletion of every victim in `ctx` (captured by
+    /// [`BatchVictim::capture`] *before* the victims left the graph),
+    /// producing a staged plan: a detach prologue shared by all dead
+    /// components, then one independently executable stage per component.
+    ///
+    /// The planner's cloud/membership state advances to the post-repair
+    /// state; the caller must apply the returned plan to its graph to stay
+    /// consistent.
+    pub fn plan_batch_deletion(&mut self, ctx: &[BatchVictim]) -> BatchRepairPlan {
         self.reset_op_counters();
         self.actions.clear();
-    }
+        let secondaries_before = self.stats.secondaries_built;
 
-    /// Hands the actions planned so far to the executor.
-    pub(crate) fn batch_take_actions(&mut self) -> Vec<PlanAction> {
-        std::mem::take(&mut self.actions)
-    }
+        // Prologue: remove every victim from every cloud (FixPrimary / the
+        // structural part of FixSecondary), remembering which secondary lost
+        // which bridge. Victims are grouped by cloud so each cloud is
+        // repaired once, with a net edge delta that never references a dead
+        // member.
+        let mut states: BTreeMap<NodeId, NodeState> = BTreeMap::new();
+        for bv in ctx {
+            states.insert(bv.node, self.nodes.remove(&bv.node).unwrap_or_default());
+        }
+        let mut lost_bridges: Vec<(NodeId, CloudColor, Option<CloudColor>)> = Vec::new();
+        let mut by_cloud: BTreeMap<CloudColor, Vec<NodeId>> = BTreeMap::new();
+        for (&v, state) in &states {
+            for &c in &state.primaries {
+                by_cloud.entry(c).or_default().push(v);
+            }
+            if let Some(f) = state.secondary {
+                let ci = self.take_bridge_target(f, v);
+                lost_bridges.push((v, f, ci));
+                by_cloud.entry(f).or_default().push(v);
+            }
+        }
+        for (c, vs) in &by_cloud {
+            self.detach_many(*c, vs);
+        }
+        // Stage boundaries inside the flat action buffer: prologue end,
+        // then one checkpoint per component.
+        let mut checkpoints: Vec<usize> = vec![self.actions.len()];
 
-    pub(crate) fn batch_take_state(&mut self, v: NodeId) -> NodeState {
-        self.nodes.remove(&v).unwrap_or_default()
+        // Per dead component: run the healing cases on the merged state.
+        let components = victim_components(ctx);
+        let boundary_of: BTreeMap<NodeId, &[NodeId]> = ctx
+            .iter()
+            .map(|bv| (bv.node, bv.black_boundary.as_slice()))
+            .collect();
+        for comp in &components {
+            // Union of the component's primary clouds and live boundary.
+            let mut primaries: BTreeSet<CloudColor> = BTreeSet::new();
+            let mut boundary: BTreeSet<NodeId> = BTreeSet::new();
+            for &v in comp {
+                primaries.extend(states[&v].primaries.iter().copied());
+                boundary.extend(boundary_of[&v].iter().copied());
+            }
+            let alive: Vec<CloudColor> = primaries
+                .into_iter()
+                .filter(|c| self.clouds.contains_key(c))
+                .collect();
+
+            // Replace each lost bridge of this component (Case 2.2 fixes),
+            // collecting anchors that must join the new secondary group.
+            let comp_set: BTreeSet<NodeId> = comp.iter().copied().collect();
+            let mut anchors: Vec<CloudColor> = Vec::new();
+            for &(_, f, ci) in lost_bridges.iter().filter(|(v, _, _)| comp_set.contains(v)) {
+                let ci_alive = ci.filter(|c| self.clouds.contains_key(c));
+                if self.clouds.contains_key(&f) {
+                    if let Some(anchor) = self.fix_secondary(f, ci_alive) {
+                        anchors.push(anchor);
+                    }
+                } else if let Some(a) = ci_alive {
+                    anchors.push(a);
+                }
+            }
+
+            // Boundary nodes become singleton primary clouds; connect
+            // everything with one secondary cloud (or combine).
+            let mut group: Vec<CloudColor> = alive;
+            for &w in &boundary {
+                group.push(self.create_primary_cloud(&[w]));
+            }
+            group.extend(anchors);
+            self.make_secondary_among(&group);
+            checkpoints.push(self.actions.len());
+        }
+
+        self.stats.deletions += ctx.len();
+        self.stats.black_degree_sum += ctx.iter().map(|bv| bv.black_boundary.len()).sum::<usize>();
+        let report = BatchReport {
+            victims: ctx.len(),
+            components: components.len(),
+            secondaries_built: self.stats.secondaries_built - secondaries_before,
+            combines: self.op_combines,
+        };
+        self.fold_op_counters();
+
+        // Split the flat buffer into stages at the checkpoints (from the
+        // back, so each split is a cheap tail move).
+        let mut prologue = std::mem::take(&mut self.actions);
+        let mut component_stages: Vec<BatchStage> = Vec::with_capacity(components.len());
+        for (i, comp) in components.iter().enumerate().rev() {
+            let actions = prologue.split_off(checkpoints[i]);
+            component_stages.push(BatchStage {
+                component: comp.clone(),
+                actions,
+            });
+        }
+        component_stages.reverse();
+        let mut stages = Vec::with_capacity(components.len() + 1);
+        stages.push(BatchStage {
+            component: Vec::new(),
+            actions: prologue,
+        });
+        stages.extend(component_stages);
+        BatchRepairPlan { stages, report }
     }
 
     /// Detaches several (already graph-removed) victims from one cloud,
     /// applying only the *net* edge delta — intermediate expander rebuilds
     /// may transiently reference other still-registered victims, but the
     /// final edge set only spans live members.
-    pub(crate) fn batch_detach_many(&mut self, color: CloudColor, victims: &[NodeId]) {
+    fn detach_many(&mut self, color: CloudColor, victims: &[NodeId]) {
         let Some(cloud) = self.clouds.get_mut(&color) else {
             return;
         };
@@ -842,17 +1002,13 @@ impl RepairPlanner {
             });
         }
         if self.clouds.get(&color).is_some_and(Cloud::is_empty) {
-            self.clouds.remove(&color);
+            self.registry_remove(color);
         }
     }
 
     /// Removes the attachment entry of a deleted bridge, returning the
     /// primary cloud it was bridging for.
-    pub(crate) fn batch_take_bridge_target(
-        &mut self,
-        f: CloudColor,
-        v: NodeId,
-    ) -> Option<CloudColor> {
+    fn take_bridge_target(&mut self, f: CloudColor, v: NodeId) -> Option<CloudColor> {
         let ci = self
             .clouds
             .get_mut(&f)
@@ -861,28 +1017,6 @@ impl RepairPlanner {
             self.attach_index_dec(ci, f);
         }
         ci
-    }
-
-    pub(crate) fn batch_fix_secondary(
-        &mut self,
-        f: CloudColor,
-        ci_alive: Option<CloudColor>,
-    ) -> Option<CloudColor> {
-        self.fix_secondary(f, ci_alive)
-    }
-
-    pub(crate) fn batch_singleton(&mut self, w: NodeId) -> CloudColor {
-        self.create_primary_cloud(&[w])
-    }
-
-    pub(crate) fn batch_make_secondary(&mut self, group: &[CloudColor]) {
-        self.make_secondary_among(group);
-    }
-
-    pub(crate) fn batch_finish(&mut self, victims: usize, black_degree_sum: usize) {
-        self.stats.deletions += victims;
-        self.stats.black_degree_sum += black_degree_sum;
-        self.fold_op_counters();
     }
 }
 

@@ -11,6 +11,10 @@ pub enum HealCase {
     Bridge,
     /// The deleted node had degree ≤ 1 and was simply dropped.
     Dropped,
+    /// Part of a multi-node batch repair (the simultaneous-deletions
+    /// extension) — used by executors labelling per-stage costs, not by
+    /// single-deletion planning.
+    Batch,
 }
 
 /// Report for a single deletion repair.

@@ -2,31 +2,41 @@
 //!
 //! The distributed Xheal of the paper's Section 5: the same healing
 //! decisions as the centralized implementation — literally the same
-//! [`RepairPlanner`] — executed as a message-passing protocol over the
-//! LOCAL-model engine [`xheal_sim::SyncNetwork`]. The design follows the
-//! fully-distributed direction of *DEX: Self-healing Expanders*
+//! [`RepairPlanner`] — executed as a message-passing protocol by per-node
+//! actor state machines over any [`xheal_sim::NetworkEngine`]. The design
+//! follows the fully-distributed direction of *DEX: Self-healing Expanders*
 //! (Pandurangan, Robinson & Trehan): healing logic is fixed, only the
 //! execution substrate changes.
 //!
-//! Each deletion repair runs in phases over the synchronous network:
+//! Each repair runs as message-driven phase transitions of the actors
+//! (see [`crate::actor`]-level docs in the source):
 //!
-//! 1. **Probe** — the coordinator (the least-id affected node) contacts
-//!    every participant of the repair plan;
+//! 1. **Probe** — the coordinator (the least-id live participant of the
+//!    repair plan) contacts every participant;
 //! 2. **Grant** — participants return their local cloud state;
 //! 3. **Link** — the coordinator disseminates edge install/strip
 //!    instructions to both endpoints of every planned edge;
-//! 4. **Splice** — cloud construction finishes with ⌈log₂ m⌉ gossip waves
-//!    for the largest cloud of m members being built (the distributed
+//! 4. **Splice** — cloud construction finishes with ⌈log₂ m⌉ acknowledged
+//!    gossip waves per cloud of m members being built (the distributed
 //!    Hamilton-cycle splice).
 //!
-//! Rounds are therefore O(log n) per deletion and messages O(κ·deg(v))
-//! amortized — Theorem 5's budgets, measured for real by [`DistXheal::costs`]
-//! and checked by experiments E5/E7.
+//! Every message carries its repair's sequence number, so *concurrent*
+//! repairs interleave freely in flight: [`DistXheal::delete_many`] keeps
+//! several deletions' protocols in the air at once, and
+//! [`DistXheal::delete_batch`] heals simultaneous deletions with one
+//! concurrent protocol per dead component — mirroring
+//! [`xheal_core::Xheal::heal_delete_batch`]'s grouping exactly.
+//!
+//! Rounds are O(log n) per repair and messages O(κ·deg(v)) amortized —
+//! Theorem 5's budgets, measured for real by [`DistXheal::costs`] and
+//! checked by experiments E5/E7 on both the synchronous engine and the
+//! latency/reordering [`xheal_sim::AsyncNetwork`].
 //!
 //! Because the planner consumes the healer's seeded randomness identically
-//! in both executors, [`DistXheal`] and [`xheal_core::Xheal`] produce
-//! bit-identical topologies on identical schedules — the cross-validation
-//! suite asserts exactly that.
+//! in every executor, [`DistXheal`] over *any* engine and
+//! [`xheal_core::Xheal`] produce bit-identical topologies on identical
+//! schedules — the cross-validation suite asserts exactly that for the
+//! synchronous and the zero-latency asynchronous engines.
 //!
 //! # Examples
 //!
@@ -42,31 +52,52 @@
 //! assert!(cost.rounds > 0 && cost.messages > 0);
 //! # Ok::<(), xheal_core::HealError>(())
 //! ```
+//!
+//! The same protocol under message latency:
+//!
+//! ```
+//! use xheal_core::XhealConfig;
+//! use xheal_dist::DistXheal;
+//! use xheal_graph::{components, generators, NodeId};
+//! use xheal_sim::{AsyncConfig, AsyncNetwork};
+//!
+//! let g0 = generators::star(10);
+//! let engine = AsyncNetwork::new(AsyncConfig::uniform(1, 3, 99));
+//! let mut net = DistXheal::with_engine(&g0, XhealConfig::new(4), engine);
+//! net.delete(NodeId::new(0))?;
+//! assert!(components::is_connected(net.graph()));
+//! # Ok::<(), xheal_core::HealError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod actor;
 mod messages;
 
 use std::collections::BTreeSet;
 
 use xheal_core::{
-    DeletionReport, HealError, Healer, PlanAction, RepairPlan, RepairPlanner, XhealConfig,
+    BatchReport, BatchVictim, DeletionReport, HealCase, HealError, Healer, RepairPlanner,
+    XhealConfig,
 };
 use xheal_graph::{EdgeLabels, Graph, NodeId};
-use xheal_sim::{Counters, SyncNetwork};
+use xheal_sim::{Counters, NetworkEngine, SyncNetwork};
+
+use actor::{ActorRuntime, CostMeta};
 
 pub use messages::{Msg, RepairCost};
 
 /// The distributed Xheal network: the live graph, the shared repair
-/// planner, and the LOCAL-model message engine executing every plan.
+/// planner, and the actor runtime executing every plan as messages over
+/// the engine `N`.
 #[derive(Clone, Debug)]
-pub struct DistXheal {
+pub struct DistXheal<N: NetworkEngine<Msg> = SyncNetwork<Msg>> {
     graph: Graph,
     planner: RepairPlanner,
-    network: SyncNetwork<Msg>,
+    runtime: ActorRuntime<N>,
     costs: Vec<RepairCost>,
-    /// Sequence number tagging each repair's probe/grant exchange.
+    /// Sequence number tagging each repair's messages.
     repair_seq: u64,
     /// Reusable incident-edge buffer for the deletion hot loop.
     scratch_incident: Vec<(NodeId, EdgeLabels)>,
@@ -74,18 +105,29 @@ pub struct DistXheal {
     scratch_free: Vec<NodeId>,
 }
 
-impl DistXheal {
-    /// Wraps an initial network: every node becomes a processor of the
-    /// message engine; all existing edges are black, per the model.
+impl DistXheal<SyncNetwork<Msg>> {
+    /// Wraps an initial network over the synchronous LOCAL-model engine:
+    /// every node becomes a processor; all existing edges are black, per
+    /// the model.
     pub fn new(initial: &Graph, config: XhealConfig) -> Self {
-        let mut network = SyncNetwork::new();
+        DistXheal::with_engine(initial, config, SyncNetwork::new())
+    }
+}
+
+impl<N: NetworkEngine<Msg>> DistXheal<N> {
+    /// Wraps an initial network over a caller-supplied engine (e.g. an
+    /// [`xheal_sim::AsyncNetwork`] with latency and faults). Existing
+    /// registrations in the engine are kept; every graph node is
+    /// (idempotently) registered as a processor.
+    pub fn with_engine(initial: &Graph, config: XhealConfig, engine: N) -> Self {
+        let mut runtime = ActorRuntime::new(engine);
         for v in initial.nodes() {
-            network.add_node(v);
+            runtime.add_node(v);
         }
         DistXheal {
             graph: initial.clone(),
             planner: RepairPlanner::new(initial.nodes(), config),
-            network,
+            runtime,
             costs: Vec::new(),
             repair_seq: 0,
             scratch_incident: Vec::new(),
@@ -104,14 +146,20 @@ impl DistXheal {
         &self.planner
     }
 
-    /// Per-deletion protocol costs, in deletion order.
+    /// The message engine underneath the actors.
+    pub fn engine(&self) -> &N {
+        self.runtime.engine()
+    }
+
+    /// Per-repair protocol costs, ascending by repair sequence (deletion
+    /// order; batch deletions contribute one entry per stage).
     pub fn costs(&self) -> &[RepairCost] {
         &self.costs
     }
 
     /// Engine-level totals (rounds, messages, drops) across the whole run.
     pub fn counters(&self) -> Counters {
-        self.network.counters()
+        self.runtime.counters()
     }
 
     /// Adversarial insertion of `v` with black edges to `neighbors`.
@@ -138,26 +186,116 @@ impl DistXheal {
             }
         }
         self.planner.note_insert(v);
-        self.network.add_node(v);
+        self.runtime.add_node(v);
         Ok(())
     }
 
     /// Adversarial deletion of `v`, healed by running the repair plan as a
-    /// probe/grant/link/splice protocol over the synchronous network.
+    /// probe/grant/link/splice actor protocol over the engine.
     ///
     /// # Errors
     ///
     /// [`HealError::NodeMissing`] if `v` is not in the network.
     pub fn delete(&mut self, v: NodeId) -> Result<DeletionReport, HealError> {
-        self.delete_inner(v, None)
+        let report = self.start_deletion(v)?;
+        self.runtime.run_active();
+        self.collect_costs();
+        Ok(report)
+    }
+
+    /// Deletes every victim (in order), then runs all their repair
+    /// protocols **concurrently**: the deletions are planned with
+    /// sequential semantics — so the healed topology is bit-identical to
+    /// deleting them one at a time — but their probe/grant/link/splice
+    /// exchanges interleave in flight, which is what overlapping failures
+    /// look like on a real network. Per-repair costs are tagged by
+    /// sequence number and never bleed into each other.
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeMissing`] if any victim is absent or duplicated
+    /// (checked before any mutation).
+    pub fn delete_many(&mut self, victims: &[NodeId]) -> Result<Vec<DeletionReport>, HealError> {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for &v in victims {
+            if !seen.insert(v) || !self.graph.contains_node(v) {
+                return Err(HealError::NodeMissing(v));
+            }
+        }
+        let mut reports = Vec::with_capacity(victims.len());
+        for &v in victims {
+            reports.push(self.start_deletion(v).expect("validated above"));
+        }
+        self.runtime.run_active();
+        self.collect_costs();
+        Ok(reports)
+    }
+
+    /// Deletes all `victims` **simultaneously** and heals each dead
+    /// component with its own concurrent repair protocol — the distributed
+    /// mirror of [`xheal_core::Xheal::heal_delete_batch`], consuming the
+    /// identical [`xheal_core::BatchRepairPlan`], hence producing the
+    /// identical topology.
+    ///
+    /// Costs are recorded per stage (the shared detach prologue when it
+    /// does structural work, then one entry per dead component), labelled
+    /// [`HealCase::Batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`HealError::NodeMissing`] if any victim is absent or duplicated
+    /// (checked before any mutation).
+    pub fn delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
+        let ctx = BatchVictim::capture(&self.graph, victims)?;
+        for bv in &ctx {
+            let _ = self.graph.remove_node(bv.node);
+            self.runtime.remove_node(bv.node);
+        }
+        let mut free_before = self.take_free_snapshot();
+        let plan = self.planner.plan_batch_deletion(&ctx);
+        plan.apply_to(&mut self.graph);
+        let dead: Vec<NodeId> = ctx.iter().map(|bv| bv.node).collect();
+        for stage in &plan.stages {
+            if stage.component.is_empty() && stage.actions.is_empty() {
+                continue; // structurally empty detach prologue
+            }
+            self.repair_seq += 1;
+            let black_degree = stage
+                .component
+                .iter()
+                .map(|v| {
+                    let i = ctx.binary_search_by_key(v, |bv| bv.node).expect("victim");
+                    ctx[i].black_boundary.len()
+                })
+                .sum();
+            self.runtime.begin_repair(
+                self.repair_seq,
+                &stage.actions,
+                &dead,
+                &free_before,
+                CostMeta {
+                    case: HealCase::Batch,
+                    black_degree,
+                    degree: stage.component.len(),
+                    combined: false,
+                },
+            );
+        }
+        free_before.clear();
+        self.scratch_free = free_before;
+        self.runtime.run_active();
+        self.collect_costs();
+        Ok(plan.report)
     }
 
     /// Like [`DistXheal::delete`], but the adversary additionally kills
     /// `casualty` *mid-protocol* (right after the probe wave), so every
     /// later message addressed to it is dropped by the engine — visible in
     /// [`DistXheal::counters`]'s `dropped` — and the casualty itself is
-    /// healed immediately afterwards. Fault-injection surface for testing
-    /// protocol robustness.
+    /// healed immediately afterwards. If the casualty was the repair's
+    /// coordinator, the state machine fails over to the next live
+    /// participant. Fault-injection surface for testing protocol
+    /// robustness.
     ///
     /// # Errors
     ///
@@ -171,16 +309,20 @@ impl DistXheal {
         if casualty == v || !self.graph.contains_node(casualty) {
             return Err(HealError::NodeMissing(casualty));
         }
-        let first = self.delete_inner(v, Some(casualty))?;
-        let second = self.delete_inner(casualty, None)?;
+        let first = self.start_deletion(v)?;
+        if self.runtime.has_pending() {
+            self.runtime.step_once(); // deliver the probe wave…
+        }
+        self.runtime.remove_node(casualty); // …then the adversary strikes
+        self.runtime.run_active();
+        self.collect_costs();
+        let second = self.delete(casualty)?;
         Ok((first, second))
     }
 
-    fn delete_inner(
-        &mut self,
-        v: NodeId,
-        mid_protocol_casualty: Option<NodeId>,
-    ) -> Result<DeletionReport, HealError> {
+    /// Removes `v` from graph and engine, plans its repair, applies the
+    /// plan to the graph, and kicks off the protocol — without running it.
+    fn start_deletion(&mut self, v: NodeId) -> Result<DeletionReport, HealError> {
         if !self.graph.contains_node(v) {
             return Err(HealError::NodeMissing(v));
         }
@@ -190,198 +332,54 @@ impl DistXheal {
         self.graph
             .remove_node_into(v, &mut incident)
             .expect("checked present");
-        self.network.remove_node(v);
+        self.runtime.remove_node(v);
 
         // Pre-repair bridge-duty snapshot: the grant messages must carry
         // the state the decisions were *made* from, and plan_deletion
-        // advances the planner past it. `nodes()` is ascending, so the
-        // reused buffer stays sorted for binary-search membership tests.
-        let mut free_before = std::mem::take(&mut self.scratch_free);
+        // advances the planner past it.
+        let mut free_before = self.take_free_snapshot();
+        let plan = self.planner.plan_deletion(v, &incident, degree);
+        plan.apply_to(&mut self.graph);
+        self.repair_seq += 1;
+        self.runtime.begin_repair(
+            self.repair_seq,
+            &plan.actions,
+            &[v],
+            &free_before,
+            CostMeta {
+                case: plan.case(),
+                black_degree: plan.report.black_degree,
+                degree,
+                combined: plan.report.combined,
+            },
+        );
+        incident.clear();
+        self.scratch_incident = incident;
         free_before.clear();
-        free_before.extend(
+        self.scratch_free = free_before;
+        Ok(plan.report)
+    }
+
+    /// The sorted free-node snapshot (nodes with no secondary duty), into
+    /// the reusable scratch buffer. `nodes()` is ascending, so the buffer
+    /// supports binary-search membership tests.
+    fn take_free_snapshot(&mut self) -> Vec<NodeId> {
+        let mut free = std::mem::take(&mut self.scratch_free);
+        free.clear();
+        free.extend(
             self.graph
                 .nodes()
                 .filter(|&u| self.planner.node_state(u).is_none_or(|st| st.is_free())),
         );
-
-        let before = self.network.counters();
-        let plan = self.planner.plan_deletion(v, &incident, degree);
-        self.execute_protocol(&plan, v, &free_before, mid_protocol_casualty);
-        plan.apply_to(&mut self.graph);
-        self.scratch_incident = incident;
-        self.scratch_free = free_before;
-        let spent = self.network.counters().since(before);
-
-        self.costs.push(RepairCost {
-            rounds: spent.rounds,
-            messages: spent.messages,
-            black_degree: plan.report.black_degree,
-            degree,
-            case: plan.case(),
-            combined: plan.report.combined,
-        });
-        Ok(plan.report)
+        free
     }
 
-    /// Runs the plan's message protocol. The graph is untouched here — the
-    /// engine only accounts rounds/messages (and drops, when nodes die
-    /// mid-protocol). `victim` is the announced deletion: everyone knows it
-    /// is gone, so no instruction is ever addressed to it; an unannounced
-    /// `casualty` instead has its in-flight messages dropped by the engine.
-    fn execute_protocol(
-        &mut self,
-        plan: &RepairPlan,
-        victim: NodeId,
-        free_before: &[NodeId],
-        casualty: Option<NodeId>,
-    ) {
-        let participants: Vec<NodeId> = plan
-            .participants()
-            .into_iter()
-            .filter(|&p| self.network.contains(p))
-            .collect();
-        let Some(&coordinator) = participants.first() else {
-            // Nothing to coordinate (degree <= 1 drop, or empty plan).
-            return;
-        };
-        self.repair_seq += 1;
-        let repair = self.repair_seq;
-
-        // Phase 1 — probe: the coordinator contacts every participant.
-        for &p in &participants {
-            if p != coordinator {
-                self.network.send(coordinator, p, Msg::Probe { repair });
-            }
-        }
-        self.step_and_drain();
-
-        // The adversary may strike while the repair is in flight: messages
-        // to the casualty from here on are dropped by the engine.
-        if let Some(dead) = casualty {
-            self.network.remove_node(dead);
-        }
-        // Coordinator failover: if the casualty was the coordinator, the
-        // next-smallest live participant takes over for the remaining
-        // phases (it holds the same plan after the grant exchange).
-        let coordinator = if self.network.contains(coordinator) {
-            coordinator
-        } else {
-            match participants
-                .iter()
-                .copied()
-                .find(|&p| self.network.contains(p))
-            {
-                Some(successor) => successor,
-                None => return,
-            }
-        };
-
-        // Phase 2 — grant: participants return the membership state the
-        // repair decisions are based on (their duty *before* this repair).
-        for &p in &participants {
-            if p != coordinator && self.network.contains(p) {
-                let free = free_before.binary_search(&p).is_ok();
-                self.network
-                    .send(p, coordinator, Msg::Grant { repair, free });
-            }
-        }
-        self.step_and_drain();
-
-        // Phase 3 — link: edge install/strip instructions to both endpoints
-        // of every planned edge (all actions disseminate in one round; the
-        // coordinator has the full plan after the grants).
-        for action in &plan.actions {
-            let color = action.color();
-            let delta = action.delta();
-            for &(a, b) in &delta.removed {
-                self.send_to_endpoints(coordinator, victim, a, b, |other| Msg::Unlink {
-                    color,
-                    other,
-                });
-            }
-            for &(a, b) in &delta.added {
-                self.send_to_endpoints(coordinator, victim, a, b, |other| Msg::Link {
-                    color,
-                    other,
-                });
-            }
-        }
-        self.step_and_drain();
-
-        // Phase 4 — splice gossip: the largest cloud under construction
-        // needs ceil(log2 m) further waves to finish its Hamilton-cycle
-        // splice; smaller builds complete within those same rounds.
-        let m = plan.max_built_cloud();
-        if m >= 2 {
-            let built: Vec<(xheal_graph::CloudColor, Vec<NodeId>)> = plan
-                .actions
-                .iter()
-                .filter_map(|a| match a {
-                    PlanAction::BuildCloud { color, members, .. } if members.len() >= 2 => {
-                        Some((*color, members.clone()))
-                    }
-                    _ => None,
-                })
-                .collect();
-            let waves = usize::BITS - (m - 1).leading_zeros(); // ceil(log2 m)
-            for wave in 0..waves {
-                for (color, members) in &built {
-                    // One token per cloud per wave, rotating over the
-                    // members other than the coordinator (its own splice
-                    // work is local) so every modeled wave costs a round.
-                    let eligible: Vec<NodeId> = members
-                        .iter()
-                        .copied()
-                        .filter(|&u| u != coordinator && self.network.contains(u))
-                        .collect();
-                    if let Some(&target) = eligible.get(wave as usize % eligible.len().max(1)) {
-                        self.network.send(
-                            coordinator,
-                            target,
-                            Msg::Splice {
-                                color: *color,
-                                wave,
-                            },
-                        );
-                    }
-                }
-                self.step_and_drain();
-            }
-        }
-    }
-
-    /// Sends `make(other)` to both endpoints of the edge `(a, b)` — each
-    /// endpoint must install/strip its side. Self-sends are local
-    /// computation at the coordinator and cost nothing; the announced
-    /// `victim` is known-dead and skipped.
-    fn send_to_endpoints(
-        &mut self,
-        coordinator: NodeId,
-        victim: NodeId,
-        a: NodeId,
-        b: NodeId,
-        make: impl Fn(NodeId) -> Msg,
-    ) {
-        if a != coordinator && a != victim {
-            self.network.send(coordinator, a, make(b));
-        }
-        if b != coordinator && b != victim {
-            self.network.send(coordinator, b, make(a));
-        }
-    }
-
-    /// Advances one round if messages are staged and clears delivered mail
-    /// (recipients process instructions immediately).
-    fn step_and_drain(&mut self) {
-        if self.network.step_if_pending() {
-            for v in self.network.nodes_with_mail() {
-                let _ = self.network.drain_inbox(v);
-            }
-        }
+    fn collect_costs(&mut self) {
+        self.costs.extend(self.runtime.take_completed());
     }
 }
 
-impl Healer for DistXheal {
+impl<N: NetworkEngine<Msg>> Healer for DistXheal<N> {
     fn name(&self) -> &'static str {
         "xheal-dist"
     }
@@ -397,21 +395,26 @@ impl Healer for DistXheal {
     fn on_delete(&mut self, v: NodeId) -> Result<(), HealError> {
         self.delete(v).map(|_| ())
     }
+
+    fn on_delete_batch(&mut self, victims: &[NodeId]) -> Result<(), HealError> {
+        self.delete_batch(victims).map(|_| ())
+    }
 }
 
 /// Check helper: the processors registered in the engine are exactly the
 /// graph's nodes (used by tests).
-pub fn network_mirrors_graph(net: &DistXheal) -> bool {
+pub fn network_mirrors_graph<N: NetworkEngine<Msg>>(net: &DistXheal<N>) -> bool {
     let graph_nodes: BTreeSet<NodeId> = net.graph.nodes().collect();
-    graph_nodes.len() == net.network.len() && graph_nodes.iter().all(|&v| net.network.contains(v))
+    graph_nodes.len() == net.engine().len() && graph_nodes.iter().all(|&v| net.engine().contains(v))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
-    use xheal_core::{HealCase, Xheal};
+    use xheal_core::Xheal;
     use xheal_graph::{components, generators};
+    use xheal_sim::{AsyncConfig, AsyncNetwork};
 
     fn n(raw: u64) -> NodeId {
         NodeId::new(raw)
@@ -434,6 +437,7 @@ mod tests {
         let mut dist = DistXheal::new(&generators::star(9), XhealConfig::new(4).with_seed(1));
         dist.delete(n(0)).unwrap();
         let c = &dist.costs()[0];
+        assert_eq!(c.repair, 1);
         assert_eq!(c.case, HealCase::AllBlack);
         assert_eq!(c.black_degree, 8);
         assert_eq!(c.degree, 8);
@@ -538,5 +542,140 @@ mod tests {
                 .unwrap_err(),
             HealError::NodeMissing(n(0))
         );
+        assert_eq!(
+            dist.delete_many(&[n(1), n(1)]).unwrap_err(),
+            HealError::NodeMissing(n(1))
+        );
+        assert_eq!(
+            dist.delete_batch(&[n(404)]).unwrap_err(),
+            HealError::NodeMissing(n(404))
+        );
+    }
+
+    #[test]
+    fn delete_many_matches_sequential_deletes_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g0 = generators::connected_erdos_renyi(32, 0.12, &mut rng);
+        let cfg = XhealConfig::new(4).with_seed(77);
+        let mut sequential = DistXheal::new(&g0, cfg.clone());
+        let mut concurrent = DistXheal::new(&g0, cfg);
+        let victims: Vec<NodeId> = g0.node_vec().into_iter().take(6).collect();
+        for &v in &victims {
+            sequential.delete(v).unwrap();
+        }
+        let reports = concurrent.delete_many(&victims).unwrap();
+        assert_eq!(reports.len(), 6);
+        assert_eq!(sequential.graph(), concurrent.graph());
+        assert_eq!(sequential.planner().stats(), concurrent.planner().stats());
+        assert!(components::is_connected(concurrent.graph()));
+        // Six repairs, each with its own tagged cost.
+        assert_eq!(concurrent.costs().len(), 6);
+        let repairs: Vec<u64> = concurrent.costs().iter().map(|c| c.repair).collect();
+        assert_eq!(repairs, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn concurrent_repairs_interleave_in_flight() {
+        // With several protocols in the air at once, the wall-clock rounds
+        // of the whole burst are far below the sum of per-repair rounds.
+        let mut rng = StdRng::seed_from_u64(33);
+        let g0 = generators::random_regular(64, 6, &mut rng);
+        let mut dist = DistXheal::new(&g0, XhealConfig::new(4).with_seed(3));
+        let victims: Vec<NodeId> = g0.node_vec().into_iter().step_by(9).take(6).collect();
+        let before = dist.counters();
+        dist.delete_many(&victims).unwrap();
+        let spent = dist.counters().since(before);
+        let per_repair_sum: u64 = dist.costs().iter().map(|c| c.rounds).sum();
+        assert!(
+            spent.rounds < per_repair_sum,
+            "burst took {} rounds but repairs sum to {per_repair_sum} — no overlap happened",
+            spent.rounds
+        );
+        assert!(components::is_connected(dist.graph()));
+    }
+
+    #[test]
+    fn delete_batch_matches_centralized_batch() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g0 = generators::connected_erdos_renyi(40, 0.1, &mut rng);
+        let cfg = XhealConfig::new(4).with_seed(13);
+        let mut central = Xheal::new(&g0, cfg.clone());
+        let mut dist = DistXheal::new(&g0, cfg);
+        let victims: Vec<NodeId> = g0.node_vec().into_iter().take(5).collect();
+        let cr = central.heal_delete_batch(&victims).unwrap();
+        let dr = dist.delete_batch(&victims).unwrap();
+        assert_eq!(central.graph(), dist.graph(), "batch topologies diverged");
+        assert_eq!(central.stats(), dist.planner().stats());
+        assert_eq!(cr.components, dr.components);
+        assert!(components::is_connected(dist.graph()));
+        let batch_costs: Vec<&RepairCost> = dist
+            .costs()
+            .iter()
+            .filter(|c| c.case == HealCase::Batch)
+            .collect();
+        assert!(!batch_costs.is_empty());
+        assert!(batch_costs.iter().any(|c| c.messages > 0));
+    }
+
+    #[test]
+    fn async_engine_zero_latency_matches_sync() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let g0 = generators::connected_erdos_renyi(28, 0.14, &mut rng);
+        let cfg = XhealConfig::new(4).with_seed(19);
+        let mut sync_net = DistXheal::new(&g0, cfg.clone());
+        let engine: AsyncNetwork<Msg> = AsyncNetwork::new(AsyncConfig::zero_latency());
+        let mut async_net = DistXheal::with_engine(&g0, cfg, engine);
+        for i in 0..8 {
+            let victim = sync_net.graph().node_vec()[i * 2];
+            sync_net.delete(victim).unwrap();
+            async_net.delete(victim).unwrap();
+        }
+        assert_eq!(sync_net.graph(), async_net.graph());
+        // Zero latency ⇒ identical delivery schedule ⇒ identical costs.
+        for (a, b) in sync_net.costs().iter().zip(async_net.costs()) {
+            assert_eq!((a.rounds, a.messages), (b.rounds, b.messages));
+        }
+    }
+
+    #[test]
+    fn async_engine_with_latency_still_heals_identically() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let g0 = generators::connected_erdos_renyi(28, 0.14, &mut rng);
+        let cfg = XhealConfig::new(4).with_seed(23);
+        let mut central = Xheal::new(&g0, cfg.clone());
+        let engine: AsyncNetwork<Msg> =
+            AsyncNetwork::new(AsyncConfig::uniform(1, 4, 7).with_jitter(2));
+        let mut dist = DistXheal::with_engine(&g0, cfg, engine);
+        for i in 0..8 {
+            let nodes = central.graph().node_vec();
+            let victim = nodes[(i * 3) % nodes.len()];
+            central.heal_delete(victim).unwrap();
+            dist.delete(victim).unwrap();
+        }
+        // Latency delays messages but decisions are the planner's: the
+        // healed topology is unchanged, only the measured rounds grow.
+        assert_eq!(central.graph(), dist.graph());
+        assert!(dist.costs().iter().any(|c| c.rounds > 0));
+        assert!(components::is_connected(dist.graph()));
+    }
+
+    #[test]
+    fn drop_faults_do_not_stall_repairs() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g0 = generators::connected_erdos_renyi(26, 0.15, &mut rng);
+        let engine: AsyncNetwork<Msg> =
+            AsyncNetwork::new(AsyncConfig::uniform(1, 3, 5).with_drop_prob(0.08));
+        let mut dist = DistXheal::with_engine(&g0, XhealConfig::new(4).with_seed(31), engine);
+        for _ in 0..10 {
+            let nodes = dist.graph().node_vec();
+            let victim = nodes[rng.random_range(0..nodes.len())];
+            dist.delete(victim).unwrap();
+            assert!(components::is_connected(dist.graph()));
+        }
+        assert!(
+            dist.counters().dropped > 0,
+            "an 8% fault rate must actually lose messages"
+        );
+        assert_eq!(dist.costs().len(), 10, "every repair completed");
     }
 }

@@ -1,21 +1,26 @@
-//! The recovery protocol's message vocabulary and per-deletion cost record.
+//! The recovery protocol's message vocabulary and per-repair cost record.
 
 use xheal_core::HealCase;
 use xheal_graph::{CloudColor, NodeId};
 
 /// Messages of the distributed recovery protocol (Section 5's LOCAL model:
-/// unbounded payloads, one hop per synchronous round).
+/// unbounded payloads, one hop per round).
 ///
-/// A repair runs in phases: the coordinator **probes** every affected node,
+/// A repair runs in phases, each a message-driven transition of the
+/// per-node actors: the coordinator **probes** every affected node,
 /// affected nodes **grant** their local cloud state back, the coordinator
-/// computes the repair plan and disseminates **link**/**unlink** edge
-/// instructions, and cloud construction finishes with O(log m) **splice**
-/// gossip waves (the distributed Hamilton-cycle splice of the Law–Siu
-/// expander).
+/// disseminates **link**/**unlink** edge instructions, and cloud
+/// construction finishes with O(log m) **splice** gossip waves (the
+/// distributed Hamilton-cycle splice of the Law–Siu expander), each wave
+/// acknowledged so the next can launch without a global clock.
+///
+/// Every message carries the sequence number of the repair it belongs to,
+/// so any number of repairs can be in flight at once — actors demultiplex
+/// on it, and the runtime attributes per-repair costs with it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// Coordinator → participant: report your cloud memberships for this
-    /// repair (keyed by the deletion's sequence number).
+    /// repair.
     Probe {
         /// Sequence number of the repair.
         repair: u64,
@@ -30,6 +35,8 @@ pub enum Msg {
     },
     /// Coordinator → edge endpoint: install a colored cloud edge to `other`.
     Link {
+        /// Sequence number of the repair.
+        repair: u64,
         /// Cloud color of the new edge.
         color: CloudColor,
         /// The other endpoint.
@@ -37,35 +44,69 @@ pub enum Msg {
     },
     /// Coordinator → edge endpoint: strip `color` from the edge to `other`.
     Unlink {
+        /// Sequence number of the repair.
+        repair: u64,
         /// Cloud color to strip.
         color: CloudColor,
         /// The other endpoint.
         other: NodeId,
     },
-    /// Hamilton-cycle splice gossip while a cloud of `color` is under
-    /// construction.
+    /// Coordinator → splice target: run gossip wave `wave` of the cloud of
+    /// `color` under construction.
     Splice {
+        /// Sequence number of the repair.
+        repair: u64,
         /// Cloud under construction.
         color: CloudColor,
         /// Gossip wave number (0-based).
         wave: u32,
     },
+    /// Splice target → coordinator: wave done, launch the next one. (Under
+    /// latency there is no shared round clock, so wave sequencing must be
+    /// message-driven.)
+    SpliceAck {
+        /// Sequence number of the repair.
+        repair: u64,
+        /// Cloud under construction.
+        color: CloudColor,
+        /// The acknowledged wave.
+        wave: u32,
+    },
 }
 
-/// Protocol cost of healing one deletion (the paper's success metrics 4
-/// and 5: recovery time and communication complexity).
+impl Msg {
+    /// The repair this message belongs to.
+    pub fn repair(&self) -> u64 {
+        match self {
+            Msg::Probe { repair }
+            | Msg::Grant { repair, .. }
+            | Msg::Link { repair, .. }
+            | Msg::Unlink { repair, .. }
+            | Msg::Splice { repair, .. }
+            | Msg::SpliceAck { repair, .. } => *repair,
+        }
+    }
+}
+
+/// Protocol cost of one repair (the paper's success metrics 4 and 5:
+/// recovery time and communication complexity).
 #[derive(Clone, Debug)]
 pub struct RepairCost {
-    /// Synchronous rounds the repair took.
+    /// Sequence number of the repair (matches the tags on its messages).
+    pub repair: u64,
+    /// Rounds from kickoff until the last protocol message landed.
     pub rounds: u64,
-    /// Messages delivered during the repair.
+    /// Messages delivered for this repair.
     pub messages: u64,
-    /// Black degree of the deleted node (Lemma 5's lower-bound unit).
+    /// Black degree of the deleted node — for batch stages, the dead
+    /// component's live black boundary size (Lemma 5's lower-bound unit).
     pub black_degree: usize,
-    /// Total degree of the deleted node at deletion time.
+    /// Total degree of the deleted node at deletion time — for batch
+    /// stages, the number of victims in the dead component.
     pub degree: usize,
-    /// Which healing case of Algorithm 3.1 applied.
+    /// Which healing case applied ([`HealCase::Batch`] for batch stages).
     pub case: HealCase,
-    /// Whether the expensive combine operation ran.
+    /// Whether the expensive combine operation ran (single deletions only;
+    /// batch stages report `false` — see the batch report instead).
     pub combined: bool,
 }

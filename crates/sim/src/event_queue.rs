@@ -1,0 +1,443 @@
+//! The asynchronous engine: a deterministic event queue with per-link
+//! latency, message reordering, and optional drop faults.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xheal_graph::NodeId;
+
+use crate::engine::{Counters, Envelope, NetworkEngine};
+
+/// Delivery model of an [`AsyncNetwork`]: per-link base latency, per-message
+/// jitter, and an optional fault rate — all driven by one seed, so every run
+/// is reproducible.
+///
+/// Each directed link `(from, to)` gets a fixed base latency drawn from
+/// `[min_latency, max_latency]` by hashing the endpoints with the seed;
+/// every message additionally draws jitter from `[0, jitter]` off the
+/// engine's RNG. Messages on slow links overtake nothing; messages on fast
+/// links overtake in-flight traffic sent earlier — genuine reordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsyncConfig {
+    /// Smallest per-link base latency, in rounds (≥ 1: nothing is delivered
+    /// in its send round, matching the LOCAL model).
+    pub min_latency: u64,
+    /// Largest per-link base latency, in rounds.
+    pub max_latency: u64,
+    /// Extra uniform per-message delay in `[0, jitter]` rounds.
+    pub jitter: u64,
+    /// Probability a message is silently lost in flight (a drop fault),
+    /// decided at send time from the seeded RNG. Lost messages surface in
+    /// [`Counters::dropped`] and [`NetworkEngine::drain_dropped_into`] when
+    /// their delivery round arrives.
+    pub drop_prob: f64,
+    /// Seed of the engine's randomness (link latencies, jitter, faults).
+    pub seed: u64,
+}
+
+impl AsyncConfig {
+    /// The degenerate model equal to [`crate::SyncNetwork`]'s delivery: every
+    /// message arrives exactly one round after it was sent, nothing is lost,
+    /// and the RNG is never consumed. The cross-validation suite runs the
+    /// actor protocol over this configuration and asserts bit-identical
+    /// topologies with the synchronous engine.
+    pub fn zero_latency() -> Self {
+        AsyncConfig {
+            min_latency: 1,
+            max_latency: 1,
+            jitter: 0,
+            drop_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Uniform per-link base latencies in `[min, max]` rounds, no jitter, no
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is 0 or `min > max`.
+    pub fn uniform(min: u64, max: u64, seed: u64) -> Self {
+        assert!(min >= 1, "latency below one round breaks the LOCAL model");
+        assert!(min <= max, "empty latency range");
+        AsyncConfig {
+            min_latency: min,
+            max_latency: max,
+            jitter: 0,
+            drop_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// Adds per-message jitter of up to `jitter` rounds.
+    pub fn with_jitter(mut self, jitter: u64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Adds drop faults with the given per-message probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// The worst-case delivery delay of any single message under this model.
+    pub fn worst_case_delay(&self) -> u64 {
+        self.max_latency + self.jitter
+    }
+
+    /// Fixed base latency of the directed link `from → to`.
+    fn link_latency(&self, from: NodeId, to: NodeId) -> u64 {
+        if self.min_latency == self.max_latency {
+            return self.min_latency;
+        }
+        let span = self.max_latency - self.min_latency + 1;
+        self.min_latency + mix3(self.seed, from.as_u64(), to.as_u64()) % span
+    }
+}
+
+/// SplitMix64-style avalanche of three words — the per-link latency hash.
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(c);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One scheduled delivery. Ordered by `(due, seq)` only, so the heap's pop
+/// order — and therefore the whole simulation — is deterministic and
+/// independent of the payload type.
+#[derive(Clone, Debug)]
+struct Scheduled<M> {
+    due: u64,
+    seq: u64,
+    /// A drop fault already claimed this message; at `due` it goes to the
+    /// dropped log instead of an inbox.
+    doomed: bool,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    /// Reversed so the max-heap [`BinaryHeap`] pops the *earliest* delivery.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// The asynchronous event-queue engine.
+///
+/// Rounds still exist (recovery time stays measurable in the paper's unit)
+/// but messages take a per-link number of rounds to arrive, can overtake
+/// each other, and can be lost to seeded drop faults. With
+/// [`AsyncConfig::zero_latency`] it is observationally equivalent to
+/// [`crate::SyncNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use xheal_graph::NodeId;
+/// use xheal_sim::{AsyncConfig, AsyncNetwork, NetworkEngine};
+///
+/// let mut net: AsyncNetwork<&'static str> =
+///     AsyncNetwork::new(AsyncConfig::uniform(1, 3, 42));
+/// let (a, b) = (NodeId::new(1), NodeId::new(2));
+/// net.add_node(a);
+/// net.add_node(b);
+/// net.send(a, b, "ping");
+/// let mut inbox = Vec::new();
+/// while net.has_pending() {
+///     net.step();
+/// }
+/// net.drain_inbox_into(b, &mut inbox);
+/// assert_eq!(inbox[0].payload, "ping");
+/// assert!(net.counters().rounds >= 1 && net.counters().rounds <= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsyncNetwork<M> {
+    nodes: BTreeSet<NodeId>,
+    queue: BinaryHeap<Scheduled<M>>,
+    inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
+    dropped: Vec<Envelope<M>>,
+    now: u64,
+    seq: u64,
+    rng: StdRng,
+    config: AsyncConfig,
+    counters: Counters,
+}
+
+impl<M> AsyncNetwork<M> {
+    /// Creates an empty network with the given delivery model.
+    pub fn new(config: AsyncConfig) -> Self {
+        AsyncNetwork {
+            nodes: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            inboxes: BTreeMap::new(),
+            dropped: Vec::new(),
+            now: 0,
+            seq: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The delivery model in force.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.config
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<M> Default for AsyncNetwork<M> {
+    fn default() -> Self {
+        AsyncNetwork::new(AsyncConfig::zero_latency())
+    }
+}
+
+impl<M> NetworkEngine<M> for AsyncNetwork<M> {
+    fn add_node(&mut self, v: NodeId) {
+        self.nodes.insert(v);
+    }
+
+    fn remove_node(&mut self, v: NodeId) {
+        self.nodes.remove(&v);
+        self.inboxes.remove(&v);
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        assert!(self.nodes.contains(&from), "sender {from} not registered");
+        let mut delay = self.config.link_latency(from, to);
+        if self.config.jitter > 0 {
+            delay += self.rng.random_range(0..=self.config.jitter);
+        }
+        let doomed = self.config.drop_prob > 0.0 && self.rng.random_bool(self.config.drop_prob);
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            due: self.now + delay,
+            seq: self.seq,
+            doomed,
+            env: Envelope { from, to, payload },
+        });
+    }
+
+    fn step(&mut self) -> usize {
+        self.now += 1;
+        self.counters.rounds += 1;
+        let mut delivered = 0;
+        while self.queue.peek().is_some_and(|s| s.due <= self.now) {
+            let s = self.queue.pop().expect("peeked");
+            if s.doomed || !self.nodes.contains(&s.env.to) {
+                self.counters.dropped += 1;
+                self.dropped.push(s.env);
+            } else {
+                self.inboxes.entry(s.env.to).or_default().push(s.env);
+                delivered += 1;
+            }
+        }
+        self.counters.messages += delivered as u64;
+        delivered
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn nodes_with_mail_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.inboxes.keys().copied());
+    }
+
+    fn drain_inbox_into(&mut self, v: NodeId, out: &mut Vec<Envelope<M>>) {
+        out.clear();
+        if let Some(mut inbox) = self.inboxes.remove(&v) {
+            out.append(&mut inbox);
+        }
+    }
+
+    fn drain_dropped_into(&mut self, out: &mut Vec<Envelope<M>>) {
+        out.clear();
+        out.append(&mut self.dropped);
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncNetwork;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn mesh<M>(config: AsyncConfig, k: u64) -> AsyncNetwork<M> {
+        let mut net = AsyncNetwork::new(config);
+        for i in 0..k {
+            net.add_node(n(i));
+        }
+        net
+    }
+
+    /// Drives an engine until quiet, returning `(rounds, deliveries)` where
+    /// deliveries is the flattened `(to, payload)` stream in arrival order.
+    fn drain_all<E: NetworkEngine<u32>>(net: &mut E) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::new();
+        let mut with_mail = Vec::new();
+        let mut mail = Vec::new();
+        while net.has_pending() {
+            net.step();
+            net.nodes_with_mail_into(&mut with_mail);
+            for &v in &with_mail {
+                net.drain_inbox_into(v, &mut mail);
+                for env in mail.drain(..) {
+                    out.push((v, env.payload));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zero_latency_matches_sync_delivery() {
+        let mut sync: SyncNetwork<u32> = SyncNetwork::new();
+        let mut anet = mesh(AsyncConfig::zero_latency(), 4);
+        for i in 0..4 {
+            NetworkEngine::add_node(&mut sync, n(i));
+        }
+        for (from, to, p) in [(0, 1, 10), (2, 3, 20), (1, 0, 30)] {
+            NetworkEngine::send(&mut sync, n(from), n(to), p);
+            anet.send(n(from), n(to), p);
+        }
+        assert_eq!(drain_all(&mut sync), drain_all(&mut anet));
+        assert_eq!(sync.counters().rounds, anet.counters().rounds);
+        assert_eq!(sync.counters().messages, anet.counters().messages);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut net = mesh(AsyncConfig::uniform(1, 5, 7).with_jitter(2), 6);
+            for i in 0..30u32 {
+                net.send(n(u64::from(i) % 6), n(u64::from(i + 1) % 6), i);
+            }
+            drain_all(&mut net)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_reorders_messages_across_links() {
+        // With heterogeneous link latencies, some pair of messages sent in
+        // one order arrives in the other order.
+        let mut net = mesh(AsyncConfig::uniform(1, 6, 3), 8);
+        for i in 0..8u32 {
+            net.send(n(0), n(1 + u64::from(i) % 7), i);
+        }
+        let arrivals = drain_all(&mut net);
+        assert_eq!(arrivals.len(), 8, "everything still arrives");
+        let payload_order: Vec<u32> = arrivals.iter().map(|&(_, p)| p).collect();
+        let mut sorted = payload_order.clone();
+        sorted.sort_unstable();
+        assert_ne!(payload_order, sorted, "send order survived — no reordering");
+    }
+
+    #[test]
+    fn same_link_fifo_without_jitter() {
+        // A fixed per-link latency cannot reorder same-link traffic.
+        let mut net = mesh(AsyncConfig::uniform(1, 6, 11), 2);
+        for i in 0..10u32 {
+            net.send(n(0), n(1), i);
+        }
+        let arrivals = drain_all(&mut net);
+        let payloads: Vec<u32> = arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_faults_lose_messages_observably() {
+        let mut net = mesh(AsyncConfig::uniform(1, 2, 9).with_drop_prob(0.5), 4);
+        for i in 0..40u32 {
+            net.send(n(0), n(1 + u64::from(i) % 3), i);
+        }
+        let arrivals = drain_all(&mut net);
+        let c = net.counters();
+        assert_eq!(arrivals.len() as u64, c.messages);
+        assert!(c.dropped > 0, "p=0.5 over 40 messages");
+        assert_eq!(c.messages + c.dropped, 40);
+        let mut lost = Vec::new();
+        net.drain_dropped_into(&mut lost);
+        assert_eq!(lost.len() as u64, c.dropped);
+    }
+
+    #[test]
+    fn dead_recipient_drops_at_delivery_time() {
+        let mut net = mesh(AsyncConfig::uniform(3, 3, 1), 3);
+        net.send(n(0), n(2), 5);
+        net.step();
+        net.remove_node(n(2)); // dies while the message is in flight
+        net.step();
+        net.step();
+        assert_eq!(net.counters().dropped, 1);
+        assert_eq!(net.counters().messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_sender_panics() {
+        let mut net: AsyncNetwork<u32> = mesh(AsyncConfig::zero_latency(), 1);
+        net.send(n(9), n(0), 1);
+    }
+
+    #[test]
+    fn link_latencies_are_stable_and_bounded() {
+        let cfg = AsyncConfig::uniform(2, 7, 123);
+        for a in 0..10 {
+            for b in 0..10 {
+                let l = cfg.link_latency(n(a), n(b));
+                assert!((2..=7).contains(&l));
+                assert_eq!(l, cfg.link_latency(n(a), n(b)), "latency is per-link");
+            }
+        }
+    }
+}

@@ -1,13 +1,32 @@
 //! # xheal-sim
 //!
-//! A synchronous-round message-passing engine for the paper's distributed
-//! model (Section 2): the **LOCAL** model — unbounded message sizes, one hop
-//! per round, reliable private channels. Messages staged during a round are
-//! delivered at the next [`SyncNetwork::step`]; the engine counts rounds and
-//! delivered messages, which are exactly the paper's success metrics 4
-//! (recovery time) and 5 (communication complexity).
+//! Message-delivery substrates for the paper's distributed model (Section
+//! 2): the protocol layer in `xheal-dist` is written against the
+//! [`NetworkEngine`] trait (membership, send, step, drain, counters) and
+//! this crate ships two implementations of it:
 //!
-//! The engine is payload-generic; `xheal-dist` instantiates it with the
+//! - [`SyncNetwork`] — the **LOCAL model taken literally**: unbounded
+//!   message sizes, reliable private channels, every message delivered
+//!   exactly one synchronous round after it was sent. This is the reference
+//!   substrate; the paper's recovery-time (rounds) and communication
+//!   (messages) metrics are read straight off its [`Counters`].
+//! - [`AsyncNetwork`] — a **deterministic event queue** modelling realistic
+//!   delivery: every directed link gets a seeded base latency, messages can
+//!   carry extra jitter and overtake each other (reordering), and an
+//!   optional seeded fault rate loses messages in flight. With
+//!   [`AsyncConfig::zero_latency`] it degenerates to the synchronous
+//!   engine's behaviour, which the cross-validation suite exploits to pin
+//!   the actor protocol: bit-identical topologies across engines.
+//!
+//! Both engines count rounds, delivered messages, and drops — exactly the
+//! paper's success metrics 4 (recovery time) and 5 (communication
+//! complexity) plus the loss the fault injector needs to observe. Dropped
+//! messages are kept (not just counted) and handed to the protocol layer
+//! via [`NetworkEngine::drain_dropped_into`], which is how the actor
+//! runtime in `xheal-dist` cancels expectations on replies that will never
+//! arrive.
+//!
+//! The engines are payload-generic; `xheal-dist` instantiates them with the
 //! Xheal recovery protocol's message enum.
 //!
 //! # Examples
@@ -27,250 +46,32 @@
 //! assert_eq!(net.rounds(), 1);
 //! assert_eq!(net.messages(), 1);
 //! ```
+//!
+//! The same exchange under latency — generic code sees one trait:
+//!
+//! ```
+//! use xheal_graph::NodeId;
+//! use xheal_sim::{AsyncConfig, AsyncNetwork, NetworkEngine};
+//!
+//! let mut net: AsyncNetwork<u32> = AsyncNetwork::new(AsyncConfig::uniform(1, 4, 7));
+//! net.add_node(NodeId::new(1));
+//! net.add_node(NodeId::new(2));
+//! net.send(NodeId::new(1), NodeId::new(2), 99);
+//! let mut rounds = 0;
+//! while net.has_pending() {
+//!     net.step();
+//!     rounds += 1;
+//! }
+//! assert!((1..=4).contains(&rounds)); // the link's seeded latency
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, BTreeSet};
+mod engine;
+mod event_queue;
+mod sync;
 
-use xheal_graph::NodeId;
-
-/// One in-flight message.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Envelope<M> {
-    /// Sender.
-    pub from: NodeId,
-    /// Recipient.
-    pub to: NodeId,
-    /// Payload (arbitrary size — LOCAL model).
-    pub payload: M,
-}
-
-/// Cumulative cost counters of a network.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Counters {
-    /// Synchronous rounds stepped.
-    pub rounds: u64,
-    /// Messages delivered.
-    pub messages: u64,
-    /// Messages dropped because the recipient left the network.
-    pub dropped: u64,
-}
-
-impl Counters {
-    /// Component-wise difference (`self - earlier`), for per-operation costs.
-    pub fn since(&self, earlier: Counters) -> Counters {
-        Counters {
-            rounds: self.rounds - earlier.rounds,
-            messages: self.messages - earlier.messages,
-            dropped: self.dropped - earlier.dropped,
-        }
-    }
-}
-
-/// The synchronous-round engine.
-#[derive(Clone, Debug, Default)]
-pub struct SyncNetwork<M> {
-    nodes: BTreeSet<NodeId>,
-    staged: Vec<Envelope<M>>,
-    inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
-    counters: Counters,
-}
-
-impl<M> SyncNetwork<M> {
-    /// Creates an empty network.
-    pub fn new() -> Self {
-        SyncNetwork {
-            nodes: BTreeSet::new(),
-            staged: Vec::new(),
-            inboxes: BTreeMap::new(),
-            counters: Counters::default(),
-        }
-    }
-
-    /// Registers a processor. Idempotent.
-    pub fn add_node(&mut self, v: NodeId) {
-        self.nodes.insert(v);
-    }
-
-    /// Removes a processor; its pending inbox is discarded and any staged
-    /// messages to it will be dropped at delivery time (the adversary
-    /// deleted it mid-protocol).
-    pub fn remove_node(&mut self, v: NodeId) {
-        self.nodes.remove(&v);
-        self.inboxes.remove(&v);
-    }
-
-    /// Is the processor registered?
-    pub fn contains(&self, v: NodeId) -> bool {
-        self.nodes.contains(&v)
-    }
-
-    /// Number of registered processors.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// True when no processors are registered.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Stages a message for delivery at the next [`SyncNetwork::step`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sender is not registered (recipients may legitimately
-    /// disappear before delivery; senders cannot).
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
-        assert!(self.nodes.contains(&from), "sender {from} not registered");
-        self.staged.push(Envelope { from, to, payload });
-    }
-
-    /// Advances one synchronous round, delivering all staged messages.
-    /// Returns the number delivered.
-    pub fn step(&mut self) -> usize {
-        self.counters.rounds += 1;
-        let mut delivered = 0;
-        for env in self.staged.drain(..) {
-            if self.nodes.contains(&env.to) {
-                self.inboxes.entry(env.to).or_default().push(env);
-                delivered += 1;
-            } else {
-                self.counters.dropped += 1;
-            }
-        }
-        self.counters.messages += delivered as u64;
-        delivered
-    }
-
-    /// Steps only if messages are staged; returns whether a round ran.
-    pub fn step_if_pending(&mut self) -> bool {
-        if self.staged.is_empty() {
-            return false;
-        }
-        self.step();
-        true
-    }
-
-    /// Takes all messages waiting at `v`.
-    pub fn drain_inbox(&mut self, v: NodeId) -> Vec<Envelope<M>> {
-        self.inboxes.remove(&v).unwrap_or_default()
-    }
-
-    /// Nodes with non-empty inboxes, ascending.
-    pub fn nodes_with_mail(&self) -> Vec<NodeId> {
-        self.inboxes.keys().copied().collect()
-    }
-
-    /// Are messages staged for the next round?
-    pub fn has_staged(&self) -> bool {
-        !self.staged.is_empty()
-    }
-
-    /// Cost counters so far.
-    pub fn counters(&self) -> Counters {
-        self.counters
-    }
-
-    /// Rounds stepped so far.
-    pub fn rounds(&self) -> u64 {
-        self.counters.rounds
-    }
-
-    /// Messages delivered so far.
-    pub fn messages(&self) -> u64 {
-        self.counters.messages
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn n(raw: u64) -> NodeId {
-        NodeId::new(raw)
-    }
-
-    fn net3() -> SyncNetwork<u32> {
-        let mut net = SyncNetwork::new();
-        for i in 0..3 {
-            net.add_node(n(i));
-        }
-        net
-    }
-
-    #[test]
-    fn delivery_is_next_round() {
-        let mut net = net3();
-        net.send(n(0), n(1), 7);
-        assert!(net.drain_inbox(n(1)).is_empty(), "not delivered yet");
-        net.step();
-        let inbox = net.drain_inbox(n(1));
-        assert_eq!(inbox.len(), 1);
-        assert_eq!(inbox[0].from, n(0));
-        assert_eq!(inbox[0].payload, 7);
-    }
-
-    #[test]
-    fn messages_to_dead_nodes_are_dropped() {
-        let mut net = net3();
-        net.send(n(0), n(2), 1);
-        net.remove_node(n(2));
-        net.step();
-        assert_eq!(net.counters().dropped, 1);
-        assert_eq!(net.messages(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "not registered")]
-    fn unregistered_sender_panics() {
-        let mut net = net3();
-        net.send(n(9), n(0), 1);
-    }
-
-    #[test]
-    fn counters_accumulate_and_diff() {
-        let mut net = net3();
-        net.send(n(0), n(1), 1);
-        net.step();
-        let snapshot = net.counters();
-        net.send(n(1), n(2), 2);
-        net.send(n(1), n(0), 3);
-        net.step();
-        let delta = net.counters().since(snapshot);
-        assert_eq!(delta.rounds, 1);
-        assert_eq!(delta.messages, 2);
-    }
-
-    #[test]
-    fn step_if_pending_skips_empty_rounds() {
-        let mut net = net3();
-        assert!(!net.step_if_pending());
-        assert_eq!(net.rounds(), 0);
-        net.send(n(0), n(1), 1);
-        assert!(net.step_if_pending());
-        assert_eq!(net.rounds(), 1);
-    }
-
-    #[test]
-    fn inbox_drain_clears() {
-        let mut net = net3();
-        net.send(n(0), n(1), 1);
-        net.step();
-        assert_eq!(net.nodes_with_mail(), vec![n(1)]);
-        assert_eq!(net.drain_inbox(n(1)).len(), 1);
-        assert!(net.drain_inbox(n(1)).is_empty());
-        assert!(net.nodes_with_mail().is_empty());
-    }
-
-    #[test]
-    fn removed_node_inbox_discarded() {
-        let mut net = net3();
-        net.send(n(0), n(1), 1);
-        net.step();
-        net.remove_node(n(1));
-        net.add_node(n(1));
-        assert!(net.drain_inbox(n(1)).is_empty());
-    }
-}
+pub use engine::{Counters, Envelope, NetworkEngine};
+pub use event_queue::{AsyncConfig, AsyncNetwork};
+pub use sync::SyncNetwork;

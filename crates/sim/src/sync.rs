@@ -1,0 +1,296 @@
+//! The synchronous-round engine: the paper's LOCAL model taken literally.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xheal_graph::NodeId;
+
+use crate::engine::{Counters, Envelope, NetworkEngine};
+
+/// The synchronous-round engine: every message staged during round `r` is
+/// delivered at round `r + 1`, reliably and in send order. This is the
+/// LOCAL model of the paper's Section 2 with no adversarial scheduling —
+/// the reference substrate the asynchronous engine is validated against.
+#[derive(Clone, Debug, Default)]
+pub struct SyncNetwork<M> {
+    nodes: BTreeSet<NodeId>,
+    staged: Vec<Envelope<M>>,
+    inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
+    dropped: Vec<Envelope<M>>,
+    counters: Counters,
+}
+
+impl<M> SyncNetwork<M> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        SyncNetwork {
+            nodes: BTreeSet::new(),
+            staged: Vec::new(),
+            inboxes: BTreeMap::new(),
+            dropped: Vec::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Registers a processor. Idempotent.
+    pub fn add_node(&mut self, v: NodeId) {
+        self.nodes.insert(v);
+    }
+
+    /// Removes a processor; its pending inbox is discarded and any staged
+    /// messages to it will be dropped at delivery time (the adversary
+    /// deleted it mid-protocol).
+    pub fn remove_node(&mut self, v: NodeId) {
+        self.nodes.remove(&v);
+        self.inboxes.remove(&v);
+    }
+
+    /// Is the processor registered?
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Number of registered processors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no processors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Stages a message for delivery at the next [`SyncNetwork::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sender is not registered (recipients may legitimately
+    /// disappear before delivery; senders cannot).
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        assert!(self.nodes.contains(&from), "sender {from} not registered");
+        self.staged.push(Envelope { from, to, payload });
+    }
+
+    /// Advances one synchronous round, delivering all staged messages.
+    /// Returns the number delivered.
+    pub fn step(&mut self) -> usize {
+        self.counters.rounds += 1;
+        let mut delivered = 0;
+        for env in self.staged.drain(..) {
+            if self.nodes.contains(&env.to) {
+                self.inboxes.entry(env.to).or_default().push(env);
+                delivered += 1;
+            } else {
+                self.counters.dropped += 1;
+                self.dropped.push(env);
+            }
+        }
+        self.counters.messages += delivered as u64;
+        delivered
+    }
+
+    /// Steps only if messages are staged; returns whether a round ran.
+    pub fn step_if_pending(&mut self) -> bool {
+        if self.staged.is_empty() {
+            return false;
+        }
+        self.step();
+        true
+    }
+
+    /// Takes all messages waiting at `v`.
+    pub fn drain_inbox(&mut self, v: NodeId) -> Vec<Envelope<M>> {
+        self.inboxes.remove(&v).unwrap_or_default()
+    }
+
+    /// Nodes with non-empty inboxes, ascending. Borrows — the per-round
+    /// delivery loop uses [`NetworkEngine::nodes_with_mail_into`] with a
+    /// reusable buffer instead, since it must mutate the network while
+    /// iterating.
+    pub fn nodes_with_mail(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.inboxes.keys().copied()
+    }
+
+    /// Are messages staged for the next round?
+    pub fn has_staged(&self) -> bool {
+        !self.staged.is_empty()
+    }
+
+    /// Cost counters so far.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Rounds stepped so far.
+    pub fn rounds(&self) -> u64 {
+        self.counters.rounds
+    }
+
+    /// Messages delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.counters.messages
+    }
+}
+
+impl<M> NetworkEngine<M> for SyncNetwork<M> {
+    fn add_node(&mut self, v: NodeId) {
+        SyncNetwork::add_node(self, v);
+    }
+
+    fn remove_node(&mut self, v: NodeId) {
+        SyncNetwork::remove_node(self, v);
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        SyncNetwork::contains(self, v)
+    }
+
+    fn len(&self) -> usize {
+        SyncNetwork::len(self)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        SyncNetwork::send(self, from, to, payload);
+    }
+
+    fn step(&mut self) -> usize {
+        SyncNetwork::step(self)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.has_staged()
+    }
+
+    fn nodes_with_mail_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.inboxes.keys().copied());
+    }
+
+    fn drain_inbox_into(&mut self, v: NodeId, out: &mut Vec<Envelope<M>>) {
+        out.clear();
+        if let Some(mut inbox) = self.inboxes.remove(&v) {
+            out.append(&mut inbox);
+        }
+    }
+
+    fn drain_dropped_into(&mut self, out: &mut Vec<Envelope<M>>) {
+        out.clear();
+        out.append(&mut self.dropped);
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn net3() -> SyncNetwork<u32> {
+        let mut net = SyncNetwork::new();
+        for i in 0..3 {
+            net.add_node(n(i));
+        }
+        net
+    }
+
+    #[test]
+    fn delivery_is_next_round() {
+        let mut net = net3();
+        net.send(n(0), n(1), 7);
+        assert!(net.drain_inbox(n(1)).is_empty(), "not delivered yet");
+        net.step();
+        let inbox = net.drain_inbox(n(1));
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].from, n(0));
+        assert_eq!(inbox[0].payload, 7);
+    }
+
+    #[test]
+    fn messages_to_dead_nodes_are_dropped() {
+        let mut net = net3();
+        net.send(n(0), n(2), 1);
+        net.remove_node(n(2));
+        net.step();
+        assert_eq!(net.counters().dropped, 1);
+        assert_eq!(net.messages(), 0);
+        let mut dropped = Vec::new();
+        net.drain_dropped_into(&mut dropped);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].to, n(2));
+        net.drain_dropped_into(&mut dropped);
+        assert!(dropped.is_empty(), "drained once");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_sender_panics() {
+        let mut net = net3();
+        net.send(n(9), n(0), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let mut net = net3();
+        net.send(n(0), n(1), 1);
+        net.step();
+        let snapshot = net.counters();
+        net.send(n(1), n(2), 2);
+        net.send(n(1), n(0), 3);
+        net.step();
+        let delta = net.counters().since(snapshot);
+        assert_eq!(delta.rounds, 1);
+        assert_eq!(delta.messages, 2);
+    }
+
+    #[test]
+    fn step_if_pending_skips_empty_rounds() {
+        let mut net = net3();
+        assert!(!net.step_if_pending());
+        assert_eq!(net.rounds(), 0);
+        net.send(n(0), n(1), 1);
+        assert!(net.step_if_pending());
+        assert_eq!(net.rounds(), 1);
+    }
+
+    #[test]
+    fn inbox_drain_clears() {
+        let mut net = net3();
+        net.send(n(0), n(1), 1);
+        net.step();
+        assert_eq!(net.nodes_with_mail().collect::<Vec<_>>(), vec![n(1)]);
+        assert_eq!(net.drain_inbox(n(1)).len(), 1);
+        assert!(net.drain_inbox(n(1)).is_empty());
+        assert_eq!(net.nodes_with_mail().count(), 0);
+    }
+
+    #[test]
+    fn nodes_with_mail_into_reuses_buffer() {
+        let mut net = net3();
+        net.send(n(0), n(1), 1);
+        net.send(n(0), n(2), 2);
+        net.step();
+        let mut buf = vec![n(99)]; // stale content must be cleared
+        NetworkEngine::nodes_with_mail_into(&net, &mut buf);
+        assert_eq!(buf, vec![n(1), n(2)]);
+        let mut mail = Vec::new();
+        net.drain_inbox_into(n(1), &mut mail);
+        assert_eq!(mail.len(), 1);
+        net.drain_inbox_into(n(1), &mut mail);
+        assert!(mail.is_empty());
+    }
+
+    #[test]
+    fn removed_node_inbox_discarded() {
+        let mut net = net3();
+        net.send(n(0), n(1), 1);
+        net.step();
+        net.remove_node(n(1));
+        net.add_node(n(1));
+        assert!(net.drain_inbox(n(1)).is_empty());
+    }
+}

@@ -194,6 +194,99 @@ impl Adversary for InsertOnly {
     }
 }
 
+/// Correlated burst deletions: every `period`-th event kills a whole
+/// *neighborhood* at once (a rack, a failure domain) as one
+/// [`Event::DeleteBatch`]; the events in between insert fresh nodes so the
+/// network keeps growing into the next burst. The victims are gathered by
+/// breadth-first search from a random seed node, so a burst is a
+/// topologically clustered hole — the hardest shape for repairs that
+/// assume victims heal each other's neighborhoods.
+#[derive(Clone, Debug)]
+pub struct BurstDeletions {
+    /// Victims per burst (bursts shrink near `min_nodes`).
+    pub burst_size: usize,
+    /// A burst fires every `period` events; the rest insert.
+    pub period: usize,
+    /// Maximum neighbors given to inserted nodes.
+    pub max_neighbors: usize,
+    /// Never delete below this size.
+    pub min_nodes: usize,
+    step: usize,
+    ids: IdAllocator,
+}
+
+impl BurstDeletions {
+    /// Creates the strategy; fresh ids start above all existing node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_size` or `period` is zero.
+    pub fn new(
+        burst_size: usize,
+        period: usize,
+        max_neighbors: usize,
+        min_nodes: usize,
+        graph: &Graph,
+    ) -> Self {
+        assert!(burst_size > 0 && period > 0);
+        let mut ids = IdAllocator::new();
+        for v in graph.nodes() {
+            ids.observe(v);
+        }
+        BurstDeletions {
+            burst_size,
+            period,
+            max_neighbors,
+            min_nodes,
+            step: 0,
+            ids,
+        }
+    }
+}
+
+/// Collects up to `want` victims by BFS from `seed` (always including
+/// `seed` itself), ascending-neighbor order for determinism — the shape of
+/// a correlated failure domain ("rack"). Shared by [`BurstDeletions`] and
+/// the burst experiments so every harness means the same thing by a rack.
+pub fn bfs_rack(graph: &Graph, seed: NodeId, want: usize) -> Vec<NodeId> {
+    let mut rack = vec![seed];
+    let mut in_rack: std::collections::BTreeSet<NodeId> = [seed].into_iter().collect();
+    let mut frontier = 0;
+    while rack.len() < want && frontier < rack.len() {
+        let v = rack[frontier];
+        frontier += 1;
+        for u in graph.neighbors(v) {
+            if rack.len() >= want {
+                break;
+            }
+            if in_rack.insert(u) {
+                rack.push(u);
+            }
+        }
+    }
+    rack
+}
+
+impl Adversary for BurstDeletions {
+    fn name(&self) -> &'static str {
+        "burst-deletions"
+    }
+
+    fn next_event(&mut self, graph: &Graph, rng: &mut StdRng) -> Option<Event> {
+        self.step += 1;
+        let headroom = graph.node_count().saturating_sub(self.min_nodes);
+        if self.step % self.period == 0 && headroom > 0 {
+            let seed = random_live(graph, rng)?;
+            let rack = bfs_rack(graph, seed, self.burst_size.min(headroom));
+            return Some(Event::DeleteBatch { nodes: rack });
+        }
+        Some(Event::Insert {
+            node: self.ids.fresh(),
+            neighbors: random_neighbors(graph, rng, self.max_neighbors),
+        })
+    }
+}
+
 /// Replays a fixed event script (used by figure reproductions).
 #[derive(Clone, Debug)]
 pub struct Scripted {
@@ -281,6 +374,39 @@ mod tests {
         let mut adv = DeleteOnly::new(Targeting::Random, 3);
         let mut rng = StdRng::seed_from_u64(5);
         assert!(adv.next_event(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn burst_deletions_fire_clustered_batches() {
+        let g = generators::cycle(20);
+        let mut adv = BurstDeletions::new(4, 3, 2, 4, &g);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Steps 1 and 2 insert; step 3 bursts.
+        assert!(!adv.next_event(&g, &mut rng).unwrap().is_delete());
+        assert!(!adv.next_event(&g, &mut rng).unwrap().is_delete());
+        let e = adv.next_event(&g, &mut rng).unwrap();
+        let Event::DeleteBatch { nodes } = e else {
+            panic!("expected a burst, got {e:?}");
+        };
+        assert_eq!(nodes.len(), 4);
+        // BFS gathering makes the rack connected in the cycle: victims form
+        // one contiguous arc, so consecutive ids (mod 20) are adjacent.
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "victims are distinct");
+    }
+
+    #[test]
+    fn burst_deletions_respect_min_nodes() {
+        let g = generators::cycle(5);
+        let mut adv = BurstDeletions::new(10, 1, 2, 3, &g);
+        let mut rng = StdRng::seed_from_u64(10);
+        let e = adv.next_event(&g, &mut rng).unwrap();
+        let Event::DeleteBatch { nodes } = e else {
+            panic!("period 1 must burst immediately");
+        };
+        assert_eq!(nodes.len(), 2, "burst clamped to the headroom above min");
     }
 
     #[test]

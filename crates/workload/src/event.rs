@@ -2,7 +2,9 @@
 
 use xheal_graph::NodeId;
 
-/// One adversary move: insert a node with chosen connections, or delete one.
+/// One adversary move: insert a node with chosen connections, delete one
+/// node, or delete a whole set of nodes *simultaneously* (the multi-deletion
+/// extension — healed by one batch repair, not node-by-node).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
     /// Insert `node` with black edges to `neighbors`.
@@ -17,19 +19,35 @@ pub enum Event {
         /// The victim.
         node: NodeId,
     },
+    /// Delete every node in `nodes` at once (a burst: all victims are gone
+    /// before any repair runs).
+    DeleteBatch {
+        /// The victims, distinct, in batch order.
+        nodes: Vec<NodeId>,
+    },
 }
 
 impl Event {
-    /// The node this event concerns.
+    /// The node this event concerns — for batches, the first victim.
     pub fn node(&self) -> NodeId {
         match self {
             Event::Insert { node, .. } | Event::Delete { node } => *node,
+            Event::DeleteBatch { nodes } => *nodes.first().expect("non-empty batch"),
         }
     }
 
-    /// Is this a deletion?
+    /// Every node this event deletes (empty for insertions).
+    pub fn victims(&self) -> &[NodeId] {
+        match self {
+            Event::Insert { .. } => &[],
+            Event::Delete { node } => std::slice::from_ref(node),
+            Event::DeleteBatch { nodes } => nodes,
+        }
+    }
+
+    /// Is this a deletion (single or batch)?
     pub fn is_delete(&self) -> bool {
-        matches!(self, Event::Delete { .. })
+        matches!(self, Event::Delete { .. } | Event::DeleteBatch { .. })
     }
 }
 
@@ -44,11 +62,19 @@ mod tests {
         };
         assert!(e.is_delete());
         assert_eq!(e.node(), NodeId::new(4));
+        assert_eq!(e.victims(), &[NodeId::new(4)]);
         let i = Event::Insert {
             node: NodeId::new(5),
             neighbors: vec![],
         };
         assert!(!i.is_delete());
         assert_eq!(i.node(), NodeId::new(5));
+        assert!(i.victims().is_empty());
+        let b = Event::DeleteBatch {
+            nodes: vec![NodeId::new(7), NodeId::new(8)],
+        };
+        assert!(b.is_delete());
+        assert_eq!(b.node(), NodeId::new(7));
+        assert_eq!(b.victims().len(), 2);
     }
 }

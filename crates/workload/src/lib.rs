@@ -1,11 +1,13 @@
 //! # xheal-workload
 //!
 //! Adversarial workload machinery for the node insert/delete/repair model:
-//! the [`Event`] vocabulary, [`Adversary`] strategies (random churn, targeted
-//! deletion — including articulation-point hunting by the omniscient
-//! adversary — growth-only, and scripted replays), and the [`run`] driver
-//! that feeds any [`xheal_core::Healer`] while tracking the insertion-only
-//! reference graph `G'`.
+//! the [`Event`] vocabulary (insertions, deletions, and simultaneous
+//! [`Event::DeleteBatch`] bursts), [`Adversary`] strategies (random churn,
+//! targeted deletion — including articulation-point hunting by the
+//! omniscient adversary — growth-only, correlated [`BurstDeletions`]
+//! rack-failures, and scripted replays), and the [`run`] driver that feeds
+//! any [`xheal_core::Healer`] while tracking the insertion-only reference
+//! graph `G'`.
 //!
 //! # Examples
 //!
@@ -29,6 +31,8 @@ mod adversary;
 mod event;
 mod runner;
 
-pub use adversary::{Adversary, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting};
+pub use adversary::{
+    bfs_rack, Adversary, BurstDeletions, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting,
+};
 pub use event::Event;
 pub use runner::{replay, run, RunSummary};

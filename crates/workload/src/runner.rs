@@ -65,6 +65,12 @@ pub fn run(
                     .unwrap_or_else(|e| panic!("adversary produced bad delete: {e}"));
                 deletions += 1;
             }
+            Event::DeleteBatch { nodes } => {
+                healer
+                    .on_delete_batch(nodes)
+                    .unwrap_or_else(|e| panic!("adversary produced bad batch: {e}"));
+                deletions += nodes.len();
+            }
         }
         events.push(event);
     }
@@ -92,6 +98,9 @@ pub fn replay(healer: &mut dyn Healer, events: &[Event]) {
             Event::Delete { node } => healer
                 .on_delete(*node)
                 .unwrap_or_else(|e| panic!("replay bad delete: {e}")),
+            Event::DeleteBatch { nodes } => healer
+                .on_delete_batch(nodes)
+                .unwrap_or_else(|e| panic!("replay bad batch: {e}")),
         }
     }
 }
@@ -124,6 +133,24 @@ mod tests {
         let summary = run(&mut healer, &mut adv, 100, 3);
         assert_eq!(summary.deletions, 5);
         assert_eq!(healer.graph().node_count(), 5);
+    }
+
+    #[test]
+    fn burst_run_heals_batches_and_counts_victims() {
+        use crate::adversary::BurstDeletions;
+        let g0 = generators::connected_erdos_renyi(30, 0.12, &mut StdRng::seed_from_u64(4));
+        let mut healer = Xheal::new(&g0, XhealConfig::new(4).with_seed(8));
+        let mut adv = BurstDeletions::new(3, 4, 2, 8, &g0);
+        let summary = run(&mut healer, &mut adv, 24, 77);
+        assert!(
+            summary.deletions > summary.events.iter().filter(|e| e.is_delete()).count(),
+            "batches count every victim"
+        );
+        assert!(components::is_connected(healer.graph()));
+        // Replay drives the same batches through on_delete_batch.
+        let mut b = Xheal::new(&g0, XhealConfig::new(4).with_seed(8));
+        replay(&mut b, &summary.events);
+        assert_eq!(healer.graph(), b.graph());
     }
 
     #[test]

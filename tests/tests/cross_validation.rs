@@ -4,9 +4,10 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use xheal_core::{Healer, Xheal, XhealConfig};
-use xheal_dist::DistXheal;
+use xheal_dist::{DistXheal, Msg};
 use xheal_graph::{components, generators};
-use xheal_workload::{replay, run, RandomChurn};
+use xheal_sim::{AsyncConfig, AsyncNetwork};
+use xheal_workload::{bfs_rack, replay, run, BurstDeletions, RandomChurn};
 
 #[test]
 fn distributed_equals_centralized_on_random_churn() {
@@ -82,16 +83,143 @@ fn distributed_message_cost_tracks_degree() {
 
 #[test]
 fn healer_trait_object_interoperability() {
-    // DistXheal and Xheal both run behind the same trait object, so every
-    // experiment harness accepts either.
+    // DistXheal (over either engine) and Xheal all run behind the same
+    // trait object, so every experiment harness accepts any of them.
     let g0 = generators::cycle(12);
     let mut healers: Vec<Box<dyn Healer>> = vec![
         Box::new(Xheal::new(&g0, XhealConfig::default())),
         Box::new(DistXheal::new(&g0, XhealConfig::default())),
+        Box::new(DistXheal::with_engine(
+            &g0,
+            XhealConfig::default(),
+            AsyncNetwork::<Msg>::new(AsyncConfig::uniform(1, 3, 4)),
+        )),
     ];
     for h in &mut healers {
         let mut adv = RandomChurn::new(0.5, 2, 6, &g0);
         let _ = run(h.as_mut(), &mut adv, 20, 2);
         assert!(components::is_connected(h.graph()), "{}", h.name());
+    }
+}
+
+#[test]
+fn async_zero_latency_bit_identical_three_ways() {
+    // The acceptance gate of the actor refactor: Xheal, DistXheal over the
+    // synchronous engine, and DistXheal over the zero-latency async engine
+    // produce bit-identical topologies on identical schedules — including
+    // batch deletions.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let g0 = generators::connected_erdos_renyi(40, 0.1, &mut rng);
+    let cfg = XhealConfig::new(6).with_seed(4242);
+
+    let mut central = Xheal::new(&g0, cfg.clone());
+    let mut adv = BurstDeletions::new(3, 4, 3, 12, &g0);
+    let summary = run(&mut central, &mut adv, 40, 999);
+    assert!(
+        summary.events.iter().any(|e| e.victims().len() > 1),
+        "schedule must contain real bursts"
+    );
+
+    let mut sync_dist = DistXheal::new(&g0, cfg.clone());
+    replay(&mut sync_dist, &summary.events);
+    let mut async_dist = DistXheal::with_engine(
+        &g0,
+        cfg,
+        AsyncNetwork::<Msg>::new(AsyncConfig::zero_latency()),
+    );
+    replay(&mut async_dist, &summary.events);
+
+    assert_eq!(central.graph(), sync_dist.graph(), "sync diverged");
+    assert_eq!(central.graph(), async_dist.graph(), "async diverged");
+    assert_eq!(central.stats(), sync_dist.planner().stats());
+    assert_eq!(central.stats(), async_dist.planner().stats());
+    // Zero latency means the delivery schedule is the synchronous one, so
+    // even the measured per-repair costs coincide.
+    assert_eq!(sync_dist.costs().len(), async_dist.costs().len());
+    for (a, b) in sync_dist.costs().iter().zip(async_dist.costs()) {
+        assert_eq!(
+            (a.repair, a.rounds, a.messages),
+            (b.repair, b.rounds, b.messages)
+        );
+    }
+    assert!(components::is_connected(async_dist.graph()));
+}
+
+#[test]
+fn async_latency_run_stays_connected_within_round_budget() {
+    // Under seeded per-link latency and jitter, repairs take longer in wall
+    // rounds but the healed topology is unchanged and recovery time stays
+    // within the latency-scaled O(log n) budget.
+    for n in [64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64 ^ 0xA51C);
+        let g0 = generators::random_regular(n, 6, &mut rng);
+        let lat = AsyncConfig::uniform(1, 3, 17).with_jitter(1);
+        let worst = lat.worst_case_delay();
+        let mut central = Xheal::new(&g0, XhealConfig::new(6).with_seed(3));
+        let mut net = DistXheal::with_engine(
+            &g0,
+            XhealConfig::new(6).with_seed(3),
+            AsyncNetwork::<Msg>::new(lat),
+        );
+        for _ in 0..n / 3 {
+            let nodes = net.graph().node_vec();
+            let victim = nodes[rng.random_range(0..nodes.len())];
+            central.heal_delete(victim).unwrap();
+            net.delete(victim).unwrap();
+            assert!(components::is_connected(net.graph()));
+        }
+        assert_eq!(
+            central.graph(),
+            net.graph(),
+            "latency must not change healing"
+        );
+        let max_rounds = net.costs().iter().map(|c| c.rounds).max().unwrap();
+        // Every protocol phase is a constant number of message exchanges
+        // except the ⌈log₂ m⌉ acknowledged splice waves, so worst-case
+        // delivery delay multiplies straight into the budget.
+        let budget = 4.0 * worst as f64 * (n as f64).log2();
+        assert!(
+            (max_rounds as f64) <= budget,
+            "n={n}: {max_rounds} rounds exceeds 4*L*log2(n) = {budget}"
+        );
+    }
+}
+
+#[test]
+fn async_burst_deletions_under_latency_converge() {
+    // Bursts (batch deletions) under latency: overlapping per-component
+    // protocols, messages reordered in flight, connectivity after every
+    // burst, and the same topology the centralized batch healer builds.
+    let mut rng = StdRng::seed_from_u64(31337);
+    let g0 = generators::random_regular(96, 6, &mut rng);
+    let cfg = XhealConfig::new(4).with_seed(55);
+    let mut central = Xheal::new(&g0, cfg.clone());
+    let mut net = DistXheal::with_engine(
+        &g0,
+        cfg,
+        AsyncNetwork::<Msg>::new(AsyncConfig::uniform(1, 4, 9).with_jitter(2)),
+    );
+    for round in 0..6 {
+        // A clustered rack of 4: a node and its BFS neighborhood.
+        let nodes = net.graph().node_vec();
+        let seed = nodes[rng.random_range(0..nodes.len())];
+        let rack = bfs_rack(net.graph(), seed, 4);
+        central.heal_delete_batch(&rack).unwrap();
+        net.delete_batch(&rack).unwrap();
+        assert!(
+            components::is_connected(net.graph()),
+            "round {round}: disconnected after burst {rack:?}"
+        );
+    }
+    assert_eq!(central.graph(), net.graph(), "batch healing diverged");
+    let log2n = (96f64).log2();
+    let worst = 4 + 2; // max base latency + jitter
+    for c in net.costs() {
+        assert!(
+            (c.rounds as f64) <= 4.0 * worst as f64 * log2n,
+            "repair {} blew the latency-scaled O(log n) budget: {} rounds",
+            c.repair,
+            c.rounds
+        );
     }
 }
