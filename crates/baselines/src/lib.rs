@@ -1,7 +1,10 @@
 //! # xheal-baselines
 //!
 //! Baseline self-healing strategies the paper's Related Work section compares
-//! Xheal against, all implementing [`xheal_core::Healer`]:
+//! Xheal against, all implementing the unified [`xheal_core::HealingEngine`]
+//! API (and the older [`xheal_core::Healer`] trait), so every workload,
+//! bench, and cross-validation driver accepts them interchangeably with
+//! Xheal:
 //!
 //! - [`NoHeal`]: deletion removes the node and nothing else (the network may
 //!   disconnect — this is the "do nothing" control);
@@ -36,19 +39,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use xheal_core::{HealError, Healer};
+use xheal_core::{
+    BatchReport, BatchVictim, DeletionReport, Event, HealCase, HealError, Healer, HealingEngine,
+    Outcome, SinkRegistry, TopologyDelta, TopologySink,
+};
 use xheal_graph::{Graph, NodeId};
 
 /// Shared adversary-event plumbing for the baselines.
 #[derive(Clone, Debug)]
 struct BaseState {
     graph: Graph,
+    /// Topology-delta subscribers (cloning a baseline drops them).
+    sinks: SinkRegistry,
+    /// Patch edges added by the repair currently executing.
+    op_edges_added: usize,
 }
 
 impl BaseState {
     fn new(initial: &Graph) -> Self {
         BaseState {
             graph: initial.clone(),
+            sinks: SinkRegistry::default(),
+            op_edges_added: 0,
         }
     }
 
@@ -62,21 +74,74 @@ impl BaseState {
             }
         }
         self.graph.add_node(v).expect("fresh");
+        if !self.sinks.is_empty() {
+            self.sinks.emit(TopologyDelta::NodeAdded(v));
+        }
         for &u in neighbors {
             if u != v {
-                let _ = self.graph.add_black_edge(v, u);
+                let created = self.graph.add_black_edge(v, u).unwrap_or(false);
+                if created && !self.sinks.is_empty() {
+                    self.sinks.emit(TopologyDelta::EdgeAdded {
+                        a: v,
+                        b: u,
+                        color: None,
+                    });
+                }
             }
         }
         Ok(())
     }
 
-    /// Removes `v`, returning its ex-neighbors sorted ascending.
+    /// Removes `v`, returning its ex-neighbors sorted ascending, and resets
+    /// the per-repair patch-edge counter.
     fn delete(&mut self, v: NodeId) -> Result<Vec<NodeId>, HealError> {
         if !self.graph.contains_node(v) {
             return Err(HealError::NodeMissing(v));
         }
         let incident = self.graph.remove_node(v).expect("checked");
+        if !self.sinks.is_empty() {
+            self.sinks.emit(TopologyDelta::NodeRemoved(v));
+        }
+        self.op_edges_added = 0;
         Ok(incident.into_iter().map(|(u, _)| u).collect())
+    }
+
+    /// Adds one black repair edge, counting and streaming it. Duplicate
+    /// edges are tolerated (and neither counted nor emitted).
+    fn patch_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            return;
+        }
+        let created = self.graph.add_black_edge(u, v).unwrap_or(false);
+        if created {
+            self.op_edges_added += 1;
+            if !self.sinks.is_empty() {
+                self.sinks.emit(TopologyDelta::EdgeAdded {
+                    a: u,
+                    b: v,
+                    color: None,
+                });
+            }
+        }
+    }
+
+    /// The [`DeletionReport`] of the repair that just ran. Baseline edges
+    /// are all black, so a deletion is the model's all-black Case 1
+    /// (degree ≤ 1 victims are simply dropped, as in Xheal).
+    fn deletion_report(&self, degree: usize) -> DeletionReport {
+        DeletionReport {
+            case: if degree <= 1 {
+                HealCase::Dropped
+            } else {
+                HealCase::AllBlack
+            },
+            edges_added: self.op_edges_added,
+            edges_removed: 0,
+            combined: false,
+            shares: 0,
+            black_degree: degree,
+            degree,
+        }
     }
 }
 
@@ -88,6 +153,24 @@ macro_rules! baseline_common {
                 $ty {
                     base: BaseState::new(initial),
                 }
+            }
+
+            /// Human-readable strategy name (used in experiment tables).
+            pub fn name(&self) -> &'static str {
+                $name
+            }
+
+            /// The current healed network graph `G_t`.
+            pub fn graph(&self) -> &Graph {
+                &self.base.graph
+            }
+
+            /// Deletes `v` and runs this strategy's patch, reporting the
+            /// repair like any other engine.
+            fn heal_one(&mut self, v: NodeId) -> Result<DeletionReport, HealError> {
+                let nbrs = self.base.delete(v)?;
+                self.patch(&nbrs);
+                Ok(self.base.deletion_report(nbrs.len()))
             }
         }
 
@@ -105,9 +188,56 @@ macro_rules! baseline_common {
             }
 
             fn on_delete(&mut self, v: NodeId) -> Result<(), HealError> {
-                let nbrs = self.base.delete(v)?;
-                self.patch(&nbrs);
-                Ok(())
+                self.heal_one(v).map(|_| ())
+            }
+        }
+
+        impl HealingEngine for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn graph(&self) -> &Graph {
+                &self.base.graph
+            }
+
+            fn apply(&mut self, event: &Event) -> Result<Outcome, HealError> {
+                match event {
+                    Event::Insert { node, neighbors } => {
+                        self.base.insert(*node, neighbors)?;
+                        Ok(Outcome::Inserted)
+                    }
+                    Event::Delete { node } => Ok(Outcome::Healed {
+                        report: self.heal_one(*node)?,
+                        cost: None,
+                    }),
+                    // Baselines have no simultaneous-deletion repair: the
+                    // batch is healed victim-by-victim (the sequential
+                    // approximation of `Healer::on_delete_batch`), with each
+                    // victim its own "component".
+                    Event::DeleteBatch { nodes } => {
+                        BatchVictim::validate(&self.base.graph, nodes)?;
+                        let mut edges_added = 0;
+                        for &v in nodes.iter() {
+                            edges_added += self.heal_one(v)?.edges_added;
+                        }
+                        Ok(Outcome::Batch {
+                            report: BatchReport {
+                                victims: nodes.len(),
+                                components: nodes.len(),
+                                secondaries_built: 0,
+                                combines: 0,
+                                edges_added,
+                                edges_removed: 0,
+                            },
+                            cost: None,
+                        })
+                    }
+                }
+            }
+
+            fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
+                self.base.sinks.register(sink);
             }
         }
     };
@@ -137,13 +267,13 @@ impl CycleHeal {
             return;
         }
         if nbrs.len() == 2 {
-            let _ = self.base.graph.add_black_edge(nbrs[0], nbrs[1]);
+            self.base.patch_edge(nbrs[0], nbrs[1]);
             return;
         }
         for i in 0..nbrs.len() {
             let a = nbrs[i];
             let b = nbrs[(i + 1) % nbrs.len()];
-            let _ = self.base.graph.add_black_edge(a, b);
+            self.base.patch_edge(a, b);
         }
     }
 }
@@ -163,19 +293,19 @@ impl StarHeal {
         }
         let hub = nbrs[0];
         for &u in &nbrs[1..] {
-            let _ = self.base.graph.add_black_edge(hub, u);
+            self.base.patch_edge(hub, u);
         }
     }
 }
 
 baseline_common!(StarHeal, "star-heal");
 
-fn tree_patch(graph: &mut Graph, ordered: &[NodeId]) {
+fn tree_patch(base: &mut BaseState, ordered: &[NodeId]) {
     // Heap-indexed balanced binary tree: node i links to children 2i+1, 2i+2.
     for i in 0..ordered.len() {
         for c in [2 * i + 1, 2 * i + 2] {
-            if c < ordered.len() && ordered[i] != ordered[c] {
-                let _ = graph.add_black_edge(ordered[i], ordered[c]);
+            if c < ordered.len() {
+                base.patch_edge(ordered[i], ordered[c]);
             }
         }
     }
@@ -193,7 +323,7 @@ impl BinaryTreeHeal {
         if nbrs.len() < 2 {
             return;
         }
-        tree_patch(&mut self.base.graph, nbrs);
+        tree_patch(&mut self.base, nbrs);
     }
 }
 
@@ -214,7 +344,7 @@ impl ForgivingLike {
         }
         let mut ordered: Vec<NodeId> = nbrs.to_vec();
         ordered.sort_by_key(|&v| (self.base.graph.degree(v).unwrap_or(0), v));
-        tree_patch(&mut self.base.graph, &ordered);
+        tree_patch(&mut self.base, &ordered);
     }
 }
 
@@ -223,6 +353,18 @@ baseline_common!(ForgivingLike, "forgiving-like");
 /// All baseline constructors boxed behind the [`Healer`] trait, for
 /// experiment sweeps.
 pub fn all_baselines(initial: &Graph) -> Vec<Box<dyn Healer>> {
+    vec![
+        Box::new(NoHeal::new(initial)),
+        Box::new(CycleHeal::new(initial)),
+        Box::new(StarHeal::new(initial)),
+        Box::new(BinaryTreeHeal::new(initial)),
+        Box::new(ForgivingLike::new(initial)),
+    ]
+}
+
+/// All baseline constructors boxed behind the unified [`HealingEngine`]
+/// trait, for event-driven experiment sweeps.
+pub fn all_engines(initial: &Graph) -> Vec<Box<dyn HealingEngine>> {
     vec![
         Box::new(NoHeal::new(initial)),
         Box::new(CycleHeal::new(initial)),
@@ -331,5 +473,85 @@ mod tests {
         dedup.dedup();
         assert_eq!(names.len(), 5);
         assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn engines_apply_and_report_outcomes() {
+        use xheal_core::Event;
+        for mut h in all_engines(&generators::star(8)) {
+            let name = h.name();
+            let out = h
+                .apply(&Event::Delete {
+                    node: NodeId::new(0),
+                })
+                .unwrap();
+            let xheal_core::Outcome::Healed { report, cost: None } = &out else {
+                panic!("{name}: expected Healed outcome, got {out:?}");
+            };
+            assert_eq!(report.degree, 7, "{name}");
+            assert_eq!(report.black_degree, 7, "{name}");
+            assert_eq!(out.edges_added(), report.edges_added, "{name}");
+            if name != "no-heal" {
+                assert!(report.edges_added > 0, "{name} patched nothing");
+                assert!(components::is_connected(h.graph()), "{name}");
+            }
+            // Batch = sequential approximation, one component per victim.
+            let out = h
+                .apply(&Event::DeleteBatch {
+                    nodes: vec![NodeId::new(1), NodeId::new(2)],
+                })
+                .unwrap();
+            let xheal_core::Outcome::Batch { report, .. } = &out else {
+                panic!("{name}: expected Batch outcome");
+            };
+            assert_eq!((report.victims, report.components), (2, 2), "{name}");
+            // Invalid events are rejected without mutation.
+            let nodes_before = h.graph().node_count();
+            assert!(h
+                .apply(&Event::DeleteBatch {
+                    nodes: vec![NodeId::new(3), NodeId::new(3)],
+                })
+                .is_err());
+            assert!(h
+                .apply(&Event::Delete {
+                    node: NodeId::new(999),
+                })
+                .is_err());
+            assert_eq!(h.graph().node_count(), nodes_before, "{name}");
+        }
+    }
+
+    #[test]
+    fn baseline_deltas_feed_a_mirror() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use xheal_core::{DeltaMirror, Event};
+
+        let g0 = generators::star(10);
+        for mut h in all_engines(&g0) {
+            let mirror = Rc::new(RefCell::new(DeltaMirror::new(&g0)));
+            h.subscribe(Box::new(Rc::clone(&mirror)));
+            let events = [
+                Event::Delete {
+                    node: NodeId::new(0),
+                },
+                Event::Insert {
+                    node: NodeId::new(77),
+                    neighbors: vec![NodeId::new(1), NodeId::new(2)],
+                },
+                Event::DeleteBatch {
+                    nodes: vec![NodeId::new(2), NodeId::new(5)],
+                },
+            ];
+            for e in &events {
+                h.apply(e).unwrap();
+                assert_eq!(
+                    h.graph(),
+                    mirror.borrow().graph(),
+                    "{} diverged from its mirror on {e:?}",
+                    HealingEngine::name(h.as_ref())
+                );
+            }
+        }
     }
 }

@@ -8,7 +8,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use xheal_baselines::{BinaryTreeHeal, CycleHeal, NoHeal};
 use xheal_bench::{f, header, row, srow, verdict};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_core::{HealingEngine, Xheal, XhealConfig};
 use xheal_graph::generators;
 use xheal_metrics::stretch;
 use xheal_workload::{run, DeleteOnly, Targeting};
@@ -24,7 +24,7 @@ fn main() {
         let g0 = generators::connected_erdos_renyi(n, 4.0 / n as f64, &mut rng);
         let log2n = (n as f64).log2();
 
-        let healers: Vec<Box<dyn Healer>> = vec![
+        let healers: Vec<Box<dyn HealingEngine>> = vec![
             Box::new(Xheal::new(&g0, XhealConfig::new(6).with_seed(1))),
             Box::new(CycleHeal::new(&g0)),
             Box::new(BinaryTreeHeal::new(&g0)),

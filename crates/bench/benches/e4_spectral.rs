@@ -10,7 +10,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use xheal_baselines::{BinaryTreeHeal, CycleHeal};
 use xheal_bench::{f, header, row, srow, verdict};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_core::{HealingEngine, Xheal, XhealConfig};
 use xheal_graph::{generators, Graph};
 use xheal_spectral::normalized_algebraic_connectivity;
 use xheal_workload::{run, DeleteOnly, Targeting};
@@ -38,7 +38,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(n as u64 ^ 0xE4);
         let g0 = generators::random_regular(n, 6, &mut rng);
 
-        let healers: Vec<Box<dyn Healer>> = vec![
+        let healers: Vec<Box<dyn HealingEngine>> = vec![
             Box::new(Xheal::new(&g0, XhealConfig::new(kappa).with_seed(2))),
             Box::new(CycleHeal::new(&g0)),
             Box::new(BinaryTreeHeal::new(&g0)),

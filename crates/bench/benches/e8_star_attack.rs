@@ -7,7 +7,7 @@
 
 use xheal_baselines::{BinaryTreeHeal, CycleHeal, ForgivingLike, StarHeal};
 use xheal_bench::{f, fo, header, row, srow, verdict};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_core::{Event, HealingEngine, Xheal, XhealConfig};
 use xheal_graph::{cuts, generators, NodeId};
 use xheal_spectral::normalized_algebraic_connectivity;
 
@@ -22,7 +22,7 @@ fn main() {
 
     for n in [17usize, 65, 257, 1025] {
         let g0 = generators::star(n);
-        let healers: Vec<Box<dyn Healer>> = vec![
+        let healers: Vec<Box<dyn HealingEngine>> = vec![
             Box::new(Xheal::new(&g0, XhealConfig::new(6).with_seed(8))),
             Box::new(CycleHeal::new(&g0)),
             Box::new(BinaryTreeHeal::new(&g0)),
@@ -30,7 +30,11 @@ fn main() {
             Box::new(StarHeal::new(&g0)),
         ];
         for mut healer in healers {
-            healer.on_delete(NodeId::new(0)).unwrap();
+            healer
+                .apply(&Event::Delete {
+                    node: NodeId::new(0),
+                })
+                .unwrap();
             let h = if n <= 18 {
                 cuts::edge_expansion_exact(healer.graph()).map(|c| c.value)
             } else {

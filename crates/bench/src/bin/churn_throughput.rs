@@ -16,13 +16,70 @@
 //!   bit-identical edge sets (the determinism guarantee of the rewrite).
 //!
 //! Output is `BENCH_throughput.json` (override with `--out`); `--smoke`
-//! shrinks sizes for CI. Run the full measurement with:
+//! shrinks sizes for CI. With the `bench` feature a counting global
+//! allocator additionally records heap allocations per measurement phase
+//! (`"allocs"` fields, `"alloc_counting": true`), so regressions in the
+//! zero-alloc hot paths fail loudly. Run the full measurement with:
 //!
 //! ```text
-//! cargo run --release -p xheal-bench --bin churn_throughput
+//! cargo run --release -p xheal-bench --features bench --bin churn_throughput
 //! ```
 
 use std::time::{Duration, Instant};
+
+/// Counting global allocator (the `bench` feature): every allocation bumps
+/// a relaxed atomic, so phases can report exact heap-allocation counts.
+/// The schedule is fully seeded, so counts are deterministic per phase.
+#[cfg(feature = "bench")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counter has no effect on
+    // allocation behavior.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static A: CountingAlloc = CountingAlloc;
+
+    /// Allocations since process start.
+    pub fn current() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Allocations since process start (0 without the `bench` feature).
+fn alloc_count() -> u64 {
+    #[cfg(feature = "bench")]
+    {
+        alloc_count::current()
+    }
+    #[cfg(not(feature = "bench"))]
+    {
+        0
+    }
+}
+
+/// Whether allocation counting is live in this build.
+const ALLOC_COUNTING: bool = cfg!(feature = "bench");
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -174,6 +231,8 @@ struct MicroResult {
     deletes: usize,
     graph: Quantiles,
     op: Quantiles,
+    /// Heap allocations across the measurement loop (0 without `bench`).
+    allocs: u64,
     fingerprint: u64,
 }
 
@@ -189,6 +248,7 @@ fn run_micro<B: Backend>(g0: &Graph, deletes: usize) -> MicroResult {
     let mut incident: Vec<(NodeId, EdgeLabels)> = Vec::new();
     let mut graph_ns: Vec<u64> = Vec::with_capacity(deletes);
     let mut op_ns: Vec<u64> = Vec::with_capacity(deletes);
+    let allocs_before = alloc_count();
 
     for _ in 0..deletes {
         let v = live.swap_remove(adv.random_range(0..live.len()));
@@ -206,10 +266,12 @@ fn run_micro<B: Backend>(g0: &Graph, deletes: usize) -> MicroResult {
         graph_ns.push(spent_graph.as_nanos() as u64);
     }
 
+    let allocs = alloc_count() - allocs_before;
     MicroResult {
         deletes,
         graph: quantiles(&mut graph_ns),
         op: quantiles(&mut op_ns),
+        allocs,
         fingerprint: backend.edge_fingerprint(),
     }
 }
@@ -219,6 +281,8 @@ struct ChurnResult {
     events: usize,
     inserts: usize,
     deletes: usize,
+    /// Heap allocations across the measurement loop (0 without `bench`).
+    allocs: u64,
     elapsed: Duration,
     heal: Quantiles,
     peak_edges: usize,
@@ -242,6 +306,7 @@ fn run_churn<B: Backend>(g0: &Graph, events: usize) -> ChurnResult {
     let mut deletes = 0usize;
     let mut peak_edges = 0usize;
     let mut elapsed = Duration::ZERO;
+    let allocs_before = alloc_count();
 
     for _ in 0..events {
         if live.len() < 8 || adv.random::<f64>() < 0.5 {
@@ -280,10 +345,12 @@ fn run_churn<B: Backend>(g0: &Graph, events: usize) -> ChurnResult {
         peak_edges = peak_edges.max(backend.edge_count());
     }
 
+    let allocs = alloc_count() - allocs_before;
     ChurnResult {
         events,
         inserts,
         deletes,
+        allocs,
         elapsed,
         heal: quantiles(&mut heal_ns),
         peak_edges,
@@ -369,9 +436,10 @@ fn measure_size(n: usize, micro_deletes: usize, churn_events: usize, trials: usi
 
     let micro_backend = |r: &MicroResult| {
         format!(
-            "{{\"graph_side\": {}, \"full_op\": {}}}",
+            "{{\"graph_side\": {}, \"full_op\": {}, \"allocs\": {}}}",
             json_quantiles(&r.graph),
-            json_quantiles(&r.op)
+            json_quantiles(&r.op),
+            r.allocs,
         )
     };
     let micro_json = format!(
@@ -384,13 +452,14 @@ fn measure_size(n: usize, micro_deletes: usize, churn_events: usize, trials: usi
     );
     let churn_backend = |r: &ChurnResult| {
         format!(
-            "{{\"events_per_sec\": {:.1}, \"heal_latency\": {}, \"peak_edges\": {}, \"final_edges\": {}, \"inserts\": {}, \"deletes\": {}}}",
+            "{{\"events_per_sec\": {:.1}, \"heal_latency\": {}, \"peak_edges\": {}, \"final_edges\": {}, \"inserts\": {}, \"deletes\": {}, \"allocs\": {}}}",
             eps(r),
             json_quantiles(&r.heal),
             r.peak_edges,
             r.final_edges,
             r.inserts,
             r.deletes,
+            r.allocs,
         )
     };
     let churn_json = format!(
@@ -470,7 +539,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"xheal-churn-throughput/v1\",\n  \"smoke\": {smoke},\n  \"kappa\": {KAPPA},\n  \"planner_seed\": {PLANNER_SEED},\n  \"adversary_seed\": {ADVERSARY_SEED},\n  \"sizes\": [\n{}\n  ],\n  \"summary\": {{\n    \"micro_graph_side_speedup_min\": {min_micro:.3},\n    \"micro_graph_side_speedup_max\": {max_micro:.3},\n    \"churn_events_per_sec_speedup_min\": {min_churn:.3},\n    \"churn_events_per_sec_speedup_max\": {max_churn:.3},\n    \"micro_full_op_speedups\": [{}],\n    \"topology_match\": {all_match}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"xheal-churn-throughput/v1\",\n  \"smoke\": {smoke},\n  \"alloc_counting\": {ALLOC_COUNTING},\n  \"kappa\": {KAPPA},\n  \"planner_seed\": {PLANNER_SEED},\n  \"adversary_seed\": {ADVERSARY_SEED},\n  \"sizes\": [\n{}\n  ],\n  \"summary\": {{\n    \"micro_graph_side_speedup_min\": {min_micro:.3},\n    \"micro_graph_side_speedup_max\": {max_micro:.3},\n    \"churn_events_per_sec_speedup_min\": {min_churn:.3},\n    \"churn_events_per_sec_speedup_max\": {max_churn:.3},\n    \"micro_full_op_speedups\": [{}],\n    \"topology_match\": {all_match}\n  }}\n}}\n",
         size_entries.join(",\n"),
         reports
             .iter()

@@ -41,6 +41,10 @@ pub struct BatchReport {
     pub secondaries_built: usize,
     /// Combine operations triggered.
     pub combines: usize,
+    /// Colored edges added across all stages of the repair.
+    pub edges_added: usize,
+    /// Colored-edge labels stripped across all stages of the repair.
+    pub edges_removed: usize,
 }
 
 /// The pre-deletion context of one batch victim, captured from the graph
@@ -58,21 +62,40 @@ pub struct BatchVictim {
 }
 
 impl BatchVictim {
-    /// Validates `victims` against `graph` and captures the per-victim
-    /// context the planner needs, ascending by node id.
+    /// Validates `victims` against `graph` — all present, no duplicates —
+    /// without capturing context or mutating anything. This is the one
+    /// batch-rejection rule every engine shares: [`BatchVictim::capture`]
+    /// applies it for Xheal and the distributed executor, and the
+    /// baselines' sequential batch approximation calls it directly, so all
+    /// engines reject invalid bursts identically.
     ///
     /// # Errors
     ///
     /// [`HealError::NodeMissing`] if any victim is absent; duplicate victims
     /// are rejected the same way (the second occurrence is already gone).
-    /// Nothing is mutated.
-    pub fn capture(graph: &Graph, victims: &[NodeId]) -> Result<Vec<BatchVictim>, HealError> {
+    pub fn validate(graph: &Graph, victims: &[NodeId]) -> Result<(), HealError> {
+        Self::victim_set(graph, victims).map(|_| ())
+    }
+
+    /// The validated, deduplicated victim set (see [`BatchVictim::validate`]).
+    fn victim_set(graph: &Graph, victims: &[NodeId]) -> Result<BTreeSet<NodeId>, HealError> {
         let mut set: BTreeSet<NodeId> = BTreeSet::new();
         for &v in victims {
             if !set.insert(v) || !graph.contains_node(v) {
                 return Err(HealError::NodeMissing(v));
             }
         }
+        Ok(set)
+    }
+
+    /// Validates `victims` against `graph` and captures the per-victim
+    /// context the planner needs, ascending by node id.
+    ///
+    /// # Errors
+    ///
+    /// As in [`BatchVictim::validate`]. Nothing is mutated.
+    pub fn capture(graph: &Graph, victims: &[NodeId]) -> Result<Vec<BatchVictim>, HealError> {
+        let set = Self::victim_set(graph, victims)?;
         Ok(set
             .iter()
             .map(|&v| {
@@ -126,8 +149,14 @@ impl BatchRepairPlan {
 
     /// Applies every stage to `graph`, in order.
     pub fn apply_to(&self, graph: &mut Graph) {
+        self.apply_streamed(graph, &mut crate::engine::SinkRegistry::default());
+    }
+
+    /// Applies every stage to `graph`, in order, emitting the
+    /// [`crate::TopologyDelta`] stream to `sinks`.
+    pub fn apply_streamed(&self, graph: &mut Graph, sinks: &mut crate::engine::SinkRegistry) {
         for action in self.actions() {
-            action.apply_to(graph);
+            action.apply_streamed(graph, sinks);
         }
     }
 }
@@ -173,12 +202,15 @@ impl Xheal {
     /// any mutation); duplicate victims are rejected the same way.
     pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
         let ctx = BatchVictim::capture(self.graph(), victims)?;
-        let (graph, planner) = self.batch_parts();
+        let (graph, planner, sinks) = self.batch_parts();
         for bv in &ctx {
             let _ = graph.remove_node(bv.node);
+            if !sinks.is_empty() {
+                sinks.emit(crate::engine::TopologyDelta::NodeRemoved(bv.node));
+            }
         }
         let plan = planner.plan_batch_deletion(&ctx);
-        plan.apply_to(graph);
+        plan.apply_streamed(graph, sinks);
         Ok(plan.report)
     }
 }

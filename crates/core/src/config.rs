@@ -56,6 +56,18 @@ impl XhealConfig {
         self
     }
 
+    /// Sets κ, keeping every other field (the builders' kappa setter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa` is odd or less than 2, as in [`XhealConfig::new`].
+    #[must_use]
+    pub fn with_kappa(mut self, kappa: usize) -> Self {
+        assert!(kappa >= 2 && kappa % 2 == 0, "kappa must be even and >= 2");
+        self.kappa = kappa;
+        self
+    }
+
     /// Disables secondary clouds (ablation).
     #[must_use]
     pub fn without_secondary_clouds(mut self) -> Self {

@@ -1,4 +1,10 @@
 //! Adversarial events of the insert/delete/repair model.
+//!
+//! The event vocabulary lives in `xheal-core` so every executor — the
+//! centralized [`crate::Xheal`], the distributed `xheal-dist`, and the
+//! `xheal-baselines` strategies — consumes the same adversary moves through
+//! [`crate::HealingEngine::apply`]. `xheal-workload` re-exports [`Event`]
+//! and generates schedules of them.
 
 use xheal_graph::NodeId;
 

@@ -13,6 +13,7 @@ use xheal_graph::{CloudColor, CloudKind, EdgeLabels, Graph, NodeId};
 
 use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
+use crate::engine::{SinkRegistry, TopologyDelta, TopologySink};
 use crate::error::HealError;
 use crate::planner::RepairPlanner;
 use crate::stats::{DeletionReport, HealStats};
@@ -36,6 +37,8 @@ use crate::stats::{DeletionReport, HealStats};
 pub struct Xheal {
     graph: Graph,
     planner: RepairPlanner,
+    /// Topology-delta subscribers (cloning the healer drops them).
+    sinks: SinkRegistry,
     /// Reusable incident-edge buffer for the deletion hot loop.
     scratch_incident: Vec<(NodeId, EdgeLabels)>,
 }
@@ -47,8 +50,31 @@ impl Xheal {
         Xheal {
             graph: initial.clone(),
             planner: RepairPlanner::new(initial.nodes(), config),
+            sinks: SinkRegistry::default(),
             scratch_incident: Vec::new(),
         }
+    }
+
+    /// Starts a builder composing configuration, seeding, and topology
+    /// sinks before wrapping a network.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xheal_core::Xheal;
+    /// use xheal_graph::generators;
+    ///
+    /// let net = Xheal::builder().kappa(4).seed(7).build(&generators::star(8));
+    /// assert_eq!(net.kappa(), 4);
+    /// ```
+    pub fn builder() -> XhealBuilder {
+        XhealBuilder::default()
+    }
+
+    /// Registers a [`TopologySink`] observing every structural change this
+    /// healer applies from now on (see [`crate::HealingEngine::subscribe`]).
+    pub fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
+        self.sinks.register(sink);
     }
 
     /// The current (healed) network graph `G_t`.
@@ -117,10 +143,20 @@ impl Xheal {
             }
         }
         self.graph.add_node(v).expect("checked fresh");
+        if !self.sinks.is_empty() {
+            self.sinks.emit(TopologyDelta::NodeAdded(v));
+        }
         for &u in neighbors {
             if u != v {
                 // Duplicate neighbors tolerated: adding black twice is a no-op.
-                let _ = self.graph.add_black_edge(v, u);
+                let created = self.graph.add_black_edge(v, u).unwrap_or(false);
+                if created && !self.sinks.is_empty() {
+                    self.sinks.emit(TopologyDelta::EdgeAdded {
+                        a: v,
+                        b: u,
+                        color: None,
+                    });
+                }
             }
         }
         self.planner.note_insert(v);
@@ -143,9 +179,12 @@ impl Xheal {
         self.graph
             .remove_node_into(v, &mut incident)
             .expect("checked present");
+        if !self.sinks.is_empty() {
+            self.sinks.emit(TopologyDelta::NodeRemoved(v));
+        }
         let plan = self.planner.plan_deletion(v, &incident, degree);
         self.scratch_incident = incident;
-        plan.apply_to(&mut self.graph);
+        plan.apply_streamed(&mut self.graph, &mut self.sinks);
         Ok(plan.report)
     }
 
@@ -153,10 +192,92 @@ impl Xheal {
     // Batch-deletion support (crate-internal; see batch.rs)
     // ------------------------------------------------------------------
 
-    /// Simultaneous access to the graph and the planner for the batch
-    /// executor, which must mutate both around one planning call.
-    pub(crate) fn batch_parts(&mut self) -> (&mut Graph, &mut RepairPlanner) {
-        (&mut self.graph, &mut self.planner)
+    /// Simultaneous access to the graph, the planner, and the sink registry
+    /// for the batch executor, which must mutate all three around one
+    /// planning call.
+    pub(crate) fn batch_parts(&mut self) -> (&mut Graph, &mut RepairPlanner, &mut SinkRegistry) {
+        (&mut self.graph, &mut self.planner, &mut self.sinks)
+    }
+}
+
+/// Builder for [`Xheal`]: composes κ, seeding, ablation switches, and
+/// topology sinks without breaking [`XhealConfig`] (which it wraps).
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use xheal_core::{DeltaMirror, Xheal};
+/// use xheal_graph::generators;
+///
+/// let g0 = generators::cycle(8);
+/// let mirror = Rc::new(RefCell::new(DeltaMirror::new(&g0)));
+/// let net = Xheal::builder()
+///     .kappa(4)
+///     .seed(7)
+///     .sink(Box::new(Rc::clone(&mirror)))
+///     .build(&g0);
+/// assert_eq!(net.config().seed, 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct XhealBuilder {
+    config: XhealConfig,
+    sinks: SinkRegistry,
+}
+
+impl XhealBuilder {
+    /// Sets the cloud expander degree κ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa` is odd or less than 2 (see [`XhealConfig::new`]).
+    #[must_use]
+    pub fn kappa(mut self, kappa: usize) -> Self {
+        self.config = self.config.with_kappa(kappa);
+        self
+    }
+
+    /// Sets the healer randomness seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the whole configuration (keeping any registered sinks).
+    #[must_use]
+    pub fn config(mut self, config: XhealConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Disables secondary clouds (ablation).
+    #[must_use]
+    pub fn without_secondary_clouds(mut self) -> Self {
+        self.config.disable_secondary = true;
+        self
+    }
+
+    /// Disables free-node sharing (ablation).
+    #[must_use]
+    pub fn without_sharing(mut self) -> Self {
+        self.config.disable_sharing = true;
+        self
+    }
+
+    /// Registers a [`TopologySink`] the healer starts with.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn TopologySink>) -> Self {
+        self.sinks.register(sink);
+        self
+    }
+
+    /// Wraps `initial`, consuming the builder.
+    pub fn build(self, initial: &Graph) -> Xheal {
+        let mut net = Xheal::new(initial, self.config);
+        net.sinks = self.sinks;
+        net
     }
 }
 

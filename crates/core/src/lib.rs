@@ -14,10 +14,21 @@
 //!
 //! Entry points:
 //!
-//! - [`Xheal`]: the healing network state ([`Xheal::heal_insert`],
-//!   [`Xheal::heal_delete`]);
-//! - [`Healer`]: the strategy trait shared with `xheal-baselines`;
+//! - [`HealingEngine`]: the unified executor API — event-driven
+//!   [`HealingEngine::apply`] consuming [`Event`]s and returning structured
+//!   [`Outcome`]s, implemented by every executor (this crate's [`Xheal`],
+//!   `xheal-dist`'s `DistXheal`, and all `xheal-baselines` strategies);
+//! - [`TopologySink`] / [`TopologyDelta`]: the subscription layer — every
+//!   structural change streams to registered sinks; [`DeltaMirror`] is the
+//!   built-in shadow-graph consumer;
+//! - [`Xheal`]: the centralized healing network state ([`Xheal::builder`],
+//!   [`Xheal::heal_insert`], [`Xheal::heal_delete`],
+//!   [`Xheal::heal_delete_batch`]);
+//! - [`Healer`]: the older per-method strategy trait (kept for ergonomic
+//!   direct calls; new drivers should use [`HealingEngine`]);
 //! - [`XhealConfig`]: κ, seeding, and ablation switches;
+//! - [`RepairPlanner`] / [`RepairPlan`]: healing decisions as data, shared
+//!   verbatim by the centralized and distributed executors;
 //! - [`invariants::check_invariants`]: structural self-checks used heavily
 //!   by the test suites.
 //!
@@ -41,7 +52,9 @@
 mod batch;
 mod cloud;
 mod config;
+mod engine;
 mod error;
+mod event;
 mod heal;
 mod healer;
 pub mod invariants;
@@ -52,8 +65,13 @@ mod stats;
 pub use batch::{BatchRepairPlan, BatchReport, BatchStage, BatchVictim};
 pub use cloud::{Cloud, NodeState};
 pub use config::XhealConfig;
+pub use engine::{
+    DeltaMirror, DistCost, HealingEngine, Outcome, RepairCost, SinkRegistry, TopologyDelta,
+    TopologySink,
+};
 pub use error::HealError;
-pub use heal::Xheal;
+pub use event::Event;
+pub use heal::{Xheal, XhealBuilder};
 pub use healer::Healer;
 pub use plan::{PlanAction, RepairPlan};
 pub use planner::RepairPlanner;

@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 use xheal_expander::EdgeDelta;
 use xheal_graph::{CloudColor, CloudKind, Graph, NodeId};
 
+use crate::engine::{SinkRegistry, TopologyDelta};
 use crate::stats::{DeletionReport, HealCase};
 
 /// One structural step of a repair.
@@ -114,17 +115,54 @@ impl PlanAction {
     /// Panics if an added edge references a node absent from `graph`
     /// (cloud members are always live).
     pub fn apply_to(&self, graph: &mut Graph) {
+        self.apply_streamed(graph, &mut SinkRegistry::default());
+    }
+
+    /// Like [`PlanAction::apply_to`], additionally emitting one
+    /// [`TopologyDelta`] per label change to `sinks` — the subscription
+    /// layer's single emission point for plan application. With no sinks
+    /// registered this is exactly `apply_to` (no extra work on the hot
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an added edge references a node absent from `graph`.
+    pub fn apply_streamed(&self, graph: &mut Graph, sinks: &mut SinkRegistry) {
         let color = self.color();
         let delta = self.delta();
+        if sinks.is_empty() {
+            for &(u, w) in &delta.removed {
+                // Endpoints may already be gone from the graph (the deleted
+                // node's cloud edges); stripping is then a no-op.
+                graph.strip_color(u, w, color);
+            }
+            for &(u, w) in &delta.added {
+                graph
+                    .add_colored_edge(u, w, color)
+                    .expect("cloud members are live nodes");
+            }
+            return;
+        }
         for &(u, w) in &delta.removed {
-            // Endpoints may already be gone from the graph (the deleted
-            // node's cloud edges); stripping is then a no-op.
             graph.strip_color(u, w, color);
+            // Emitted even when the edge already died with a deleted
+            // endpoint: replaying the strip is a no-op there too, so
+            // mirrors stay exact.
+            sinks.emit(TopologyDelta::EdgeRemoved {
+                a: u,
+                b: w,
+                color: Some(color),
+            });
         }
         for &(u, w) in &delta.added {
             graph
                 .add_colored_edge(u, w, color)
                 .expect("cloud members are live nodes");
+            sinks.emit(TopologyDelta::EdgeAdded {
+                a: u,
+                b: w,
+                color: Some(color),
+            });
         }
     }
 }
@@ -153,8 +191,14 @@ impl RepairPlan {
 
     /// Applies every action to `graph`, in order.
     pub fn apply_to(&self, graph: &mut Graph) {
+        self.apply_streamed(graph, &mut SinkRegistry::default());
+    }
+
+    /// Applies every action to `graph`, in order, emitting the
+    /// [`TopologyDelta`] stream to `sinks`.
+    pub fn apply_streamed(&self, graph: &mut Graph, sinks: &mut SinkRegistry) {
         for action in &self.actions {
-            action.apply_to(graph);
+            action.apply_streamed(graph, sinks);
         }
     }
 

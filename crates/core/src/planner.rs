@@ -946,6 +946,8 @@ impl RepairPlanner {
             components: components.len(),
             secondaries_built: self.stats.secondaries_built - secondaries_before,
             combines: self.op_combines,
+            edges_added: self.op_added,
+            edges_removed: self.op_removed,
         };
         self.fold_op_counters();
 

@@ -27,11 +27,11 @@
 
 use std::collections::BTreeSet;
 
-use xheal_core::{HealCase, PlanAction};
+use xheal_core::{HealCase, PlanAction, RepairCost};
 use xheal_graph::{CloudColor, FxHashMap, NodeId};
 use xheal_sim::{Counters, Envelope, NetworkEngine};
 
-use crate::messages::{Msg, RepairCost};
+use crate::messages::Msg;
 
 /// One planned edge instruction: both live endpoints must install/strip.
 #[derive(Clone, Debug)]

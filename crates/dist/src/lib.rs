@@ -9,7 +9,7 @@
 //! execution substrate changes.
 //!
 //! Each repair runs as message-driven phase transitions of the actors
-//! (see [`crate::actor`]-level docs in the source):
+//! (see the `actor` module-level docs in the source):
 //!
 //! 1. **Probe** — the coordinator (the least-id live participant of the
 //!    repair plan) contacts every participant;
@@ -78,15 +78,16 @@ mod messages;
 use std::collections::BTreeSet;
 
 use xheal_core::{
-    BatchReport, BatchVictim, DeletionReport, HealCase, HealError, Healer, RepairPlanner,
-    XhealConfig,
+    BatchReport, BatchVictim, DeletionReport, DistCost, Event, HealCase, HealError, Healer,
+    HealingEngine, Outcome, RepairPlanner, SinkRegistry, TopologyDelta, TopologySink, XhealConfig,
 };
 use xheal_graph::{EdgeLabels, Graph, NodeId};
 use xheal_sim::{Counters, NetworkEngine, SyncNetwork};
 
 use actor::{ActorRuntime, CostMeta};
 
-pub use messages::{Msg, RepairCost};
+pub use messages::Msg;
+pub use xheal_core::RepairCost;
 
 /// The distributed Xheal network: the live graph, the shared repair
 /// planner, and the actor runtime executing every plan as messages over
@@ -99,6 +100,8 @@ pub struct DistXheal<N: NetworkEngine<Msg> = SyncNetwork<Msg>> {
     costs: Vec<RepairCost>,
     /// Sequence number tagging each repair's messages.
     repair_seq: u64,
+    /// Topology-delta subscribers (cloning the executor drops them).
+    sinks: SinkRegistry,
     /// Reusable incident-edge buffer for the deletion hot loop.
     scratch_incident: Vec<(NodeId, EdgeLabels)>,
     /// Reusable sorted buffer holding the pre-repair free-node snapshot.
@@ -111,6 +114,29 @@ impl DistXheal<SyncNetwork<Msg>> {
     /// the model.
     pub fn new(initial: &Graph, config: XhealConfig) -> Self {
         DistXheal::with_engine(initial, config, SyncNetwork::new())
+    }
+
+    /// Starts a builder composing configuration, seeding, topology sinks,
+    /// and the message engine before wrapping a network.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xheal_dist::DistXheal;
+    /// use xheal_graph::generators;
+    ///
+    /// let net = DistXheal::builder()
+    ///     .kappa(4)
+    ///     .seed(7)
+    ///     .build(&generators::star(8));
+    /// assert_eq!(net.planner().kappa(), 4);
+    /// ```
+    pub fn builder() -> DistXhealBuilder<SyncNetwork<Msg>> {
+        DistXhealBuilder {
+            config: XhealConfig::default(),
+            engine: SyncNetwork::new(),
+            sinks: SinkRegistry::default(),
+        }
     }
 }
 
@@ -130,9 +156,25 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
             runtime,
             costs: Vec::new(),
             repair_seq: 0,
+            sinks: SinkRegistry::default(),
             scratch_incident: Vec::new(),
             scratch_free: Vec::new(),
         }
+    }
+
+    /// Registers a [`TopologySink`] observing every structural change this
+    /// executor applies from now on (see
+    /// [`HealingEngine::subscribe`]).
+    pub fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
+        self.sinks.register(sink);
+    }
+
+    /// Checks that the processors registered in the engine are exactly the
+    /// graph's nodes (the actor runtime mirrors the network membership).
+    pub fn mirrors_graph(&self) -> bool {
+        let graph_nodes: BTreeSet<NodeId> = self.graph.nodes().collect();
+        graph_nodes.len() == self.engine().len()
+            && graph_nodes.iter().all(|&v| self.engine().contains(v))
     }
 
     /// The current (healed) network graph `G_t`.
@@ -180,9 +222,19 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
             }
         }
         self.graph.add_node(v).expect("checked fresh");
+        if !self.sinks.is_empty() {
+            self.sinks.emit(TopologyDelta::NodeAdded(v));
+        }
         for &u in neighbors {
             if u != v {
-                let _ = self.graph.add_black_edge(v, u);
+                let created = self.graph.add_black_edge(v, u).unwrap_or(false);
+                if created && !self.sinks.is_empty() {
+                    self.sinks.emit(TopologyDelta::EdgeAdded {
+                        a: v,
+                        b: u,
+                        color: None,
+                    });
+                }
             }
         }
         self.planner.note_insert(v);
@@ -250,10 +302,13 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         for bv in &ctx {
             let _ = self.graph.remove_node(bv.node);
             self.runtime.remove_node(bv.node);
+            if !self.sinks.is_empty() {
+                self.sinks.emit(TopologyDelta::NodeRemoved(bv.node));
+            }
         }
         let mut free_before = self.take_free_snapshot();
         let plan = self.planner.plan_batch_deletion(&ctx);
-        plan.apply_to(&mut self.graph);
+        plan.apply_streamed(&mut self.graph, &mut self.sinks);
         let dead: Vec<NodeId> = ctx.iter().map(|bv| bv.node).collect();
         for stage in &plan.stages {
             if stage.component.is_empty() && stage.actions.is_empty() {
@@ -333,13 +388,16 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
             .remove_node_into(v, &mut incident)
             .expect("checked present");
         self.runtime.remove_node(v);
+        if !self.sinks.is_empty() {
+            self.sinks.emit(TopologyDelta::NodeRemoved(v));
+        }
 
         // Pre-repair bridge-duty snapshot: the grant messages must carry
         // the state the decisions were *made* from, and plan_deletion
         // advances the planner past it.
         let mut free_before = self.take_free_snapshot();
         let plan = self.planner.plan_deletion(v, &incident, degree);
-        plan.apply_to(&mut self.graph);
+        plan.apply_streamed(&mut self.graph, &mut self.sinks);
         self.repair_seq += 1;
         self.runtime.begin_repair(
             self.repair_seq,
@@ -401,11 +459,151 @@ impl<N: NetworkEngine<Msg>> Healer for DistXheal<N> {
     }
 }
 
+impl<N: NetworkEngine<Msg>> DistXheal<N> {
+    /// Snapshot of the cost state, taken before an event is applied so the
+    /// event's [`DistCost`] can be carved out afterwards.
+    fn cost_mark(&self) -> (usize, Counters) {
+        (self.costs.len(), self.counters())
+    }
+
+    /// The [`DistCost`] accrued since `mark`: wall-clock engine totals plus
+    /// the per-repair records the event appended.
+    fn cost_since(&self, mark: (usize, Counters)) -> DistCost {
+        let (costs_len, counters) = mark;
+        let spent = self.counters().since(counters);
+        DistCost {
+            rounds: spent.rounds,
+            messages: spent.messages,
+            repairs: self.costs[costs_len..].to_vec(),
+        }
+    }
+}
+
+impl<N: NetworkEngine<Msg>> HealingEngine for DistXheal<N> {
+    fn name(&self) -> &'static str {
+        "xheal-dist"
+    }
+
+    fn graph(&self) -> &Graph {
+        DistXheal::graph(self)
+    }
+
+    fn apply(&mut self, event: &Event) -> Result<Outcome, HealError> {
+        match event {
+            Event::Insert { node, neighbors } => {
+                self.insert(*node, neighbors)?;
+                Ok(Outcome::Inserted)
+            }
+            Event::Delete { node } => {
+                let mark = self.cost_mark();
+                let report = self.delete(*node)?;
+                Ok(Outcome::Healed {
+                    report,
+                    cost: Some(self.cost_since(mark)),
+                })
+            }
+            Event::DeleteBatch { nodes } => {
+                let mark = self.cost_mark();
+                let report = self.delete_batch(nodes)?;
+                Ok(Outcome::Batch {
+                    report,
+                    cost: Some(self.cost_since(mark)),
+                })
+            }
+        }
+    }
+
+    fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
+        DistXheal::subscribe(self, sink);
+    }
+}
+
+/// Builder for [`DistXheal`]: composes configuration, seeding, topology
+/// sinks, and the message engine. Start from [`DistXheal::builder`] (the
+/// synchronous engine) and swap substrates with
+/// [`DistXhealBuilder::engine`].
+///
+/// # Examples
+///
+/// ```
+/// use xheal_dist::{DistXheal, Msg};
+/// use xheal_graph::generators;
+/// use xheal_sim::{AsyncConfig, AsyncNetwork};
+///
+/// let net = DistXheal::builder()
+///     .kappa(4)
+///     .seed(7)
+///     .engine(AsyncNetwork::<Msg>::new(AsyncConfig::uniform(1, 3, 9)))
+///     .build(&generators::star(8));
+/// assert_eq!(net.planner().kappa(), 4);
+/// ```
+#[derive(Debug)]
+pub struct DistXhealBuilder<N: NetworkEngine<Msg>> {
+    config: XhealConfig,
+    engine: N,
+    sinks: SinkRegistry,
+}
+
+impl<N: NetworkEngine<Msg>> DistXhealBuilder<N> {
+    /// Sets the cloud expander degree κ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa` is odd or less than 2 (see [`XhealConfig::new`]).
+    #[must_use]
+    pub fn kappa(mut self, kappa: usize) -> Self {
+        self.config = self.config.with_kappa(kappa);
+        self
+    }
+
+    /// Sets the healer randomness seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the whole configuration (keeping engine and sinks).
+    #[must_use]
+    pub fn config(mut self, config: XhealConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Swaps the message-delivery substrate (e.g. an
+    /// [`xheal_sim::AsyncNetwork`] with latency and faults).
+    #[must_use]
+    pub fn engine<M: NetworkEngine<Msg>>(self, engine: M) -> DistXhealBuilder<M> {
+        DistXhealBuilder {
+            config: self.config,
+            engine,
+            sinks: self.sinks,
+        }
+    }
+
+    /// Registers a [`TopologySink`] the executor starts with.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn TopologySink>) -> Self {
+        self.sinks.register(sink);
+        self
+    }
+
+    /// Wraps `initial`, consuming the builder.
+    pub fn build(self, initial: &Graph) -> DistXheal<N> {
+        let mut net = DistXheal::with_engine(initial, self.config, self.engine);
+        net.sinks = self.sinks;
+        net
+    }
+}
+
 /// Check helper: the processors registered in the engine are exactly the
-/// graph's nodes (used by tests).
+/// graph's nodes.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the inherent `DistXheal::mirrors_graph` method"
+)]
 pub fn network_mirrors_graph<N: NetworkEngine<Msg>>(net: &DistXheal<N>) -> bool {
-    let graph_nodes: BTreeSet<NodeId> = net.graph.nodes().collect();
-    graph_nodes.len() == net.engine().len() && graph_nodes.iter().all(|&v| net.engine().contains(v))
+    net.mirrors_graph()
 }
 
 #[cfg(test)]
@@ -471,7 +669,7 @@ mod tests {
                 dist.delete(victim).unwrap();
             }
             assert!(components::is_connected(dist.graph()), "step {step}");
-            assert!(network_mirrors_graph(&dist), "step {step}");
+            assert!(dist.mirrors_graph(), "step {step}");
         }
     }
 

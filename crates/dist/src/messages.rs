@@ -1,6 +1,9 @@
-//! The recovery protocol's message vocabulary and per-repair cost record.
+//! The recovery protocol's message vocabulary.
+//!
+//! The per-repair cost record ([`xheal_core::RepairCost`]) lives in
+//! `xheal-core` so structured [`xheal_core::Outcome`]s are executor-neutral;
+//! this crate re-exports it.
 
-use xheal_core::HealCase;
 use xheal_graph::{CloudColor, NodeId};
 
 /// Messages of the distributed recovery protocol (Section 5's LOCAL model:
@@ -86,27 +89,4 @@ impl Msg {
             | Msg::SpliceAck { repair, .. } => *repair,
         }
     }
-}
-
-/// Protocol cost of one repair (the paper's success metrics 4 and 5:
-/// recovery time and communication complexity).
-#[derive(Clone, Debug)]
-pub struct RepairCost {
-    /// Sequence number of the repair (matches the tags on its messages).
-    pub repair: u64,
-    /// Rounds from kickoff until the last protocol message landed.
-    pub rounds: u64,
-    /// Messages delivered for this repair.
-    pub messages: u64,
-    /// Black degree of the deleted node — for batch stages, the dead
-    /// component's live black boundary size (Lemma 5's lower-bound unit).
-    pub black_degree: usize,
-    /// Total degree of the deleted node at deletion time — for batch
-    /// stages, the number of victims in the dead component.
-    pub degree: usize,
-    /// Which healing case applied ([`HealCase::Batch`] for batch stages).
-    pub case: HealCase,
-    /// Whether the expensive combine operation ran (single deletions only;
-    /// batch stages report `false` — see the batch report instead).
-    pub combined: bool,
 }

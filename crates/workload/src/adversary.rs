@@ -10,7 +10,7 @@ use rand::Rng;
 
 use xheal_graph::{components, Graph, IdAllocator, NodeId};
 
-use crate::event::Event;
+use xheal_core::Event;
 
 /// An attack strategy producing the next adversarial event.
 pub trait Adversary {

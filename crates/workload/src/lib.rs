@@ -2,12 +2,14 @@
 //!
 //! Adversarial workload machinery for the node insert/delete/repair model:
 //! the [`Event`] vocabulary (insertions, deletions, and simultaneous
-//! [`Event::DeleteBatch`] bursts), [`Adversary`] strategies (random churn,
-//! targeted deletion — including articulation-point hunting by the
-//! omniscient adversary — growth-only, correlated [`BurstDeletions`]
-//! rack-failures, and scripted replays), and the [`run`] driver that feeds
-//! any [`xheal_core::Healer`] while tracking the insertion-only reference
-//! graph `G'`.
+//! [`Event::DeleteBatch`] bursts — owned by `xheal-core` and re-exported
+//! here), [`Adversary`] strategies (random churn, targeted deletion —
+//! including articulation-point hunting by the omniscient adversary —
+//! growth-only, correlated [`BurstDeletions`] rack-failures, and scripted
+//! replays), and the [`run`] driver that feeds any
+//! [`xheal_core::HealingEngine`] while tracking the insertion-only
+//! reference graph `G'` and aggregating the structured
+//! [`xheal_core::Outcome`]s.
 //!
 //! # Examples
 //!
@@ -28,11 +30,10 @@
 #![warn(missing_docs)]
 
 mod adversary;
-mod event;
 mod runner;
 
 pub use adversary::{
     bfs_rack, Adversary, BurstDeletions, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting,
 };
-pub use event::Event;
 pub use runner::{replay, run, RunSummary};
+pub use xheal_core::Event;

@@ -1,15 +1,16 @@
-//! Drives a healer through an adversary's events, tracking `G'` alongside.
+//! Drives a healing engine through an adversary's events, tracking `G'`
+//! alongside and aggregating the structured outcomes.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use xheal_core::Healer;
+use xheal_core::{Event, HealingEngine, Outcome};
 use xheal_graph::Graph;
 
 use crate::adversary::Adversary;
-use crate::event::Event;
 
-/// Outcome of a run: the insertion-only reference graph and event counts.
+/// Outcome of a run: the insertion-only reference graph, event counts, and
+/// the costs aggregated from every applied event's [`Outcome`].
 #[derive(Clone, Debug)]
 pub struct RunSummary {
     /// The insertion-only graph `G'` after the run.
@@ -18,90 +19,112 @@ pub struct RunSummary {
     pub events: Vec<Event>,
     /// Number of insertions applied.
     pub insertions: usize,
-    /// Number of deletions applied.
+    /// Number of deletions applied (batch events count every victim).
     pub deletions: usize,
+    /// Colored edges added by repairs across the run.
+    pub edges_added: usize,
+    /// Colored-edge labels stripped by repairs across the run.
+    pub edges_removed: usize,
+    /// Wall-clock protocol rounds spent healing (0 for centralized
+    /// engines, which report no [`xheal_core::DistCost`]).
+    pub rounds: u64,
+    /// Protocol messages delivered while healing (0 for centralized
+    /// engines).
+    pub messages: u64,
 }
 
-/// Runs `adversary` against `healer` for at most `steps` events, maintaining
-/// `G'` (insertions only, no deletions) for the success metrics.
+impl RunSummary {
+    fn new(gprime: Graph) -> Self {
+        RunSummary {
+            gprime,
+            events: Vec::new(),
+            insertions: 0,
+            deletions: 0,
+            edges_added: 0,
+            edges_removed: 0,
+            rounds: 0,
+            messages: 0,
+        }
+    }
+
+    /// Folds one applied event's outcome into the aggregates; `G'` grows on
+    /// insertions (deletions never touch it, per the model).
+    fn absorb(&mut self, event: &Event, outcome: &Outcome) {
+        match outcome {
+            Outcome::Inserted => {
+                let Event::Insert { node, neighbors } = event else {
+                    unreachable!("engines report Inserted only for Event::Insert");
+                };
+                self.gprime.add_node(*node).expect("fresh in gprime");
+                for &u in neighbors {
+                    let _ = self.gprime.add_black_edge(*node, u);
+                }
+                self.insertions += 1;
+            }
+            Outcome::Healed { .. } | Outcome::Batch { .. } => {
+                self.deletions += outcome.victims();
+            }
+        }
+        self.edges_added += outcome.edges_added();
+        self.edges_removed += outcome.edges_removed();
+        if let Some(cost) = outcome.cost() {
+            self.rounds += cost.rounds;
+            self.messages += cost.messages;
+        }
+    }
+}
+
+/// Runs `adversary` against `engine` for at most `steps` events,
+/// maintaining `G'` (insertions only, no deletions) from the returned
+/// [`Outcome`]s for the success metrics.
 ///
-/// The adversary's randomness comes from `seed` — disjoint from the healer's
-/// internal randomness, which the model requires the adversary not to see.
+/// The adversary's randomness comes from `seed` — disjoint from the
+/// engine's internal randomness, which the model requires the adversary not
+/// to see.
+///
+/// Generic over [`HealingEngine`], so it accepts `&mut Xheal`, any
+/// `&mut DistXheal<_>`, every baseline, and `Box<dyn HealingEngine>`
+/// contents alike.
 ///
 /// # Panics
 ///
 /// Panics if the adversary produces an invalid event (deleting an absent
 /// node, inserting a duplicate): adversaries are trusted test machinery.
-pub fn run(
-    healer: &mut dyn Healer,
+pub fn run<E: HealingEngine + ?Sized>(
+    engine: &mut E,
     adversary: &mut dyn Adversary,
     steps: usize,
     seed: u64,
 ) -> RunSummary {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gprime = healer.graph().clone();
-    let mut events = Vec::new();
-    let mut insertions = 0;
-    let mut deletions = 0;
+    let mut summary = RunSummary::new(engine.graph().clone());
 
     for _ in 0..steps {
-        let Some(event) = adversary.next_event(healer.graph(), &mut rng) else {
+        let Some(event) = adversary.next_event(engine.graph(), &mut rng) else {
             break;
         };
-        match &event {
-            Event::Insert { node, neighbors } => {
-                healer
-                    .on_insert(*node, neighbors)
-                    .unwrap_or_else(|e| panic!("adversary produced bad insert: {e}"));
-                gprime.add_node(*node).expect("fresh in gprime");
-                for &u in neighbors {
-                    let _ = gprime.add_black_edge(*node, u);
-                }
-                insertions += 1;
-            }
-            Event::Delete { node } => {
-                healer
-                    .on_delete(*node)
-                    .unwrap_or_else(|e| panic!("adversary produced bad delete: {e}"));
-                deletions += 1;
-            }
-            Event::DeleteBatch { nodes } => {
-                healer
-                    .on_delete_batch(nodes)
-                    .unwrap_or_else(|e| panic!("adversary produced bad batch: {e}"));
-                deletions += nodes.len();
-            }
-        }
-        events.push(event);
+        let outcome = engine
+            .apply(&event)
+            .unwrap_or_else(|e| panic!("adversary produced bad event: {e}"));
+        summary.absorb(&event, &outcome);
+        summary.events.push(event);
     }
 
-    RunSummary {
-        gprime,
-        events,
-        insertions,
-        deletions,
-    }
+    summary
 }
 
-/// Replays a recorded event list against a healer (for cross-validation of
-/// the centralized and distributed implementations on identical schedules).
+/// Replays a recorded event list against a healing engine (for
+/// cross-validation of the centralized and distributed implementations on
+/// identical schedules).
 ///
 /// # Panics
 ///
 /// Panics on invalid events, as in [`run`].
-pub fn replay(healer: &mut dyn Healer, events: &[Event]) {
+pub fn replay<E: HealingEngine + ?Sized>(engine: &mut E, events: &[Event]) {
     for event in events {
-        match event {
-            Event::Insert { node, neighbors } => healer
-                .on_insert(*node, neighbors)
-                .unwrap_or_else(|e| panic!("replay bad insert: {e}")),
-            Event::Delete { node } => healer
-                .on_delete(*node)
-                .unwrap_or_else(|e| panic!("replay bad delete: {e}")),
-            Event::DeleteBatch { nodes } => healer
-                .on_delete_batch(nodes)
-                .unwrap_or_else(|e| panic!("replay bad batch: {e}")),
-        }
+        engine
+            .apply(event)
+            .unwrap_or_else(|e| panic!("replay bad event: {e}"));
     }
 }
 
@@ -123,6 +146,11 @@ mod tests {
         // G' has exactly initial + inserted nodes.
         assert_eq!(summary.gprime.node_count(), 20 + summary.insertions);
         assert!(components::is_connected(healer.graph()));
+        // Aggregates mirror the healer's own statistics.
+        assert_eq!(summary.edges_added, healer.stats().edges_added);
+        assert_eq!(summary.edges_removed, healer.stats().edges_removed);
+        // A centralized engine reports no protocol cost.
+        assert_eq!((summary.rounds, summary.messages), (0, 0));
     }
 
     #[test]
@@ -147,7 +175,7 @@ mod tests {
             "batches count every victim"
         );
         assert!(components::is_connected(healer.graph()));
-        // Replay drives the same batches through on_delete_batch.
+        // Replay drives the same batches through apply().
         let mut b = Xheal::new(&g0, XhealConfig::new(4).with_seed(8));
         replay(&mut b, &summary.events);
         assert_eq!(healer.graph(), b.graph());
@@ -164,5 +192,15 @@ mod tests {
         let mut b = Xheal::new(&g0, XhealConfig::new(4).with_seed(5));
         replay(&mut b, &summary.events);
         assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn run_accepts_boxed_trait_objects() {
+        let g0 = generators::cycle(12);
+        let mut engine: Box<dyn HealingEngine> = Box::new(Xheal::new(&g0, XhealConfig::default()));
+        let mut adv = DeleteOnly::new(Targeting::Random, 6);
+        let summary = run(engine.as_mut(), &mut adv, 100, 5);
+        assert_eq!(summary.deletions, 6);
+        assert!(components::is_connected(engine.graph()));
     }
 }

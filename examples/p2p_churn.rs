@@ -6,7 +6,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use xheal_baselines::{BinaryTreeHeal, CycleHeal};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_core::{HealingEngine, Xheal, XhealConfig};
 use xheal_examples::{banner, fmt};
 use xheal_graph::generators;
 use xheal_spectral::normalized_algebraic_connectivity;
@@ -54,7 +54,7 @@ fn main() {
         "{:<20}{:>12}{:>14}{:>12}",
         "healer", "peers", "lambda_norm", "connected"
     );
-    for h in [&xheal as &dyn Healer, &cycle, &tree] {
+    for h in [&xheal as &dyn HealingEngine, &cycle, &tree] {
         println!(
             "{:<20}{:>12}{:>14}{:>12}",
             h.name(),

@@ -5,7 +5,7 @@
 //! Run with `cargo run -p xheal-examples --bin star_outage`.
 
 use xheal_baselines::{BinaryTreeHeal, CycleHeal, StarHeal};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_core::{Event, HealingEngine, Xheal, XhealConfig};
 use xheal_examples::{banner, fmt};
 use xheal_graph::{generators, NodeId};
 use xheal_metrics::expansion_report;
@@ -20,14 +20,18 @@ fn main() {
         "healer", "lambda_norm", "sweep h", "max degree", "diameter"
     );
     let g0 = generators::star(n);
-    let healers: Vec<Box<dyn Healer>> = vec![
+    let healers: Vec<Box<dyn HealingEngine>> = vec![
         Box::new(Xheal::new(&g0, XhealConfig::new(6).with_seed(11))),
         Box::new(BinaryTreeHeal::new(&g0)),
         Box::new(CycleHeal::new(&g0)),
         Box::new(StarHeal::new(&g0)),
     ];
     for mut healer in healers {
-        healer.on_delete(NodeId::new(0)).expect("hub exists");
+        healer
+            .apply(&Event::Delete {
+                node: NodeId::new(0),
+            })
+            .expect("hub exists");
         let rep = expansion_report(healer.graph());
         let max_deg = healer
             .graph()

@@ -5,7 +5,7 @@
 //! Run with `cargo run -p xheal-examples --bin wireless_mesh`.
 
 use xheal_baselines::{CycleHeal, NoHeal};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_core::{HealingEngine, Xheal, XhealConfig};
 use xheal_examples::{banner, describe, fmt};
 use xheal_graph::{components, generators};
 use xheal_metrics::stretch;
@@ -27,7 +27,7 @@ fn main() {
         "{:<20}{:>10}{:>14}{:>12}{:>14}",
         "healer", "nodes", "largest comp", "stretch", "connected"
     );
-    let healers: Vec<Box<dyn Healer>> = vec![
+    let healers: Vec<Box<dyn HealingEngine>> = vec![
         Box::new(Xheal::new(&g0, XhealConfig::new(4).with_seed(3))),
         Box::new(CycleHeal::new(&g0)),
         Box::new(NoHeal::new(&g0)),

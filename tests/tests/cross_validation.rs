@@ -1,13 +1,36 @@
-//! Cross-validation: the distributed implementation produces the identical
-//! topology to the centralized one on identical schedules, and its protocol
-//! costs respect Theorem 5's shape.
+//! Cross-validation: every executor behind the unified [`HealingEngine`]
+//! API is driven by **one generic driver**, the distributed implementation
+//! produces the identical topology to the centralized one on identical
+//! schedules, and its protocol costs respect Theorem 5's shape.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use xheal_core::{Healer, Xheal, XhealConfig};
+use xheal_baselines::all_engines;
+use xheal_core::{Event, HealingEngine, Outcome, Xheal, XhealConfig};
 use xheal_dist::{DistXheal, Msg};
 use xheal_graph::{components, generators};
 use xheal_sim::{AsyncConfig, AsyncNetwork};
 use xheal_workload::{bfs_rack, replay, run, BurstDeletions, RandomChurn};
+
+/// The one generic driver: replays a recorded schedule through any engine
+/// via [`HealingEngine::apply`], sanity-checking each outcome against its
+/// event, and returns the outcomes for cost inspection.
+fn drive<E: HealingEngine + ?Sized>(engine: &mut E, events: &[Event]) -> Vec<Outcome> {
+    events
+        .iter()
+        .map(|event| {
+            let outcome = engine
+                .apply(event)
+                .unwrap_or_else(|e| panic!("{}: bad event in schedule: {e}", engine.name()));
+            assert_eq!(
+                outcome.victims(),
+                event.victims().len(),
+                "{}: outcome shape mismatches event",
+                engine.name()
+            );
+            outcome
+        })
+        .collect()
+}
 
 #[test]
 fn distributed_equals_centralized_on_random_churn() {
@@ -20,7 +43,7 @@ fn distributed_equals_centralized_on_random_churn() {
     let summary = run(&mut central, &mut adv, 80, 555);
 
     let mut dist = DistXheal::new(&g0, cfg);
-    replay(&mut dist, &summary.events);
+    let outcomes = drive(&mut dist, &summary.events);
 
     assert_eq!(central.graph(), dist.graph(), "topologies diverged");
     assert_eq!(
@@ -29,6 +52,14 @@ fn distributed_equals_centralized_on_random_churn() {
         "plan-level stats diverged"
     );
     assert!(components::is_connected(dist.graph()));
+    // The distributed outcomes carry per-event protocol costs whose
+    // repair records sum to the executor's full cost log.
+    let repairs: usize = outcomes
+        .iter()
+        .filter_map(|o| o.cost())
+        .map(|c| c.repairs.len())
+        .sum();
+    assert_eq!(repairs, dist.costs().len());
 }
 
 #[test]
@@ -82,11 +113,12 @@ fn distributed_message_cost_tracks_degree() {
 }
 
 #[test]
-fn healer_trait_object_interoperability() {
-    // DistXheal (over either engine) and Xheal all run behind the same
-    // trait object, so every experiment harness accepts any of them.
+fn every_engine_runs_behind_the_unified_trait() {
+    // Xheal, DistXheal (over either engine), and all five baselines run
+    // behind the same `HealingEngine` trait object, so every experiment
+    // harness accepts any of them.
     let g0 = generators::cycle(12);
-    let mut healers: Vec<Box<dyn Healer>> = vec![
+    let mut engines: Vec<Box<dyn HealingEngine>> = vec![
         Box::new(Xheal::new(&g0, XhealConfig::default())),
         Box::new(DistXheal::new(&g0, XhealConfig::default())),
         Box::new(DistXheal::with_engine(
@@ -95,19 +127,57 @@ fn healer_trait_object_interoperability() {
             AsyncNetwork::<Msg>::new(AsyncConfig::uniform(1, 3, 4)),
         )),
     ];
-    for h in &mut healers {
+    engines.extend(all_engines(&g0));
+    assert_eq!(engines.len(), 8, "three Xheal executors + five baselines");
+    for h in &mut engines {
         let mut adv = RandomChurn::new(0.5, 2, 6, &g0);
-        let _ = run(h.as_mut(), &mut adv, 20, 2);
-        assert!(components::is_connected(h.graph()), "{}", h.name());
+        let summary = run(h.as_mut(), &mut adv, 20, 2);
+        if h.name() != "no-heal" {
+            assert!(components::is_connected(h.graph()), "{}", h.name());
+        }
+        assert_eq!(summary.events.len(), 20, "{}", h.name());
+    }
+}
+
+#[test]
+fn every_engine_is_deterministic_under_the_generic_driver() {
+    // One schedule, every engine twice through the same generic driver:
+    // each engine must reproduce its own topology bit-for-bit.
+    let mut rng = StdRng::seed_from_u64(77);
+    let g0 = generators::connected_erdos_renyi(24, 0.14, &mut rng);
+    let mut schedule_src = Xheal::new(&g0, XhealConfig::new(4).with_seed(1));
+    let mut adv = RandomChurn::new(0.4, 3, 8, &g0);
+    let summary = run(&mut schedule_src, &mut adv, 30, 41);
+
+    let build_all = || -> Vec<Box<dyn HealingEngine>> {
+        let cfg = XhealConfig::new(4).with_seed(9);
+        let mut engines: Vec<Box<dyn HealingEngine>> = vec![
+            Box::new(Xheal::new(&g0, cfg.clone())),
+            Box::new(DistXheal::new(&g0, cfg.clone())),
+            Box::new(DistXheal::with_engine(
+                &g0,
+                cfg,
+                AsyncNetwork::<Msg>::new(AsyncConfig::zero_latency()),
+            )),
+        ];
+        engines.extend(all_engines(&g0));
+        engines
+    };
+    let mut first = build_all();
+    let mut second = build_all();
+    for (a, b) in first.iter_mut().zip(second.iter_mut()) {
+        drive(a.as_mut(), &summary.events);
+        drive(b.as_mut(), &summary.events);
+        assert_eq!(a.graph(), b.graph(), "{} is not deterministic", a.name());
     }
 }
 
 #[test]
 fn async_zero_latency_bit_identical_three_ways() {
-    // The acceptance gate of the actor refactor: Xheal, DistXheal over the
+    // The acceptance gate of the unified API: Xheal, DistXheal over the
     // synchronous engine, and DistXheal over the zero-latency async engine
     // produce bit-identical topologies on identical schedules — including
-    // batch deletions.
+    // batch deletions — all driven by the one generic driver.
     let mut rng = StdRng::seed_from_u64(2024);
     let g0 = generators::connected_erdos_renyi(40, 0.1, &mut rng);
     let cfg = XhealConfig::new(6).with_seed(4242);
@@ -121,26 +191,36 @@ fn async_zero_latency_bit_identical_three_ways() {
     );
 
     let mut sync_dist = DistXheal::new(&g0, cfg.clone());
-    replay(&mut sync_dist, &summary.events);
+    let sync_outcomes = drive(&mut sync_dist, &summary.events);
     let mut async_dist = DistXheal::with_engine(
         &g0,
         cfg,
         AsyncNetwork::<Msg>::new(AsyncConfig::zero_latency()),
     );
-    replay(&mut async_dist, &summary.events);
+    let async_outcomes = drive(&mut async_dist, &summary.events);
 
     assert_eq!(central.graph(), sync_dist.graph(), "sync diverged");
     assert_eq!(central.graph(), async_dist.graph(), "async diverged");
     assert_eq!(central.stats(), sync_dist.planner().stats());
     assert_eq!(central.stats(), async_dist.planner().stats());
     // Zero latency means the delivery schedule is the synchronous one, so
-    // even the measured per-repair costs coincide.
+    // even the measured per-repair costs in the outcomes coincide.
     assert_eq!(sync_dist.costs().len(), async_dist.costs().len());
-    for (a, b) in sync_dist.costs().iter().zip(async_dist.costs()) {
-        assert_eq!(
-            (a.repair, a.rounds, a.messages),
-            (b.repair, b.rounds, b.messages)
-        );
+    for (a, b) in sync_outcomes.iter().zip(&async_outcomes) {
+        match (a.cost(), b.cost()) {
+            (Some(ca), Some(cb)) => {
+                assert_eq!((ca.rounds, ca.messages), (cb.rounds, cb.messages));
+                assert_eq!(ca.repairs.len(), cb.repairs.len());
+                for (ra, rb) in ca.repairs.iter().zip(&cb.repairs) {
+                    assert_eq!(
+                        (ra.repair, ra.rounds, ra.messages),
+                        (rb.repair, rb.rounds, rb.messages)
+                    );
+                }
+            }
+            (None, None) => {}
+            _ => panic!("cost presence diverged between engines"),
+        }
     }
     assert!(components::is_connected(async_dist.graph()));
 }
@@ -222,4 +302,23 @@ fn async_burst_deletions_under_latency_converge() {
             c.rounds
         );
     }
+}
+
+#[test]
+fn replay_equals_drive() {
+    // `xheal_workload::replay` and the local generic driver are the same
+    // loop; both must land on the same topology.
+    let mut rng = StdRng::seed_from_u64(5150);
+    let g0 = generators::connected_erdos_renyi(20, 0.15, &mut rng);
+    let cfg = XhealConfig::new(4).with_seed(2);
+    let mut src = Xheal::new(&g0, cfg.clone());
+    let mut adv = RandomChurn::new(0.4, 3, 6, &g0);
+    let summary = run(&mut src, &mut adv, 25, 61);
+
+    let mut via_replay = DistXheal::new(&g0, cfg.clone());
+    replay(&mut via_replay, &summary.events);
+    let mut via_drive = DistXheal::new(&g0, cfg);
+    drive(&mut via_drive, &summary.events);
+    assert_eq!(via_replay.graph(), via_drive.graph());
+    assert_eq!(src.graph(), via_drive.graph());
 }
