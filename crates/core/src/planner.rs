@@ -789,7 +789,7 @@ impl RepairPlanner {
                 self.attach_index_dec(p, color);
             }
         }
-        let edges: Vec<(NodeId, NodeId)> = cloud.expander().edges().iter().copied().collect();
+        let edges: Vec<(NodeId, NodeId)> = cloud.expander().edges().to_vec();
         self.emit(PlanAction::DissolveCloud {
             color,
             delta: EdgeDelta {
@@ -980,7 +980,7 @@ impl RepairPlanner {
         let Some(cloud) = self.clouds.get_mut(&color) else {
             return;
         };
-        let before = cloud.expander().edges().clone();
+        let before = cloud.expander().edges().to_vec();
         let mut any = false;
         let mut detached = Vec::new();
         for &v in victims {
@@ -992,11 +992,9 @@ impl RepairPlanner {
             }
         }
         if any {
-            let after = cloud.expander().edges().clone();
-            let delta = EdgeDelta {
-                added: after.difference(&before).copied().collect(),
-                removed: before.difference(&after).copied().collect(),
-            };
+            // Both snapshots are sorted, so the net delta is one merge walk
+            // (same ascending order the former set-difference produced).
+            let delta = EdgeDelta::between(&before, cloud.expander().edges());
             self.emit(PlanAction::PatchCloud {
                 color,
                 removed: detached,

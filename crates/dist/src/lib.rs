@@ -596,16 +596,6 @@ impl<N: NetworkEngine<Msg>> DistXhealBuilder<N> {
     }
 }
 
-/// Check helper: the processors registered in the engine are exactly the
-/// graph's nodes.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the inherent `DistXheal::mirrors_graph` method"
-)]
-pub fn network_mirrors_graph<N: NetworkEngine<Msg>>(net: &DistXheal<N>) -> bool {
-    net.mirrors_graph()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,11 +28,34 @@ pub struct EdgeDelta {
 }
 
 impl EdgeDelta {
-    fn between(old: &BTreeSet<EdgePair>, new: &BTreeSet<EdgePair>) -> Self {
-        EdgeDelta {
-            added: new.difference(old).copied().collect(),
-            removed: old.difference(new).copied().collect(),
+    /// Diff of two **sorted, duplicate-free** edge lists: `added` is
+    /// `new − old`, `removed` is `old − new`, both ascending. One merge
+    /// walk — no set structures, no per-element searches.
+    pub fn between(old: &[EdgePair], new: &[EdgePair]) -> Self {
+        debug_assert!(old.windows(2).all(|w| w[0] < w[1]), "old edges unsorted");
+        debug_assert!(new.windows(2).all(|w| w[0] < w[1]), "new edges unsorted");
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() && j < new.len() {
+            match old[i].cmp(&new[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    removed.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    added.push(new[j]);
+                    j += 1;
+                }
+            }
         }
+        removed.extend_from_slice(&old[i..]);
+        added.extend_from_slice(&new[j..]);
+        EdgeDelta { added, removed }
     }
 
     /// True when the operation changed nothing.
@@ -72,18 +95,22 @@ pub struct MaintainedExpander {
     topology: Topology,
     /// Size at the last full (re)build — drives the rebuild-at-half rule.
     peak_size: usize,
-    /// Projected simple edges currently installed.
-    edges: BTreeSet<EdgePair>,
+    /// Projected simple edges currently installed, sorted ascending —
+    /// a plain sorted `Vec` so rebuild diffs are one allocation-free merge
+    /// walk instead of `BTreeSet` difference traversals.
+    edges: Vec<EdgePair>,
     /// Count of full rebuilds (exposed for the amortization experiments).
     rebuilds: usize,
 }
 
-fn clique_edges(members: &BTreeSet<NodeId>) -> BTreeSet<EdgePair> {
+/// All-pairs edges over a sorted member set, emitted ascending (the
+/// lexicographic pair order of sorted members is already sorted).
+fn clique_edges(members: &BTreeSet<NodeId>) -> Vec<EdgePair> {
     let v: Vec<NodeId> = members.iter().copied().collect();
-    let mut out = BTreeSet::new();
+    let mut out = Vec::with_capacity(v.len() * v.len().saturating_sub(1) / 2);
     for i in 0..v.len() {
         for j in (i + 1)..v.len() {
-            out.insert((v[i], v[j]));
+            out.push((v[i], v[j]));
         }
     }
     out
@@ -111,10 +138,10 @@ impl MaintainedExpander {
         } else {
             let order: Vec<NodeId> = set.iter().copied().collect();
             let h = HGraph::random(&order, kappa / 2, rng);
-            let e = h.simple_edges();
+            let e: Vec<EdgePair> = h.simple_edges().into_iter().collect();
             (Topology::HGraph(h), e)
         };
-        let initial = edges.iter().copied().collect();
+        let initial = edges.clone();
         let me = MaintainedExpander {
             kappa,
             peak_size: set.len(),
@@ -151,8 +178,8 @@ impl MaintainedExpander {
         &self.members
     }
 
-    /// Currently installed projected edges.
-    pub fn edges(&self) -> &BTreeSet<EdgePair> {
+    /// Currently installed projected edges, sorted ascending.
+    pub fn edges(&self) -> &[EdgePair] {
         &self.edges
     }
 
@@ -166,7 +193,7 @@ impl MaintainedExpander {
         self.rebuilds
     }
 
-    fn rebuild<R: Rng + ?Sized>(&mut self, rng: &mut R) -> BTreeSet<EdgePair> {
+    fn rebuild<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<EdgePair> {
         self.rebuilds += 1;
         self.peak_size = self.members.len();
         if self.members.len() <= self.kappa + 1 {
@@ -175,20 +202,25 @@ impl MaintainedExpander {
         } else {
             let order: Vec<NodeId> = self.members.iter().copied().collect();
             let h = HGraph::random(&order, self.kappa / 2, rng);
-            let e = h.simple_edges();
+            let e: Vec<EdgePair> = h.simple_edges().into_iter().collect();
             self.topology = Topology::HGraph(h);
             e
         }
     }
 
     /// Applies a locally-computed splice delta to the maintained projection
-    /// and packages it as an [`EdgeDelta`].
+    /// and packages it as an [`EdgeDelta`]. Splice deltas are O(d²) small,
+    /// so per-element binary-search edits keep the sorted order cheaply.
     fn apply_local_delta(&mut self, added: Vec<EdgePair>, removed: Vec<EdgePair>) -> EdgeDelta {
         for e in &removed {
-            self.edges.remove(e);
+            if let Ok(pos) = self.edges.binary_search(e) {
+                self.edges.remove(pos);
+            }
         }
-        for &e in &added {
-            self.edges.insert(e);
+        for e in &added {
+            if let Err(pos) = self.edges.binary_search(e) {
+                self.edges.insert(pos, *e);
+            }
         }
         EdgeDelta { added, removed }
     }
@@ -330,15 +362,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let (mut e, initial) = MaintainedExpander::new(&ids(0..12), 4, &mut rng);
         let mut mirror: BTreeSet<EdgePair> = initial.into_iter().collect();
+        let check = |mirror: &BTreeSet<EdgePair>, e: &MaintainedExpander| {
+            let sorted: Vec<EdgePair> = mirror.iter().copied().collect();
+            assert_eq!(sorted, e.edges(), "edge list drift (or lost sort order)");
+        };
         for i in 12..20 {
             let d = e.insert(NodeId::new(i), &mut rng);
             apply(&mut mirror, &d);
-            assert_eq!(&mirror, e.edges());
+            check(&mirror, &e);
         }
         for i in 0..15 {
             let d = e.remove(NodeId::new(i), &mut rng);
             apply(&mut mirror, &d);
-            assert_eq!(&mirror, e.edges());
+            check(&mirror, &e);
         }
         assert_eq!(e.len(), 5);
         assert!(e.is_clique(), "shrunk below kappa+1, must be clique");

@@ -777,6 +777,32 @@ pub struct CsrView {
 }
 
 impl CsrView {
+    /// Assembles a view from raw CSR arrays — the entry point for consumers
+    /// (e.g. incrementally maintained monitors) that build the dense
+    /// representation themselves and want to hand it to the CSR-consuming
+    /// algorithms without an owning copy of a [`Graph`].
+    ///
+    /// Invariants required (debug-asserted): `nodes` sorted strictly
+    /// ascending, `offsets.len() == nodes.len() + 1` starting at 0 and
+    /// non-decreasing with `neighbors.len()` as the final entry, and every
+    /// neighbor index below `nodes.len()`.
+    pub fn from_parts(nodes: Vec<NodeId>, offsets: Vec<u32>, neighbors: Vec<u32>) -> Self {
+        debug_assert_eq!(offsets.len(), nodes.len() + 1);
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(
+            *offsets.last().expect("nonempty offsets") as usize,
+            neighbors.len()
+        );
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(neighbors.iter().all(|&j| (j as usize) < nodes.len()));
+        CsrView {
+            nodes,
+            offsets,
+            neighbors,
+        }
+    }
+
     /// Number of nodes in the snapshot.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -810,6 +836,23 @@ impl CsrView {
     /// Degree of dense node `i`.
     pub fn degree_of(&self, i: usize) -> usize {
         (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The raw offset array (`len() + 1` entries, first 0, last
+    /// `neighbors_flat().len()`), for matrix-free operators borrowing the
+    /// CSR arrays directly.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw flattened neighbor array (`2 × edge count` dense indices).
+    pub fn neighbors_flat(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Number of undirected edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
     }
 }
 

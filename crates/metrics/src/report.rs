@@ -175,6 +175,54 @@ mod tests {
     }
 
     #[test]
+    fn expansion_report_on_empty_graph_is_all_degenerate() {
+        let g = xheal_graph::Graph::new();
+        let r = expansion_report(&g);
+        assert_eq!(r.exact_h, None);
+        assert_eq!(r.exact_phi, None);
+        assert_eq!((r.lambda, r.lambda_norm, r.h_lower), (0.0, 0.0, 0.0));
+        assert_eq!(r.sweep_phi, None);
+        assert_eq!(r.sweep_h, None);
+        assert_eq!(expansion_estimate(&g), None);
+    }
+
+    #[test]
+    fn expansion_report_on_single_node_is_degenerate() {
+        let mut g = xheal_graph::Graph::new();
+        g.add_node(NodeId::new(7)).unwrap();
+        let r = expansion_report(&g);
+        assert_eq!(r.exact_h, None, "no 2-subset to cut");
+        assert_eq!((r.lambda, r.lambda_norm), (0.0, 0.0));
+        assert_eq!(r.sweep_h, None);
+        assert_eq!(r.h_lower, 0.0);
+        assert_eq!(expansion_estimate(&g), None);
+    }
+
+    #[test]
+    fn expansion_report_on_disconnected_graph_is_zero() {
+        // A graph with an isolated node: h = phi = lambda = 0.
+        let mut g = generators::complete(5);
+        g.add_node(NodeId::new(50)).unwrap();
+        let r = expansion_report(&g);
+        assert_eq!(r.exact_h, Some(0.0));
+        assert!(r.lambda < 1e-10);
+        assert!(r.lambda_norm < 1e-10);
+        assert!(r.h_lower.abs() < 1e-10, "dmin = 0 kills the lower bound");
+        assert_eq!(expansion_estimate(&g), Some(0.0));
+
+        // Two separate components (no isolated node): still 0 expansion.
+        let mut two = generators::complete(4);
+        two.add_node(NodeId::new(60)).unwrap();
+        two.add_node(NodeId::new(61)).unwrap();
+        two.add_black_edge(NodeId::new(60), NodeId::new(61))
+            .unwrap();
+        let r2 = expansion_report(&two);
+        assert_eq!(r2.exact_h, Some(0.0));
+        assert!(r2.lambda < 1e-10);
+        assert_eq!(expansion_estimate(&two), Some(0.0));
+    }
+
+    #[test]
     fn expansion_report_on_complete_graph() {
         let g = generators::complete(8);
         let r = expansion_report(&g);

@@ -1,0 +1,918 @@
+//! The incrementally patched CSR at the heart of the monitor.
+//!
+//! [`IncrementalCsr`] is a labeled adjacency structure maintained purely
+//! from the [`TopologyDelta`] stream — never rebuilt from the engine's
+//! graph. The layout is a flat entry array with **per-node slack**: each
+//! live node owns a contiguous block `[start, start + cap)` holding its
+//! `len` sorted neighbor entries. Inserting into a full block relocates it
+//! to the tail of the array with doubled capacity, abandoning the old
+//! region as a *tombstone*; when tombstones exceed half the array an
+//! amortized **compaction** rebuilds the array densely. Every applied delta
+//! bumps a **generation stamp**, so downstream consumers can tag derived
+//! metrics with the exact topology version they were computed from.
+//!
+//! [`IncrementalCsr::snapshot`] linearizes the structure into a
+//! [`CsrView`] — bit-identical to what `Graph::csr_view()` would produce
+//! for the same topology, which is exactly what the property suite pins
+//! after every event.
+
+use std::collections::BTreeSet;
+
+use xheal_core::TopologyDelta;
+use xheal_graph::{CsrView, EdgeLabels, FxHashMap, Graph, NodeId};
+
+/// Filler id for dead/slack entries (never a live node id in practice; the
+/// structure never reads filler entries either way).
+const TOMB: u64 = u64::MAX;
+
+/// Compact once abandoned capacity exceeds this fraction of the array
+/// (denominator 2 ⇒ half), and only past a minimum size.
+const COMPACT_DENOM: usize = 2;
+const COMPACT_MIN: usize = 64;
+
+/// One directed half-edge entry: the neighbor's id (the sort key), its
+/// arena slot (so mirror edits never re-hash), and the labels both halves
+/// share.
+#[derive(Clone, Debug)]
+struct Entry {
+    id: NodeId,
+    slot: u32,
+    labels: EdgeLabels,
+}
+
+impl Entry {
+    fn filler() -> Self {
+        Entry {
+            id: NodeId::new(TOMB),
+            slot: u32::MAX,
+            labels: EdgeLabels::empty(),
+        }
+    }
+}
+
+/// Per-node block descriptor: `len` live entries inside `cap` owned cells.
+#[derive(Clone, Copy, Debug, Default)]
+struct Block {
+    start: u32,
+    len: u32,
+    cap: u32,
+    black: u32,
+}
+
+/// What one applied [`TopologyDelta`] structurally did — the O(1) feed for
+/// the monitor's incremental metric trackers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaEffect {
+    /// Nothing changed (replayed strip of an already-dead edge, duplicate
+    /// label, …).
+    Noop,
+    /// A node joined with degree 0.
+    NodeAdded(NodeId),
+    /// A node left; every incident edge died with it. For each former
+    /// neighbor: `(neighbor, its degree before, edge was black)`.
+    NodeRemoved {
+        /// The departed node.
+        node: NodeId,
+        /// Its degree at departure.
+        degree: usize,
+        /// Its black degree at departure.
+        black_degree: usize,
+        /// Former neighbors with their pre-removal degree and whether the
+        /// shared edge carried the black label.
+        neighbors: Vec<(NodeId, usize, bool)>,
+    },
+    /// A brand-new edge appeared.
+    EdgeCreated {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Whether the creating label was black.
+        black: bool,
+    },
+    /// An existing edge gained a label; `became_black` when the black flag
+    /// turned on.
+    EdgeRelabeled {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The black flag switched from off to on.
+        became_black: bool,
+    },
+    /// An edge lost its last label and disappeared.
+    EdgeDropped {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The edge carried the black label just before dropping.
+        was_black: bool,
+    },
+    /// An edge lost a label but survives; `lost_black` when the black flag
+    /// turned off.
+    EdgeStripped {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The black flag switched from on to off.
+        lost_black: bool,
+    },
+}
+
+/// A generation-stamped CSR patched in place from [`TopologyDelta`]s.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_core::TopologyDelta;
+/// use xheal_monitor::IncrementalCsr;
+/// use xheal_graph::{generators, NodeId};
+///
+/// let mut g = generators::cycle(6);
+/// let mut csr = IncrementalCsr::new(&g);
+/// // The engine deletes node 0; replay its deltas into the CSR.
+/// g.remove_node(NodeId::new(0)).unwrap();
+/// csr.apply(&TopologyDelta::NodeRemoved(NodeId::new(0)));
+/// assert_eq!(csr.generation(), 1);
+/// assert_eq!(csr.node_count(), 5);
+/// assert_eq!(csr.snapshot().nodes(), g.csr_view().nodes());
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalCsr {
+    /// `NodeId → slot` for the hot-path point lookups.
+    index: FxHashMap<NodeId, u32>,
+    /// Live ids ascending — the deterministic snapshot spine.
+    ordered: BTreeSet<NodeId>,
+    /// Per-slot id (only meaningful while live).
+    ids: Vec<NodeId>,
+    live: Vec<bool>,
+    blocks: Vec<Block>,
+    free_slots: Vec<u32>,
+    /// The flat entry array blocks carve up.
+    adj: Vec<Entry>,
+    /// Abandoned cells (relocated blocks, dead nodes' blocks).
+    tombstones: usize,
+    edge_count: usize,
+    generation: u64,
+    compactions: usize,
+}
+
+impl IncrementalCsr {
+    /// Seeds the structure from the engine's current graph (the one O(n+m)
+    /// build; every later change arrives as a delta).
+    pub fn new(initial: &Graph) -> Self {
+        let mut csr = IncrementalCsr {
+            index: FxHashMap::default(),
+            ordered: BTreeSet::new(),
+            ids: Vec::new(),
+            live: Vec::new(),
+            blocks: Vec::new(),
+            free_slots: Vec::new(),
+            adj: Vec::new(),
+            tombstones: 0,
+            edge_count: 0,
+            generation: 0,
+            compactions: 0,
+        };
+        for v in initial.nodes() {
+            csr.add_slot(v);
+        }
+        for v in initial.nodes() {
+            let sv = csr.index[&v];
+            let start = csr.adj.len() as u32;
+            let mut len = 0u32;
+            let mut black = 0u32;
+            for (u, labels) in initial.neighbors_labeled(v) {
+                let su = csr.index[&u];
+                if labels.is_black() {
+                    black += 1;
+                }
+                csr.adj.push(Entry {
+                    id: u,
+                    slot: su,
+                    labels: labels.clone(),
+                });
+                len += 1;
+            }
+            let block = &mut csr.blocks[sv as usize];
+            *block = Block {
+                start,
+                len,
+                cap: len,
+                black,
+            };
+        }
+        csr.edge_count = initial.edge_count();
+        csr
+    }
+
+    // ------------------------------------------------------------------
+    // Read access
+    // ------------------------------------------------------------------
+
+    /// Number of deltas applied so far — the version stamp to tag derived
+    /// metrics with.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Live undirected edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Is the node present?
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// Degree of `v`, if present.
+    pub fn degree(&self, v: NodeId) -> Option<usize> {
+        self.index
+            .get(&v)
+            .map(|&s| self.blocks[s as usize].len as usize)
+    }
+
+    /// Black degree of `v`, if present (maintained counter, O(1)).
+    pub fn black_degree(&self, v: NodeId) -> Option<usize> {
+        self.index
+            .get(&v)
+            .map(|&s| self.blocks[s as usize].black as usize)
+    }
+
+    /// Live node ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ordered.iter().copied()
+    }
+
+    /// Neighbors of `v` (ascending), empty if absent.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.index
+            .get(&v)
+            .map(|&s| self.block_slice(s))
+            .unwrap_or(&[])
+            .iter()
+            .map(|e| e.id)
+    }
+
+    /// Abandoned cells currently wasted in the entry array (drops to 0 at
+    /// every compaction).
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Number of amortized compactions run so far.
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    fn block_slice(&self, slot: u32) -> &[Entry] {
+        let b = &self.blocks[slot as usize];
+        &self.adj[b.start as usize..(b.start + b.len) as usize]
+    }
+
+    /// Linearizes into a [`CsrView`] identical to `Graph::csr_view()` of
+    /// the same topology: nodes ascending, neighbors as dense indices.
+    pub fn snapshot(&self) -> CsrView {
+        let n = self.ordered.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut slot_to_dense = vec![u32::MAX; self.blocks.len()];
+        for (i, &v) in self.ordered.iter().enumerate() {
+            nodes.push(v);
+            slot_to_dense[self.index[&v] as usize] = i as u32;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * self.edge_count);
+        offsets.push(0u32);
+        for &v in &nodes {
+            let s = self.index[&v];
+            neighbors.extend(
+                self.block_slice(s)
+                    .iter()
+                    .map(|e| slot_to_dense[e.slot as usize]),
+            );
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrView::from_parts(nodes, offsets, neighbors)
+    }
+
+    // ------------------------------------------------------------------
+    // The patch path
+    // ------------------------------------------------------------------
+
+    /// Applies one delta, bumps the generation, and reports what changed
+    /// structurally. Tolerates the stream's replay semantics: strips of
+    /// edges that died with a deleted endpoint are no-ops, duplicate labels
+    /// are no-ops.
+    pub fn apply(&mut self, delta: &TopologyDelta) -> DeltaEffect {
+        self.generation += 1;
+        let effect = match *delta {
+            TopologyDelta::NodeAdded(v) => {
+                self.add_slot(v);
+                DeltaEffect::NodeAdded(v)
+            }
+            TopologyDelta::NodeRemoved(v) => self.remove_node(v),
+            TopologyDelta::EdgeAdded { a, b, color } => {
+                let labels = match color {
+                    None => EdgeLabels::black(),
+                    Some(c) => EdgeLabels::colored(c),
+                };
+                self.add_label(a, b, &labels)
+            }
+            TopologyDelta::EdgeRemoved { a, b, color } => self.strip_label(a, b, color),
+        };
+        self.maybe_compact();
+        effect
+    }
+
+    fn add_slot(&mut self, v: NodeId) {
+        debug_assert!(!self.index.contains_key(&v), "duplicate node {v}");
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.ids[s as usize] = v;
+                self.live[s as usize] = true;
+                self.blocks[s as usize] = Block::default();
+                s
+            }
+            None => {
+                let s = u32::try_from(self.ids.len()).expect("slot fits u32");
+                self.ids.push(v);
+                self.live.push(true);
+                self.blocks.push(Block::default());
+                s
+            }
+        };
+        self.index.insert(v, slot);
+        self.ordered.insert(v);
+    }
+
+    fn remove_node(&mut self, v: NodeId) -> DeltaEffect {
+        let Some(&sv) = self.index.get(&v) else {
+            debug_assert!(false, "removed unknown node {v}");
+            return DeltaEffect::Noop;
+        };
+        let block = self.blocks[sv as usize];
+        let mut neighbors = Vec::with_capacity(block.len as usize);
+        // Collect first (the mirror removals below shuffle `adj`).
+        let incident: Vec<(NodeId, u32, bool)> = self
+            .block_slice(sv)
+            .iter()
+            .map(|e| (e.id, e.slot, e.labels.is_black()))
+            .collect();
+        for &(u, su, was_black) in &incident {
+            let ub = &self.blocks[su as usize];
+            neighbors.push((u, ub.len as usize, was_black));
+            self.remove_entry(su, v, was_black);
+            self.edge_count -= 1;
+        }
+        self.tombstones += block.cap as usize;
+        self.blocks[sv as usize] = Block::default();
+        self.live[sv as usize] = false;
+        self.free_slots.push(sv);
+        self.index.remove(&v);
+        self.ordered.remove(&v);
+        DeltaEffect::NodeRemoved {
+            node: v,
+            degree: block.len as usize,
+            black_degree: block.black as usize,
+            neighbors,
+        }
+    }
+
+    /// Position of `u` inside `slot`'s block.
+    fn find_in_block(&self, slot: u32, u: NodeId) -> Result<usize, usize> {
+        self.block_slice(slot).binary_search_by(|e| e.id.cmp(&u))
+    }
+
+    /// Removes the `(slot → u)` half-edge entry (must exist).
+    fn remove_entry(&mut self, slot: u32, u: NodeId, was_black: bool) {
+        let pos = self.find_in_block(slot, u).expect("mirror entry");
+        let b = self.blocks[slot as usize];
+        let start = b.start as usize;
+        // Shift the tail left inside the block; the vacated cell becomes
+        // reusable slack, not a tombstone.
+        self.adj
+            .copy_within_entries(start + pos + 1..start + b.len as usize, start + pos);
+        let b = &mut self.blocks[slot as usize];
+        b.len -= 1;
+        if was_black {
+            b.black -= 1;
+        }
+    }
+
+    /// Inserts an entry into `slot`'s block at its sorted position,
+    /// relocating the block with doubled capacity when full.
+    fn insert_entry(&mut self, slot: u32, entry: Entry) {
+        let pos = match self.find_in_block(slot, entry.id) {
+            Ok(_) => unreachable!("entry {} already present", entry.id),
+            Err(p) => p,
+        };
+        let b = self.blocks[slot as usize];
+        if b.len == b.cap {
+            // Relocate to the tail with slack; the old region tombstones.
+            let new_cap = (b.cap * 2).max(4);
+            let new_start = self.adj.len() as u32;
+            self.adj.reserve(new_cap as usize);
+            for i in 0..b.len as usize {
+                let e = self.adj[b.start as usize + i].clone();
+                self.adj.push(e);
+            }
+            self.adj
+                .resize_with(new_start as usize + new_cap as usize, Entry::filler);
+            self.tombstones += b.cap as usize;
+            let nb = &mut self.blocks[slot as usize];
+            nb.start = new_start;
+            nb.cap = new_cap;
+        }
+        let b = self.blocks[slot as usize];
+        let start = b.start as usize;
+        // Shift the tail right inside the block to open the position.
+        self.adj
+            .copy_within_entries_rev(start + pos..start + b.len as usize, start + pos + 1);
+        self.adj[start + pos] = entry;
+        self.blocks[slot as usize].len += 1;
+    }
+
+    fn add_label(&mut self, a: NodeId, b: NodeId, labels: &EdgeLabels) -> DeltaEffect {
+        let (Some(&sa), Some(&sb)) = (self.index.get(&a), self.index.get(&b)) else {
+            debug_assert!(false, "edge ({a},{b}) endpoints must be live");
+            return DeltaEffect::Noop;
+        };
+        match self.find_in_block(sa, b) {
+            Ok(pos) => {
+                // Existing edge: merge the label into both halves.
+                let start = self.blocks[sa as usize].start as usize;
+                let before = self.adj[start + pos].labels.clone();
+                self.adj[start + pos].labels.merge(labels);
+                let after = self.adj[start + pos].labels.clone();
+                if before == after {
+                    return DeltaEffect::Noop; // duplicate label
+                }
+                let mpos = self.find_in_block(sb, a).expect("mirror entry");
+                let mstart = self.blocks[sb as usize].start as usize;
+                self.adj[mstart + mpos].labels.merge(labels);
+                let became_black = !before.is_black() && after.is_black();
+                if became_black {
+                    self.blocks[sa as usize].black += 1;
+                    self.blocks[sb as usize].black += 1;
+                }
+                DeltaEffect::EdgeRelabeled { a, b, became_black }
+            }
+            Err(_) => {
+                let black = labels.is_black();
+                self.insert_entry(
+                    sa,
+                    Entry {
+                        id: b,
+                        slot: sb,
+                        labels: labels.clone(),
+                    },
+                );
+                self.insert_entry(
+                    sb,
+                    Entry {
+                        id: a,
+                        slot: sa,
+                        labels: labels.clone(),
+                    },
+                );
+                if black {
+                    self.blocks[sa as usize].black += 1;
+                    self.blocks[sb as usize].black += 1;
+                }
+                self.edge_count += 1;
+                DeltaEffect::EdgeCreated { a, b, black }
+            }
+        }
+    }
+
+    fn strip_label(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        color: Option<xheal_graph::CloudColor>,
+    ) -> DeltaEffect {
+        // Strips of edges that died with a deleted endpoint are no-ops,
+        // exactly as on the engine's graph.
+        let (Some(&sa), Some(&sb)) = (self.index.get(&a), self.index.get(&b)) else {
+            return DeltaEffect::Noop;
+        };
+        let Ok(pos) = self.find_in_block(sa, b) else {
+            return DeltaEffect::Noop;
+        };
+        let start = self.blocks[sa as usize].start as usize;
+        let entry = &mut self.adj[start + pos];
+        let was_black = entry.labels.is_black();
+        let removed = match color {
+            None => {
+                let had = was_black;
+                entry.labels.clear_black();
+                had
+            }
+            Some(c) => entry.labels.remove_color(c),
+        };
+        if !removed {
+            return DeltaEffect::Noop;
+        }
+        let now_black = entry.labels.is_black();
+        let empty = entry.labels.is_empty();
+        if empty {
+            self.remove_entry(sa, b, was_black);
+            self.remove_entry(sb, a, was_black);
+            self.edge_count -= 1;
+            return DeltaEffect::EdgeDropped { a, b, was_black };
+        }
+        // Mirror the strip on the other half.
+        let mpos = self.find_in_block(sb, a).expect("mirror entry");
+        let mstart = self.blocks[sb as usize].start as usize;
+        match color {
+            None => self.adj[mstart + mpos].labels.clear_black(),
+            Some(c) => {
+                self.adj[mstart + mpos].labels.remove_color(c);
+            }
+        }
+        let lost_black = was_black && !now_black;
+        if lost_black {
+            self.blocks[sa as usize].black -= 1;
+            self.blocks[sb as usize].black -= 1;
+        }
+        DeltaEffect::EdgeStripped { a, b, lost_black }
+    }
+
+    // ------------------------------------------------------------------
+    // Amortized compaction
+    // ------------------------------------------------------------------
+
+    fn maybe_compact(&mut self) {
+        if self.adj.len() >= COMPACT_MIN && self.tombstones > self.adj.len() / COMPACT_DENOM {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the entry array densely (slack reset to zero per block);
+    /// O(live entries), paid for by the tombstones that triggered it.
+    fn compact(&mut self) {
+        let mut fresh: Vec<Entry> = Vec::with_capacity(2 * self.edge_count);
+        for &v in &self.ordered {
+            let slot = self.index[&v];
+            let b = self.blocks[slot as usize];
+            let start = fresh.len() as u32;
+            fresh.extend_from_slice(self.block_slice_raw(b));
+            self.blocks[slot as usize] = Block {
+                start,
+                len: b.len,
+                cap: b.len,
+                black: b.black,
+            };
+        }
+        self.adj = fresh;
+        self.tombstones = 0;
+        self.compactions += 1;
+    }
+
+    fn block_slice_raw(&self, b: Block) -> &[Entry] {
+        &self.adj[b.start as usize..(b.start + b.len) as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Self-checks (tests and the property suite)
+    // ------------------------------------------------------------------
+
+    /// Structural consistency check: mirrored labels, sorted blocks,
+    /// maintained counters, tombstone accounting.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.index.len() != self.ordered.len() {
+            return Err("index/ordered size mismatch".into());
+        }
+        let mut owned = 0usize;
+        let mut edges = 0usize;
+        for &v in &self.ordered {
+            let Some(&s) = self.index.get(&v) else {
+                return Err(format!("ordered node {v} not indexed"));
+            };
+            if !self.live[s as usize] || self.ids[s as usize] != v {
+                return Err(format!("slot {s} does not back {v}"));
+            }
+            let b = self.blocks[s as usize];
+            if b.len > b.cap || (b.start + b.cap) as usize > self.adj.len() {
+                return Err(format!("block of {v} out of bounds"));
+            }
+            owned += b.cap as usize;
+            let mut black = 0u32;
+            let slice = self.block_slice(s);
+            for w in slice.windows(2) {
+                if w[0].id >= w[1].id {
+                    return Err(format!("unsorted block at {v}"));
+                }
+            }
+            for e in slice {
+                if e.labels.is_empty() {
+                    return Err(format!("empty labels on ({v},{})", e.id));
+                }
+                if e.labels.is_black() {
+                    black += 1;
+                }
+                if !self.live[e.slot as usize] || self.ids[e.slot as usize] != e.id {
+                    return Err(format!("stale neighbor slot on ({v},{})", e.id));
+                }
+                let mirror = self
+                    .find_in_block(e.slot, v)
+                    .map_err(|_| format!("asymmetric edge ({v},{})", e.id))?;
+                let mb = self.blocks[e.slot as usize];
+                if self.adj[mb.start as usize + mirror].labels != e.labels {
+                    return Err(format!("label mismatch on ({v},{})", e.id));
+                }
+                if v < e.id {
+                    edges += 1;
+                }
+            }
+            if black != b.black {
+                return Err(format!("black counter {} != {black} at {v}", b.black));
+            }
+        }
+        if edges != self.edge_count {
+            return Err(format!("edge count {} stored {edges}", self.edge_count));
+        }
+        if owned + self.tombstones > self.adj.len() {
+            return Err(format!(
+                "accounting leak: {owned} owned + {} tombstones > {} cells",
+                self.tombstones,
+                self.adj.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// In-place shifting helpers over the entry array. `copy_within` needs
+/// `Copy`; entries hold an `EdgeLabels`, so these are rotate-style moves.
+trait EntryShift {
+    fn copy_within_entries(&mut self, src: std::ops::Range<usize>, dest: usize);
+    fn copy_within_entries_rev(&mut self, src: std::ops::Range<usize>, dest: usize);
+}
+
+impl EntryShift for Vec<Entry> {
+    /// Moves `src` left to `dest` (`dest < src.start`), like a removal
+    /// shift. Elements beyond the moved region keep their (stale) values.
+    fn copy_within_entries(&mut self, src: std::ops::Range<usize>, dest: usize) {
+        for (k, i) in src.enumerate() {
+            self[dest + k] = self[i].clone();
+        }
+    }
+
+    /// Moves `src` right to `dest` (`dest > src.start`), back-to-front so
+    /// the shift never overwrites unmoved elements — an insertion shift.
+    fn copy_within_entries_rev(&mut self, src: std::ops::Range<usize>, dest: usize) {
+        let delta = dest - src.start;
+        for i in src.rev() {
+            self[i + delta] = self[i].clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xheal_graph::{generators, CloudColor};
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    /// Asserts the incremental structure matches `g.csr_view()` exactly.
+    fn assert_matches(csr: &IncrementalCsr, g: &Graph) {
+        csr.validate().unwrap();
+        let inc = csr.snapshot();
+        let fresh = g.csr_view();
+        assert_eq!(inc.nodes(), fresh.nodes(), "node spine differs");
+        assert_eq!(inc.offsets(), fresh.offsets(), "offsets differ");
+        assert_eq!(
+            inc.neighbors_flat(),
+            fresh.neighbors_flat(),
+            "adjacency differs"
+        );
+        for v in g.nodes() {
+            assert_eq!(csr.degree(v), g.degree(v), "degree of {v}");
+            assert_eq!(
+                csr.black_degree(v),
+                g.black_degree(v),
+                "black degree of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_from_initial_graph() {
+        let g = generators::random_regular(40, 4, &mut rand::rngs::StdRng::seed_from_u64(1));
+        let csr = IncrementalCsr::new(&g);
+        assert_eq!(csr.generation(), 0);
+        assert_matches(&csr, &g);
+    }
+
+    #[test]
+    fn node_and_edge_deltas_patch_in_place() {
+        let mut g = generators::cycle(8);
+        let mut csr = IncrementalCsr::new(&g);
+        let c = CloudColor::new(3);
+
+        // Node insert with two black edges.
+        g.add_node(n(100)).unwrap();
+        csr.apply(&TopologyDelta::NodeAdded(n(100)));
+        for u in [n(0), n(4)] {
+            g.add_black_edge(n(100), u).unwrap();
+            let eff = csr.apply(&TopologyDelta::EdgeAdded {
+                a: n(100),
+                b: u,
+                color: None,
+            });
+            assert!(matches!(eff, DeltaEffect::EdgeCreated { black: true, .. }));
+        }
+        assert_matches(&csr, &g);
+
+        // Recolor an existing edge, then strip black off it.
+        g.add_colored_edge(n(0), n(1), c).unwrap();
+        let eff = csr.apply(&TopologyDelta::EdgeAdded {
+            a: n(0),
+            b: n(1),
+            color: Some(c),
+        });
+        assert!(matches!(
+            eff,
+            DeltaEffect::EdgeRelabeled {
+                became_black: false,
+                ..
+            }
+        ));
+        g.strip_black(n(0), n(1));
+        let eff = csr.apply(&TopologyDelta::EdgeRemoved {
+            a: n(0),
+            b: n(1),
+            color: None,
+        });
+        assert!(matches!(
+            eff,
+            DeltaEffect::EdgeStripped {
+                lost_black: true,
+                ..
+            }
+        ));
+        assert_matches(&csr, &g);
+
+        // Strip the color too: the edge dies.
+        g.strip_color(n(0), n(1), c);
+        let eff = csr.apply(&TopologyDelta::EdgeRemoved {
+            a: n(0),
+            b: n(1),
+            color: Some(c),
+        });
+        assert!(matches!(
+            eff,
+            DeltaEffect::EdgeDropped {
+                was_black: false,
+                ..
+            }
+        ));
+        assert_matches(&csr, &g);
+
+        // Node removal takes every incident edge.
+        g.remove_node(n(4)).unwrap();
+        let eff = csr.apply(&TopologyDelta::NodeRemoved(n(4)));
+        let DeltaEffect::NodeRemoved {
+            node,
+            degree,
+            neighbors,
+            ..
+        } = eff
+        else {
+            panic!("expected NodeRemoved, got {eff:?}");
+        };
+        assert_eq!(node, n(4));
+        assert_eq!(degree, 3);
+        assert_eq!(neighbors.len(), 3);
+        assert_matches(&csr, &g);
+        assert_eq!(csr.generation(), 7);
+    }
+
+    #[test]
+    fn replayed_strips_are_noops() {
+        let g = generators::cycle(5);
+        let mut csr = IncrementalCsr::new(&g);
+        // Strip an edge of a node that is gone — the plan-replay situation.
+        let eff = csr.apply(&TopologyDelta::EdgeRemoved {
+            a: n(77),
+            b: n(0),
+            color: Some(CloudColor::new(1)),
+        });
+        assert_eq!(eff, DeltaEffect::Noop);
+        // Strip a color the edge does not carry.
+        let eff = csr.apply(&TopologyDelta::EdgeRemoved {
+            a: n(0),
+            b: n(1),
+            color: Some(CloudColor::new(9)),
+        });
+        assert_eq!(eff, DeltaEffect::Noop);
+        assert_eq!(csr.generation(), 2, "no-ops still stamp the generation");
+    }
+
+    #[test]
+    fn growth_relocates_and_churn_compacts() {
+        let mut g = Graph::new();
+        g.add_node(n(0)).unwrap();
+        let mut csr = IncrementalCsr::new(&g);
+        // Grow node 0's block far past any initial capacity.
+        for i in 1..40 {
+            g.add_node(n(i)).unwrap();
+            csr.apply(&TopologyDelta::NodeAdded(n(i)));
+            g.add_black_edge(n(0), n(i)).unwrap();
+            csr.apply(&TopologyDelta::EdgeAdded {
+                a: n(0),
+                b: n(i),
+                color: None,
+            });
+        }
+        assert_matches(&csr, &g);
+        // Delete most of the spokes: tombstones accumulate, compaction fires.
+        for i in 1..35 {
+            g.remove_node(n(i)).unwrap();
+            csr.apply(&TopologyDelta::NodeRemoved(n(i)));
+        }
+        assert!(csr.compactions() > 0, "churn must trigger compaction");
+        assert!(
+            csr.tombstones() <= csr.edge_count() * 2 + COMPACT_MIN,
+            "tombstones stay bounded: {}",
+            csr.tombstones()
+        );
+        assert_matches(&csr, &g);
+    }
+
+    #[test]
+    fn snapshot_equals_fresh_csr_under_mixed_churn() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = generators::connected_erdos_renyi(24, 0.2, &mut rng);
+        let mut csr = IncrementalCsr::new(&g);
+        let mut next = 1000u64;
+        for step in 0..300 {
+            let nodes = g.node_vec();
+            match rng.random_range(0..4u32) {
+                0 => {
+                    let v = n(next);
+                    next += 1;
+                    g.add_node(v).unwrap();
+                    csr.apply(&TopologyDelta::NodeAdded(v));
+                    let u = nodes[rng.random_range(0..nodes.len())];
+                    g.add_black_edge(v, u).unwrap();
+                    csr.apply(&TopologyDelta::EdgeAdded {
+                        a: v,
+                        b: u,
+                        color: None,
+                    });
+                }
+                1 if nodes.len() > 4 => {
+                    let v = nodes[rng.random_range(0..nodes.len())];
+                    g.remove_node(v).unwrap();
+                    csr.apply(&TopologyDelta::NodeRemoved(v));
+                }
+                2 => {
+                    let a = nodes[rng.random_range(0..nodes.len())];
+                    let b = nodes[rng.random_range(0..nodes.len())];
+                    if a != b {
+                        let c = CloudColor::new(rng.random_range(0..6));
+                        g.add_colored_edge(a, b, c).unwrap();
+                        csr.apply(&TopologyDelta::EdgeAdded {
+                            a,
+                            b,
+                            color: Some(c),
+                        });
+                    }
+                }
+                _ => {
+                    let a = nodes[rng.random_range(0..nodes.len())];
+                    let b = nodes[rng.random_range(0..nodes.len())];
+                    if a != b {
+                        let c = CloudColor::new(rng.random_range(0..6));
+                        g.strip_color(a, b, c);
+                        csr.apply(&TopologyDelta::EdgeRemoved {
+                            a,
+                            b,
+                            color: Some(c),
+                        });
+                    }
+                }
+            }
+            if step % 10 == 0 {
+                assert_matches(&csr, &g);
+            }
+        }
+        assert_matches(&csr, &g);
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,283 @@
+//! Threshold policies over the monitored invariants and the structured
+//! alerts they emit.
+//!
+//! A [`HealthPolicy`] encodes the operator's budget for each maintained
+//! invariant (the paper's Theorem 2 family: bounded degree increase,
+//! expansion no worse than a constant factor, connectivity) plus the
+//! spectral-gap floor. [`HealthPolicy::evaluate`] compares a metrics
+//! snapshot against the budgets and emits **edge-triggered**
+//! [`HealthEvent`]s: one `Critical` alert when a metric crosses into
+//! breach, one `Info` recovery when it crosses back — no per-event alert
+//! spam while a breach persists (the breach state lives in the caller's
+//! [`BreachState`]).
+
+use std::fmt;
+
+use xheal_workload::Severity;
+
+/// Which monitored invariant an alert concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKind {
+    /// `max_v deg_G(v) / deg_{G'}(v)` (success metric 1).
+    DegreeIncrease,
+    /// λ₂ of the normalized Laplacian (success metric 4's spectral side).
+    SpectralGap,
+    /// Sweep-cut expansion upper bound (success metric 2).
+    Expansion,
+    /// Connected-component count (success metric: connectivity).
+    Connectivity,
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricKind::DegreeIncrease => write!(f, "degree-increase"),
+            MetricKind::SpectralGap => write!(f, "spectral-gap"),
+            MetricKind::Expansion => write!(f, "expansion"),
+            MetricKind::Connectivity => write!(f, "connectivity"),
+        }
+    }
+}
+
+/// One structured alert from the policy layer.
+#[derive(Clone, Debug)]
+pub struct HealthEvent {
+    /// Topology generation the triggering snapshot was computed at.
+    pub generation: u64,
+    /// `Critical` on breach, `Info` on recovery.
+    pub severity: Severity,
+    /// The invariant concerned.
+    pub metric: MetricKind,
+    /// Measured value.
+    pub value: f64,
+    /// The configured budget it was compared against.
+    pub limit: f64,
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[gen {}] {} {}: {:.4} vs limit {:.4}",
+            self.generation, self.severity, self.metric, self.value, self.limit
+        )
+    }
+}
+
+/// The values a policy evaluation consumes. Expensive entries are optional
+/// so cheap per-event evaluations can skip them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Topology generation the snapshot describes.
+    pub generation: u64,
+    /// Maintained max degree increase vs `G'`.
+    pub degree_increase: f64,
+    /// Warm-started λ₂ of the normalized Laplacian, when computed.
+    pub spectral_gap: Option<f64>,
+    /// Sweep-cut expansion estimate, when computed.
+    pub expansion: Option<f64>,
+    /// Connected components, when computed.
+    pub components: Option<usize>,
+}
+
+/// Configurable invariant budgets. `None` disables a check.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Alert when the max degree increase exceeds this factor. The paper
+    /// guarantees O(κ); a sensible budget is `c·κ` for small `c`.
+    pub max_degree_increase: Option<f64>,
+    /// Alert when λ₂ of the normalized Laplacian falls below this floor.
+    pub min_spectral_gap: Option<f64>,
+    /// Alert when the sweep-cut expansion estimate falls below this floor.
+    pub min_expansion: Option<f64>,
+    /// Alert when the component count exceeds this (usually 1).
+    pub max_components: Option<usize>,
+}
+
+impl Default for HealthPolicy {
+    /// Connectivity-only: the one invariant every deployment cares about.
+    fn default() -> Self {
+        HealthPolicy {
+            max_degree_increase: None,
+            min_spectral_gap: None,
+            min_expansion: None,
+            max_components: Some(1),
+        }
+    }
+}
+
+/// Edge-trigger memory: which metrics are currently in breach.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BreachState {
+    degree_increase: bool,
+    spectral_gap: bool,
+    expansion: bool,
+    connectivity: bool,
+}
+
+impl BreachState {
+    /// Is any monitored invariant currently in breach?
+    pub fn any(&self) -> bool {
+        self.degree_increase || self.spectral_gap || self.expansion || self.connectivity
+    }
+}
+
+impl HealthPolicy {
+    /// Compares `snap` against the budgets, appending edge-triggered
+    /// alerts to `out` and updating `state`.
+    pub fn evaluate(
+        &self,
+        snap: &MetricsSnapshot,
+        state: &mut BreachState,
+        out: &mut Vec<HealthEvent>,
+    ) {
+        let mut check = |kind: MetricKind, breached: Option<(bool, f64, f64)>, flag: &mut bool| {
+            let Some((bad, value, limit)) = breached else {
+                return; // metric not measured this round: hold state
+            };
+            if bad != *flag {
+                *flag = bad;
+                out.push(HealthEvent {
+                    generation: snap.generation,
+                    severity: if bad {
+                        Severity::Critical
+                    } else {
+                        Severity::Info
+                    },
+                    metric: kind,
+                    value,
+                    limit,
+                });
+            }
+        };
+
+        check(
+            MetricKind::DegreeIncrease,
+            self.max_degree_increase
+                .map(|lim| (snap.degree_increase > lim, snap.degree_increase, lim)),
+            &mut state.degree_increase,
+        );
+        check(
+            MetricKind::SpectralGap,
+            match (self.min_spectral_gap, snap.spectral_gap) {
+                (Some(lim), Some(v)) => Some((v < lim, v, lim)),
+                _ => None,
+            },
+            &mut state.spectral_gap,
+        );
+        check(
+            MetricKind::Expansion,
+            match (self.min_expansion, snap.expansion) {
+                (Some(lim), Some(v)) => Some((v < lim, v, lim)),
+                _ => None,
+            },
+            &mut state.expansion,
+        );
+        check(
+            MetricKind::Connectivity,
+            match (self.max_components, snap.components) {
+                (Some(lim), Some(c)) => Some((c > lim, c as f64, lim as f64)),
+                _ => None,
+            },
+            &mut state.connectivity,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alerts_are_edge_triggered() {
+        let policy = HealthPolicy {
+            max_degree_increase: Some(4.0),
+            min_spectral_gap: Some(0.05),
+            min_expansion: None,
+            max_components: Some(1),
+        };
+        let mut state = BreachState::default();
+        let mut out = Vec::new();
+        let healthy = MetricsSnapshot {
+            generation: 1,
+            degree_increase: 2.0,
+            spectral_gap: Some(0.2),
+            expansion: None,
+            components: Some(1),
+        };
+        policy.evaluate(&healthy, &mut state, &mut out);
+        assert!(out.is_empty() && !state.any());
+
+        // Breach two metrics: exactly two Critical alerts.
+        let sick = MetricsSnapshot {
+            generation: 2,
+            degree_increase: 9.0,
+            spectral_gap: Some(0.2),
+            expansion: None,
+            components: Some(3),
+        };
+        policy.evaluate(&sick, &mut state, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.severity == Severity::Critical));
+        assert!(state.any());
+
+        // Same breach persists: no new alerts.
+        policy.evaluate(
+            &MetricsSnapshot {
+                generation: 3,
+                ..sick
+            },
+            &mut state,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "steady breach must not spam");
+
+        // Recovery: Info alerts, state clears.
+        policy.evaluate(
+            &MetricsSnapshot {
+                generation: 4,
+                ..healthy
+            },
+            &mut state,
+            &mut out,
+        );
+        assert_eq!(out.len(), 4);
+        assert!(out[2..].iter().all(|e| e.severity == Severity::Info));
+        assert!(!state.any());
+        assert!(out[2].to_string().contains("info"));
+    }
+
+    #[test]
+    fn unmeasured_metrics_hold_state() {
+        let policy = HealthPolicy {
+            max_degree_increase: None,
+            min_spectral_gap: Some(0.1),
+            min_expansion: None,
+            max_components: None,
+        };
+        let mut state = BreachState::default();
+        let mut out = Vec::new();
+        policy.evaluate(
+            &MetricsSnapshot {
+                generation: 1,
+                spectral_gap: Some(0.01),
+                ..MetricsSnapshot::default()
+            },
+            &mut state,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        // A cheap evaluation without the gap measured leaves the breach be.
+        policy.evaluate(
+            &MetricsSnapshot {
+                generation: 2,
+                spectral_gap: None,
+                ..MetricsSnapshot::default()
+            },
+            &mut state,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(state.any());
+    }
+}

@@ -1,0 +1,600 @@
+//! # xheal-monitor
+//!
+//! Live invariant monitoring for Xheal, fed by the [`TopologyDelta`]
+//! stream — **no per-query graph rebuild**. Xheal's value proposition is a
+//! bundle of *maintained invariants* (Pandurangan & Trehan, PODC 2011,
+//! Theorem 2): constant-factor degree increase, O(log n) stretch, and
+//! expansion no worse than a constant factor of the original. This crate
+//! watches them on a long-running service:
+//!
+//! - [`IncrementalCsr`]: a generation-stamped CSR patched in place from
+//!   deltas (per-node slack, amortized compaction), provably equal to
+//!   `Graph::csr_view()` after every event;
+//! - O(1)-per-delta metric trackers: [`DegreeHistogram`]s for degree and
+//!   black degree, [`DegreeIncreaseTracker`] against the insertion-only
+//!   `G'` baseline, and a [`StretchReservoir`] of churn-touched nodes for
+//!   on-demand stretch sampling;
+//! - [`SpectralGapTracker`]: λ₂ of the normalized Laplacian re-estimated
+//!   by Lanczos **warm-started** from the previous Fiedler vector;
+//! - [`HealthPolicy`]: configurable thresholds emitting edge-triggered
+//!   [`HealthEvent`] alerts.
+//!
+//! [`Monitor`] bundles it all behind one [`TopologySink`], attachable to
+//! any executor via `Xheal::builder().sink(..)` /
+//! `DistXheal::builder().sink(..)`; [`MonitorHook`] plugs the same monitor
+//! into `xheal_workload::run_observed` so per-event health lands in the
+//! `RunSummary`.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use xheal_core::{Event, HealingEngine, Xheal};
+//! use xheal_graph::{generators, NodeId};
+//! use xheal_monitor::{Monitor, MonitorConfig};
+//!
+//! let g0 = generators::star(12);
+//! let monitor = Rc::new(RefCell::new(Monitor::new(&g0, MonitorConfig::default())));
+//! let mut net = Xheal::builder()
+//!     .kappa(4)
+//!     .sink(Box::new(Rc::clone(&monitor)))
+//!     .build(&g0);
+//! net.apply(&Event::Delete { node: NodeId::new(0) })?;
+//! let mut m = monitor.borrow_mut();
+//! assert_eq!(m.node_count(), net.graph().node_count());
+//! let report = m.checkpoint();
+//! assert_eq!(report.components, 1, "healed network stays connected");
+//! # Ok::<(), xheal_core::HealError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod health;
+mod metrics;
+mod spectral;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xheal_core::{Event, Outcome, TopologyDelta, TopologySink};
+use xheal_graph::Graph;
+use xheal_spectral::sweep_cut_csr;
+use xheal_workload::{HealthNote, RunObserver};
+
+pub use csr::{DeltaEffect, IncrementalCsr};
+pub use health::{BreachState, HealthEvent, HealthPolicy, MetricKind, MetricsSnapshot};
+pub use metrics::{
+    component_count, sampled_stretch, DegreeHistogram, DegreeIncreaseTracker, GPrimeShadow,
+    StretchReservoir,
+};
+pub use spectral::{GapEstimate, SpectralGapTracker};
+
+/// Construction-time knobs for a [`Monitor`].
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Invariant budgets (see [`HealthPolicy`]).
+    pub policy: HealthPolicy,
+    /// Stretch-reservoir capacity (sampled sources/targets per estimate).
+    pub stretch_capacity: usize,
+    /// Stretch-reservoir window in topology generations.
+    pub stretch_window: u64,
+    /// Seed for the reservoir's replacement randomness.
+    pub seed: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            policy: HealthPolicy::default(),
+            stretch_capacity: 16,
+            stretch_window: 4096,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A full checkpoint evaluation: the cheap maintained metrics plus the
+/// expensive on-demand ones, all computed off the incremental CSR.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthReport {
+    /// Topology generation the report describes.
+    pub generation: u64,
+    /// Live nodes.
+    pub nodes: usize,
+    /// Live edges.
+    pub edges: usize,
+    /// Maximum degree (maintained histogram).
+    pub max_degree: usize,
+    /// Maximum black degree (maintained histogram).
+    pub max_black_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maintained `max deg_G / deg_{G'}` (success metric 1).
+    pub degree_increase: f64,
+    /// Connected components (BFS over the incremental CSR).
+    pub components: usize,
+    /// Warm-started λ₂ of the normalized Laplacian.
+    pub spectral_gap: GapEstimate,
+    /// Sweep-cut expansion estimate (constructive upper bound on `h`),
+    /// `None` for degenerate graphs.
+    pub expansion: Option<f64>,
+    /// Max stretch over the reservoir sample, `None` when no comparable
+    /// pair was sampled.
+    pub stretch: Option<f64>,
+}
+
+/// The streaming invariant monitor: one [`TopologySink`] maintaining every
+/// live metric from deltas alone.
+///
+/// Cheap metrics (degree/black-degree histograms, degree increase) update
+/// in O(1)–O(log n) per delta and are policy-checked at event boundaries
+/// ([`Monitor::evaluate_policy`], driven by [`MonitorHook`]); the
+/// expensive ones (components, spectral gap, expansion, stretch) run at
+/// [`Monitor::checkpoint`] — still off the incremental CSR, never off a
+/// rebuilt graph.
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    csr: IncrementalCsr,
+    degrees: DegreeHistogram,
+    black_degrees: DegreeHistogram,
+    degree_increase: DegreeIncreaseTracker,
+    gprime: GPrimeShadow,
+    reservoir: StretchReservoir,
+    spectral: SpectralGapTracker,
+    policy: HealthPolicy,
+    breaches: BreachState,
+    alerts: Vec<HealthEvent>,
+}
+
+impl Monitor {
+    /// Seeds the monitor from the engine's current graph. The `G'` baseline
+    /// starts from that graph's **black** edges only (original and
+    /// adversary-inserted edges, per the model) — healer-installed cloud
+    /// edges never belong to `G'`, so a monitor subscribed mid-run measures
+    /// degree increase against the black subgraph at subscription time, not
+    /// against repairs already in place.
+    pub fn new(initial: &Graph, config: MonitorConfig) -> Self {
+        let mut degrees = DegreeHistogram::new();
+        let mut black_degrees = DegreeHistogram::new();
+        let mut degree_increase = DegreeIncreaseTracker::new();
+        let mut gprime = GPrimeShadow::new();
+        for v in initial.nodes() {
+            gprime.add_node(v);
+        }
+        for (u, w, labels) in initial.edges() {
+            if labels.is_black() {
+                gprime.add_edge(u, w);
+            }
+        }
+        for v in initial.nodes() {
+            let d = initial.degree(v).expect("live node");
+            degrees.transition(None, Some(d));
+            black_degrees.transition(None, Some(initial.black_degree(v).expect("live node")));
+            degree_increase.insert(v, d as u32, gprime.degree(v) as u32);
+        }
+        Monitor {
+            csr: IncrementalCsr::new(initial),
+            degrees,
+            black_degrees,
+            degree_increase,
+            gprime,
+            reservoir: StretchReservoir::new(
+                config.stretch_capacity,
+                config.stretch_window,
+                config.seed,
+            ),
+            spectral: SpectralGapTracker::new(),
+            policy: config.policy,
+            breaches: BreachState::default(),
+            alerts: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Live (maintained) metrics
+    // ------------------------------------------------------------------
+
+    /// Topology generation: deltas applied since construction.
+    pub fn generation(&self) -> u64 {
+        self.csr.generation()
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// Live edge count.
+    pub fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    /// The incrementally patched CSR itself.
+    pub fn csr(&self) -> &IncrementalCsr {
+        &self.csr
+    }
+
+    /// Maintained degree histogram.
+    pub fn degrees(&self) -> &DegreeHistogram {
+        &self.degrees
+    }
+
+    /// Maintained black-degree histogram.
+    pub fn black_degrees(&self) -> &DegreeHistogram {
+        &self.black_degrees
+    }
+
+    /// Maintained max degree increase vs `G'` (success metric 1).
+    pub fn degree_increase(&self) -> f64 {
+        self.degree_increase.max()
+    }
+
+    /// The `G'` shadow the baseline degrees come from.
+    pub fn gprime(&self) -> &GPrimeShadow {
+        &self.gprime
+    }
+
+    /// Alerts emitted so far (edge-triggered; see [`HealthPolicy`]).
+    pub fn alerts(&self) -> &[HealthEvent] {
+        &self.alerts
+    }
+
+    /// Takes the accumulated alerts, leaving the buffer empty.
+    pub fn drain_alerts(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints
+    // ------------------------------------------------------------------
+
+    /// Warm-started spectral gap alone (no components/expansion/stretch,
+    /// no policy pass): snapshots the incremental CSR and re-runs the
+    /// Lanczos estimate seeded with the previous Fiedler vector.
+    pub fn spectral_gap(&mut self) -> GapEstimate {
+        let view = self.csr.snapshot();
+        self.spectral.estimate(&view)
+    }
+
+    /// Runs the expensive metrics off the incremental CSR (components,
+    /// warm-started spectral gap, sweep-cut expansion, sampled stretch),
+    /// evaluates the full policy, and returns the report.
+    pub fn checkpoint(&mut self) -> HealthReport {
+        let view = self.csr.snapshot();
+        let components = component_count(&view);
+        let gap = self.spectral.estimate(&view);
+        let expansion = sweep_cut_csr(&view).map(|s| s.expansion);
+        let sample = self.reservoir.sample(&view, self.csr.generation());
+        let stretch = sampled_stretch(&view, &self.gprime, &sample);
+        let snap = MetricsSnapshot {
+            generation: self.csr.generation(),
+            degree_increase: self.degree_increase.max(),
+            spectral_gap: Some(gap.lambda),
+            expansion,
+            components: Some(components),
+        };
+        self.policy
+            .evaluate(&snap, &mut self.breaches, &mut self.alerts);
+        HealthReport {
+            generation: self.csr.generation(),
+            nodes: self.csr.node_count(),
+            edges: self.csr.edge_count(),
+            max_degree: self.degrees.max(),
+            max_black_degree: self.black_degrees.max(),
+            mean_degree: self.degrees.mean(),
+            degree_increase: self.degree_increase.max(),
+            components,
+            spectral_gap: gap,
+            expansion,
+            stretch,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The delta feed
+    // ------------------------------------------------------------------
+
+    fn absorb(&mut self, delta: &TopologyDelta) {
+        let generation = self.csr.generation() + 1;
+        match self.csr.apply(delta) {
+            DeltaEffect::Noop => {}
+            DeltaEffect::NodeAdded(v) => {
+                self.degrees.transition(None, Some(0));
+                self.black_degrees.transition(None, Some(0));
+                self.gprime.add_node(v);
+                self.degree_increase
+                    .insert(v, 0, self.gprime.degree(v) as u32);
+                self.reservoir.touch(v, generation);
+            }
+            DeltaEffect::NodeRemoved {
+                node,
+                degree,
+                black_degree,
+                neighbors,
+            } => {
+                self.degrees.transition(Some(degree), None);
+                self.black_degrees.transition(Some(black_degree), None);
+                self.degree_increase.remove(node);
+                for (u, old_deg, was_black) in neighbors {
+                    self.degrees.transition(Some(old_deg), Some(old_deg - 1));
+                    if was_black {
+                        let nb = self.csr.black_degree(u).expect("neighbor lives");
+                        self.black_degrees.transition(Some(nb + 1), Some(nb));
+                    }
+                    self.degree_increase.adjust(u, -1, 0);
+                    self.reservoir.touch(u, generation);
+                }
+            }
+            DeltaEffect::EdgeCreated { a, b, black } => {
+                // Black edges are adversarial insertion edges: they grow
+                // `G'` (the healer only ever installs colored edges).
+                let dbase = if black && self.gprime.add_edge(a, b) {
+                    1
+                } else {
+                    0
+                };
+                for v in [a, b] {
+                    let d = self.csr.degree(v).expect("endpoint lives");
+                    self.degrees.transition(Some(d - 1), Some(d));
+                    if black {
+                        let nb = self.csr.black_degree(v).expect("endpoint lives");
+                        self.black_degrees.transition(Some(nb - 1), Some(nb));
+                    }
+                    self.degree_increase.adjust(v, 1, dbase);
+                    self.reservoir.touch(v, generation);
+                }
+            }
+            DeltaEffect::EdgeRelabeled { a, b, became_black } => {
+                if became_black {
+                    let dbase = if self.gprime.add_edge(a, b) { 1 } else { 0 };
+                    for v in [a, b] {
+                        let nb = self.csr.black_degree(v).expect("endpoint lives");
+                        self.black_degrees.transition(Some(nb - 1), Some(nb));
+                        self.degree_increase.adjust(v, 0, dbase);
+                    }
+                }
+            }
+            DeltaEffect::EdgeDropped { a, b, was_black } => {
+                for v in [a, b] {
+                    let d = self.csr.degree(v).expect("endpoint lives");
+                    self.degrees.transition(Some(d + 1), Some(d));
+                    if was_black {
+                        let nb = self.csr.black_degree(v).expect("endpoint lives");
+                        self.black_degrees.transition(Some(nb + 1), Some(nb));
+                    }
+                    self.degree_increase.adjust(v, -1, 0);
+                    self.reservoir.touch(v, generation);
+                }
+            }
+            DeltaEffect::EdgeStripped { a, b, lost_black } => {
+                if lost_black {
+                    for v in [a, b] {
+                        let nb = self.csr.black_degree(v).expect("endpoint lives");
+                        self.black_degrees.transition(Some(nb + 1), Some(nb));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cheap policy pass: evaluates the maintained metrics (currently
+    /// the degree increase) against the budgets, emitting edge-triggered
+    /// alerts.
+    ///
+    /// Call this at **event boundaries** — [`MonitorHook`] does it after
+    /// every applied event — never per delta: a repair plan strips edges
+    /// before installing replacements, so mid-plan topologies transiently
+    /// dip below (or spike above) budgets and would fire spurious
+    /// recovery/breach alert pairs for states that never exist between
+    /// events. ([`Monitor::checkpoint`] runs the full evaluation,
+    /// expensive metrics included.)
+    pub fn evaluate_policy(&mut self) {
+        let snap = MetricsSnapshot {
+            generation: self.csr.generation(),
+            degree_increase: self.degree_increase.max(),
+            spectral_gap: None,
+            expansion: None,
+            components: None,
+        };
+        self.policy
+            .evaluate(&snap, &mut self.breaches, &mut self.alerts);
+    }
+}
+
+impl TopologySink for Monitor {
+    fn on_delta(&mut self, delta: &TopologyDelta) {
+        self.absorb(delta);
+    }
+}
+
+/// Adapter plugging a shared [`Monitor`] into
+/// `xheal_workload::run_observed`: checkpoints every `checkpoint_every`
+/// events (0 disables) and records drained alerts as per-event
+/// [`HealthNote`]s in the `RunSummary`.
+#[derive(Debug)]
+pub struct MonitorHook {
+    monitor: Rc<RefCell<Monitor>>,
+    checkpoint_every: usize,
+    notes: Vec<HealthNote>,
+}
+
+impl MonitorHook {
+    /// Wraps a shared monitor handle (the same handle registered as the
+    /// engine's sink).
+    pub fn new(monitor: Rc<RefCell<Monitor>>, checkpoint_every: usize) -> Self {
+        MonitorHook {
+            monitor,
+            checkpoint_every,
+            notes: Vec::new(),
+        }
+    }
+}
+
+impl RunObserver for MonitorHook {
+    fn on_event(&mut self, step: usize, _event: &Event, _outcome: &Outcome, graph: &Graph) {
+        let mut monitor = self.monitor.borrow_mut();
+        debug_assert_eq!(
+            (monitor.node_count(), monitor.edge_count()),
+            (graph.node_count(), graph.edge_count()),
+            "monitor drifted from the engine graph"
+        );
+        if self.checkpoint_every != 0 && (step + 1) % self.checkpoint_every == 0 {
+            monitor.checkpoint();
+        } else {
+            monitor.evaluate_policy();
+        }
+        for alert in monitor.drain_alerts() {
+            self.notes.push(HealthNote {
+                step,
+                severity: alert.severity,
+                message: alert.to_string(),
+            });
+        }
+    }
+
+    fn drain_notes(&mut self) -> Vec<HealthNote> {
+        std::mem::take(&mut self.notes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use xheal_core::{Xheal, XhealConfig};
+    use xheal_graph::{generators, NodeId};
+    use xheal_metrics::degree_increase;
+    use xheal_spectral::normalized_algebraic_connectivity;
+    use xheal_workload::{run_observed, RandomChurn, Severity};
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    /// Recomputes the degree histogram from scratch and compares.
+    fn assert_histograms_match(m: &Monitor, g: &Graph) {
+        let mut fresh = DegreeHistogram::new();
+        let mut fresh_black = DegreeHistogram::new();
+        for v in g.nodes() {
+            fresh.transition(None, Some(g.degree(v).unwrap()));
+            fresh_black.transition(None, Some(g.black_degree(v).unwrap()));
+        }
+        assert_eq!(m.degrees().buckets(), fresh.buckets(), "degree histogram");
+        assert_eq!(
+            m.black_degrees().buckets(),
+            fresh_black.buckets(),
+            "black-degree histogram"
+        );
+        assert_eq!(m.degrees().max(), fresh.max());
+    }
+
+    #[test]
+    fn monitor_tracks_xheal_churn_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g0 = generators::connected_erdos_renyi(30, 0.12, &mut rng);
+        let monitor = Rc::new(RefCell::new(Monitor::new(&g0, MonitorConfig::default())));
+        let mut net = Xheal::builder()
+            .kappa(4)
+            .seed(9)
+            .sink(Box::new(Rc::clone(&monitor)))
+            .build(&g0);
+        let mut gp = xheal_metrics::GPrime::new(&g0);
+        let mut next = 500u64;
+        for step in 0..60 {
+            let nodes = net.graph().node_vec();
+            if step % 3 == 0 {
+                let nbrs = vec![nodes[step % nodes.len()]];
+                net.heal_insert(n(next), &nbrs).unwrap();
+                gp.record_insert(n(next), &nbrs).unwrap();
+                next += 1;
+            } else {
+                let victim = nodes[(step * 7) % nodes.len()];
+                net.heal_delete(victim).unwrap();
+            }
+            let m = monitor.borrow();
+            assert_eq!(m.node_count(), net.graph().node_count(), "step {step}");
+            assert_eq!(m.edge_count(), net.graph().edge_count(), "step {step}");
+            assert_histograms_match(&m, net.graph());
+            let expect = degree_increase(net.graph(), gp.graph());
+            assert!(
+                (m.degree_increase() - expect).abs() < 1e-12,
+                "step {step}: maintained {} vs recomputed {expect}",
+                m.degree_increase()
+            );
+        }
+        let mut m = monitor.borrow_mut();
+        let report = m.checkpoint();
+        assert_eq!(report.components, 1);
+        let exact = normalized_algebraic_connectivity(net.graph());
+        assert!(
+            (report.spectral_gap.lambda - exact).abs() < 1e-6,
+            "warm gap {} vs fresh {exact}",
+            report.spectral_gap.lambda
+        );
+        // Healed paths may even be *shorter* than G' (clouds add
+        // shortcuts), but a connected graph never yields an infinite
+        // stretch over comparable pairs.
+        assert!(report.stretch.is_none_or(|s| s > 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn hook_records_alerts_into_run_summary() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g0 = generators::connected_erdos_renyi(24, 0.15, &mut rng);
+        // An absurdly tight degree budget guarantees an alert under churn.
+        let config = MonitorConfig {
+            policy: HealthPolicy {
+                max_degree_increase: Some(1.0),
+                min_spectral_gap: None,
+                min_expansion: None,
+                max_components: Some(1),
+            },
+            ..MonitorConfig::default()
+        };
+        let monitor = Rc::new(RefCell::new(Monitor::new(&g0, config)));
+        let mut net = Xheal::builder()
+            .kappa(4)
+            .seed(3)
+            .sink(Box::new(Rc::clone(&monitor)))
+            .build(&g0);
+        let mut adv = RandomChurn::new(0.7, 2, 3, &g0);
+        let mut hook = MonitorHook::new(Rc::clone(&monitor), 8);
+        let summary = run_observed(&mut net, &mut adv, 40, 21, &mut hook);
+        assert_eq!(summary.events.len(), 40);
+        assert!(
+            summary
+                .health
+                .iter()
+                .any(|h| h.severity == Severity::Critical),
+            "deg-increase budget of 1.0 must be breached; notes: {:?}",
+            summary.health
+        );
+        assert_eq!(summary.worst_severity(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn mid_run_subscription_tracks_from_there() {
+        let g0 = generators::star(14);
+        let mut net = Xheal::new(&g0, XhealConfig::new(4).with_seed(2));
+        net.heal_delete(n(0)).unwrap();
+        // Subscribe against the *current* graph, mid-run.
+        let monitor = Rc::new(RefCell::new(Monitor::new(
+            net.graph(),
+            MonitorConfig::default(),
+        )));
+        net.subscribe(Box::new(Rc::clone(&monitor)));
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let nodes = net.graph().node_vec();
+            net.heal_delete(nodes[rng.random_range(0..nodes.len())])
+                .unwrap();
+        }
+        let m = monitor.borrow();
+        assert_eq!(m.node_count(), net.graph().node_count());
+        assert_eq!(m.edge_count(), net.graph().edge_count());
+        assert_histograms_match(&m, net.graph());
+    }
+}

@@ -58,7 +58,7 @@ pub struct LanczosResult {
 
 /// Runs Lanczos on `op` restricted to the orthogonal complement of
 /// `deflate` (typically the all-ones vector for a Laplacian), for at most
-/// `max_steps` iterations.
+/// `max_steps` iterations, starting from seeded noise.
 ///
 /// Returns `None` when the effective dimension is zero (e.g. `dim < 2`).
 pub fn lanczos_deflated(
@@ -67,11 +67,34 @@ pub fn lanczos_deflated(
     max_steps: usize,
     seed: u64,
 ) -> Option<LanczosResult> {
+    if op.dim() < 2 {
+        return None;
+    }
+    let start = seeded_vector(op.dim(), seed);
+    lanczos_deflated_from(op, deflate, &start, max_steps)
+}
+
+/// Like [`lanczos_deflated`], but **warm-started**: the first Krylov vector
+/// is `start` (deflated and normalized) instead of seeded noise. With a
+/// start vector close to the target eigenvector — e.g. the previous Fiedler
+/// estimate of a slightly perturbed graph — the smallest Ritz value
+/// converges in a handful of iterations instead of from scratch.
+///
+/// A `start` that deflates to (numerically) zero returns `None`, exactly as
+/// a degenerate dimension does; callers should fall back to the seeded
+/// entry point.
+pub fn lanczos_deflated_from(
+    op: &dyn LinOp,
+    deflate: &[f64],
+    start: &[f64],
+    max_steps: usize,
+) -> Option<LanczosResult> {
     let n = op.dim();
     if n < 2 {
         return None;
     }
     assert_eq!(deflate.len(), n, "deflation vector dimension mismatch");
+    assert_eq!(start.len(), n, "start vector dimension mismatch");
     let dnorm = norm(deflate);
     let unit_deflate: Option<Vec<f64>> = if dnorm > 0.0 {
         Some(deflate.iter().map(|v| v / dnorm).collect())
@@ -90,8 +113,8 @@ pub fn lanczos_deflated(
     let mut alphas: Vec<f64> = Vec::with_capacity(steps);
     let mut betas: Vec<f64> = Vec::with_capacity(steps);
 
-    // Start vector: seeded noise, deflated, normalized.
-    let mut v = seeded_vector(n, seed);
+    // Start vector: caller-supplied, deflated, normalized.
+    let mut v = start.to_vec();
     project(&mut v);
     let nv = norm(&v);
     if nv < 1e-30 {

@@ -6,7 +6,7 @@
 //! Jacobi) for small graphs and via deflated Lanczos above that, plus the
 //! Fiedler vector used by the sweep cut.
 
-use xheal_graph::{Graph, NodeId};
+use xheal_graph::{CsrView, Graph, NodeId};
 
 use crate::jacobi::jacobi_eigen;
 use crate::lanczos::{lanczos_deflated, LinOp};
@@ -19,6 +19,13 @@ pub const DENSE_CUTOFF: usize = 220;
 /// alongside so eigenvector entries can be mapped back to nodes.
 pub fn laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
     let csr = g.csr_view();
+    let m = laplacian_dense_csr(&csr);
+    (csr.nodes().to_vec(), m)
+}
+
+/// Dense Laplacian over an existing CSR snapshot (no per-call rebuild; row
+/// `i` is dense node `i` of the view).
+pub fn laplacian_dense_csr(csr: &CsrView) -> SymMatrix {
     let n = csr.len();
     let mut m = SymMatrix::zeros(n);
     for i in 0..n {
@@ -30,7 +37,92 @@ pub fn laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
             }
         }
     }
-    (csr.nodes().to_vec(), m)
+    m
+}
+
+/// Matrix-free Laplacian over a **borrowed** CSR snapshot: no owned copy of
+/// the adjacency, so repeat callers (long-running monitors patching one CSR
+/// incrementally) pay nothing per operator construction.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrLaplacian<'a> {
+    csr: &'a CsrView,
+}
+
+impl<'a> CsrLaplacian<'a> {
+    /// Borrows `csr` as a Laplacian operator.
+    pub fn new(csr: &'a CsrView) -> Self {
+        CsrLaplacian { csr }
+    }
+}
+
+impl LinOp for CsrLaplacian<'_> {
+    fn dim(&self) -> usize {
+        self.csr.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.csr.len() {
+            let mut acc = self.csr.degree_of(i) as f64 * x[i];
+            for &j in self.csr.neighbors_of(i) {
+                acc -= x[j as usize];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+/// Matrix-free *normalized* Laplacian over a borrowed CSR snapshot. Only the
+/// O(n) `D^{-1/2}` diagonal is owned; the adjacency stays borrowed.
+#[derive(Clone, Debug)]
+pub struct CsrNormalizedLaplacian<'a> {
+    csr: &'a CsrView,
+    inv_sqrt_deg: Vec<f64>,
+}
+
+impl<'a> CsrNormalizedLaplacian<'a> {
+    /// Borrows `csr` as a normalized-Laplacian operator.
+    pub fn new(csr: &'a CsrView) -> Self {
+        let inv_sqrt_deg = (0..csr.len())
+            .map(|i| {
+                let d = csr.degree_of(i) as f64;
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        CsrNormalizedLaplacian { csr, inv_sqrt_deg }
+    }
+
+    /// The kernel direction `D^{1/2}·1` to deflate.
+    pub fn kernel(&self) -> Vec<f64> {
+        self.inv_sqrt_deg
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect()
+    }
+}
+
+impl LinOp for CsrNormalizedLaplacian<'_> {
+    fn dim(&self) -> usize {
+        self.csr.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.csr.len() {
+            if self.inv_sqrt_deg[i] == 0.0 {
+                y[i] = 0.0;
+                continue;
+            }
+            let mut acc = x[i];
+            for &j in self.csr.neighbors_of(i) {
+                let j = j as usize;
+                acc -= self.inv_sqrt_deg[i] * self.inv_sqrt_deg[j] * x[j];
+            }
+            y[i] = acc;
+        }
+    }
 }
 
 /// Matrix-free Laplacian operator (CSR-style) for the Lanczos path.
@@ -103,16 +195,22 @@ impl LinOp for LaplacianOp {
 /// assert!((l - 5.0).abs() < 1e-9);
 /// ```
 pub fn algebraic_connectivity(g: &Graph) -> f64 {
-    let n = g.node_count();
+    algebraic_connectivity_csr(&g.csr_view())
+}
+
+/// [`algebraic_connectivity`] over an existing CSR snapshot — repeat
+/// callers with a maintained CSR skip the per-call rebuild.
+pub fn algebraic_connectivity_csr(csr: &CsrView) -> f64 {
+    let n = csr.len();
     if n < 2 {
         return 0.0;
     }
     if n <= DENSE_CUTOFF {
-        let (_, m) = laplacian_dense(g);
+        let m = laplacian_dense_csr(csr);
         let eig = jacobi_eigen(&m);
         return eig.values[1].max(0.0);
     }
-    let op = LaplacianOp::new(g);
+    let op = CsrLaplacian::new(csr);
     let ones = vec![1.0; n];
     let steps = 260.min(n - 1);
     match lanczos_deflated(&op, &ones, steps, 0x5EED) {
@@ -125,22 +223,33 @@ pub fn algebraic_connectivity(g: &Graph) -> f64 {
 ///
 /// Returns `None` for graphs with fewer than 2 nodes.
 pub fn fiedler_vector(g: &Graph) -> Option<Vec<(NodeId, f64)>> {
-    let n = g.node_count();
+    fiedler_vector_csr(&g.csr_view())
+}
+
+/// [`fiedler_vector`] over an existing CSR snapshot.
+pub fn fiedler_vector_csr(csr: &CsrView) -> Option<Vec<(NodeId, f64)>> {
+    let n = csr.len();
     if n < 2 {
         return None;
     }
     if n <= DENSE_CUTOFF {
-        let (nodes, m) = laplacian_dense(g);
+        let m = laplacian_dense_csr(csr);
         let eig = jacobi_eigen(&m);
         let vec = &eig.vectors[1];
-        return Some(nodes.into_iter().zip(vec.iter().copied()).collect());
+        return Some(
+            csr.nodes()
+                .iter()
+                .copied()
+                .zip(vec.iter().copied())
+                .collect(),
+        );
     }
-    let op = LaplacianOp::new(g);
+    let op = CsrLaplacian::new(csr);
     let ones = vec![1.0; n];
     let steps = 260.min(n - 1);
     let r = lanczos_deflated(&op, &ones, steps, 0x5EED)?;
     Some(
-        op.nodes()
+        csr.nodes()
             .iter()
             .copied()
             .zip(r.smallest_vector.iter().copied())
@@ -156,6 +265,12 @@ pub fn fiedler_vector(g: &Graph) -> Option<Vec<(NodeId, f64)>> {
 /// which is correct: such a graph is disconnected.
 pub fn normalized_laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
     let csr = g.csr_view();
+    let m = normalized_laplacian_dense_csr(&csr);
+    (csr.nodes().to_vec(), m)
+}
+
+/// Dense normalized Laplacian over an existing CSR snapshot.
+pub fn normalized_laplacian_dense_csr(csr: &CsrView) -> SymMatrix {
     let n = csr.len();
     let mut m = SymMatrix::zeros(n);
     for i in 0..n {
@@ -171,7 +286,7 @@ pub fn normalized_laplacian_dense(g: &Graph) -> (Vec<NodeId>, SymMatrix) {
             }
         }
     }
-    (csr.nodes().to_vec(), m)
+    m
 }
 
 /// Matrix-free normalized Laplacian operator for the Lanczos path.
@@ -254,16 +369,21 @@ impl LinOp for NormalizedLaplacianOp {
 /// assert!((l - 8.0 / 7.0).abs() < 1e-9);
 /// ```
 pub fn normalized_algebraic_connectivity(g: &Graph) -> f64 {
-    let n = g.node_count();
-    if n < 2 || g.edge_count() == 0 {
+    normalized_algebraic_connectivity_csr(&g.csr_view())
+}
+
+/// [`normalized_algebraic_connectivity`] over an existing CSR snapshot.
+pub fn normalized_algebraic_connectivity_csr(csr: &CsrView) -> f64 {
+    let n = csr.len();
+    if n < 2 || csr.edge_count() == 0 {
         return 0.0;
     }
     if n <= DENSE_CUTOFF {
-        let (_, m) = normalized_laplacian_dense(g);
+        let m = normalized_laplacian_dense_csr(csr);
         let eig = jacobi_eigen(&m);
         return eig.values[1].max(0.0);
     }
-    let op = NormalizedLaplacianOp::new(g);
+    let op = CsrNormalizedLaplacian::new(csr);
     let kernel = op.kernel();
     let steps = 260.min(n - 1);
     match lanczos_deflated(&op, &kernel, steps, 0x5EED) {

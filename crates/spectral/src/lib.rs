@@ -40,12 +40,16 @@ mod tridiag;
 
 pub use dense::SymMatrix;
 pub use jacobi::{jacobi_eigen, EigenDecomposition};
-pub use lanczos::{lanczos_deflated, LanczosResult, LinOp};
+pub use lanczos::{lanczos_deflated, lanczos_deflated_from, LanczosResult, LinOp};
 pub use laplacian::{
-    algebraic_connectivity, fiedler_vector, laplacian_dense, laplacian_spectrum,
-    normalized_algebraic_connectivity, normalized_laplacian_dense, LaplacianOp,
+    algebraic_connectivity, algebraic_connectivity_csr, fiedler_vector, fiedler_vector_csr,
+    laplacian_dense, laplacian_dense_csr, laplacian_spectrum, normalized_algebraic_connectivity,
+    normalized_algebraic_connectivity_csr, normalized_laplacian_dense,
+    normalized_laplacian_dense_csr, CsrLaplacian, CsrNormalizedLaplacian, LaplacianOp,
     NormalizedLaplacianOp, DENSE_CUTOFF,
 };
-pub use mixing::{mixing_time, mixing_time_from, DEFAULT_TV_THRESHOLD};
-pub use sweep::{sweep_cut, SweepCut};
+pub use mixing::{
+    mixing_time, mixing_time_csr, mixing_time_from, mixing_time_from_csr, DEFAULT_TV_THRESHOLD,
+};
+pub use sweep::{sweep_cut, sweep_cut_csr, SweepCut};
 pub use tridiag::{tridiagonal_eigenvalues, tridiagonal_eigenvector};

@@ -5,7 +5,7 @@
 //! [two bridged cliques] has polynomial mixing time". Experiment E9
 //! regenerates that separation with this estimator.
 
-use xheal_graph::{Graph, NodeId};
+use xheal_graph::{CsrView, Graph, NodeId};
 
 /// Default total-variation threshold declaring the walk "mixed".
 pub const DEFAULT_TV_THRESHOLD: f64 = 0.25;
@@ -22,13 +22,24 @@ pub fn mixing_time_from(
     threshold: f64,
     max_steps: usize,
 ) -> Option<usize> {
-    if g.edge_count() == 0 {
+    mixing_time_from_csr(&g.csr_view(), start, threshold, max_steps)
+}
+
+/// [`mixing_time_from`] over an existing CSR snapshot — repeat callers
+/// (the worst-case sweep below, long-running monitors) reuse one snapshot
+/// instead of rebuilding the adjacency per start node.
+pub fn mixing_time_from_csr(
+    csr: &CsrView,
+    start: NodeId,
+    threshold: f64,
+    max_steps: usize,
+) -> Option<usize> {
+    if csr.edge_count() == 0 {
         return None;
     }
-    let csr = g.csr_view();
     let start = csr.index_of(start)?;
     let n = csr.len();
-    let total_vol = 2.0 * g.edge_count() as f64;
+    let total_vol = 2.0 * csr.edge_count() as f64;
     let pi: Vec<f64> = (0..n)
         .map(|i| csr.degree_of(i) as f64 / total_vol)
         .collect();
@@ -64,12 +75,20 @@ pub fn mixing_time_from(
     None
 }
 
-/// Worst-case mixing time over a sample of start nodes (all nodes if
-/// `sample` is `None`).
+/// Worst-case mixing time over all start nodes.
+///
+/// Builds the CSR snapshot **once** and sweeps every start over it (the
+/// seed implementation rebuilt the adjacency per start node — O(n) CSR
+/// builds per call).
 pub fn mixing_time(g: &Graph, threshold: f64, max_steps: usize) -> Option<usize> {
+    mixing_time_csr(&g.csr_view(), threshold, max_steps)
+}
+
+/// [`mixing_time`] over an existing CSR snapshot.
+pub fn mixing_time_csr(csr: &CsrView, threshold: f64, max_steps: usize) -> Option<usize> {
     let mut worst = 0usize;
-    for v in g.nodes() {
-        worst = worst.max(mixing_time_from(g, v, threshold, max_steps)?);
+    for &v in csr.nodes() {
+        worst = worst.max(mixing_time_from_csr(csr, v, threshold, max_steps)?);
     }
     Some(worst)
 }

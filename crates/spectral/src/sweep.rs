@@ -6,9 +6,9 @@
 //! enumeration this gives the upper half of the expansion sandwich reported
 //! by `xheal-metrics`.
 
-use xheal_graph::{Graph, NodeId};
+use xheal_graph::{CsrView, Graph, NodeId};
 
-use crate::laplacian::fiedler_vector;
+use crate::laplacian::fiedler_vector_csr;
 
 /// Result of a sweep cut.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,16 +26,22 @@ pub struct SweepCut {
 ///
 /// Returns `None` when the graph has fewer than 2 nodes or no edges.
 pub fn sweep_cut(g: &Graph) -> Option<SweepCut> {
-    if g.node_count() < 2 || g.edge_count() == 0 {
+    sweep_cut_csr(&g.csr_view())
+}
+
+/// [`sweep_cut`] over an existing CSR snapshot — the Fiedler solve and the
+/// prefix scan both run off the borrowed snapshot, so repeat callers with a
+/// maintained CSR never rebuild the adjacency.
+pub fn sweep_cut_csr(csr: &CsrView) -> Option<SweepCut> {
+    if csr.len() < 2 || csr.edge_count() == 0 {
         return None;
     }
-    let mut fiedler = fiedler_vector(g)?;
+    let mut fiedler = fiedler_vector_csr(csr)?;
     fiedler.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fiedler entries"));
 
     let n = fiedler.len();
-    let total_vol = 2.0 * g.edge_count() as f64;
+    let total_vol = 2.0 * csr.edge_count() as f64;
 
-    let csr = g.csr_view();
     let mut in_side = vec![false; csr.len()];
     let mut cut = 0i64;
     let mut vol = 0.0f64;

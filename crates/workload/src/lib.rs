@@ -35,5 +35,5 @@ mod runner;
 pub use adversary::{
     bfs_rack, Adversary, BurstDeletions, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting,
 };
-pub use runner::{replay, run, RunSummary};
+pub use runner::{replay, run, run_observed, HealthNote, RunObserver, RunSummary, Severity};
 pub use xheal_core::Event;

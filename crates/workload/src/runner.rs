@@ -1,6 +1,8 @@
 //! Drives a healing engine through an adversary's events, tracking `G'`
 //! alongside and aggregating the structured outcomes.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -8,6 +10,63 @@ use xheal_core::{Event, HealingEngine, Outcome};
 use xheal_graph::Graph;
 
 use crate::adversary::Adversary;
+
+/// Severity of a [`HealthNote`] recorded during a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (checkpoints, recoveries).
+    Info,
+    /// A monitored invariant is degrading toward its threshold.
+    Warning,
+    /// A monitored invariant is violated.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// One health observation recorded into a [`RunSummary`] by a
+/// [`RunObserver`] (e.g. the `xheal-monitor` invariant monitor).
+#[derive(Clone, Debug)]
+pub struct HealthNote {
+    /// Index of the event (0-based, in application order) the note follows.
+    pub step: usize,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description of the observation.
+    pub message: String,
+}
+
+/// Observer hook for [`run_observed`]: called after every applied event
+/// with the structured outcome and the engine's post-repair graph.
+///
+/// Implemented by `xheal-monitor`'s run hook to evaluate live invariant
+/// metrics per event; the notes it drains at the end of the run land in
+/// [`RunSummary::health`].
+pub trait RunObserver {
+    /// Called after `event` was applied (and healed) by the engine.
+    fn on_event(&mut self, step: usize, event: &Event, outcome: &Outcome, graph: &Graph);
+
+    /// Health observations accumulated so far, drained into the summary
+    /// when the run ends.
+    fn drain_notes(&mut self) -> Vec<HealthNote> {
+        Vec::new()
+    }
+}
+
+/// The no-op observer behind plain [`run`].
+struct NoObserver;
+
+impl RunObserver for NoObserver {
+    fn on_event(&mut self, _: usize, _: &Event, _: &Outcome, _: &Graph) {}
+}
 
 /// Outcome of a run: the insertion-only reference graph, event counts, and
 /// the costs aggregated from every applied event's [`Outcome`].
@@ -31,6 +90,9 @@ pub struct RunSummary {
     /// Protocol messages delivered while healing (0 for centralized
     /// engines).
     pub messages: u64,
+    /// Health observations recorded by the [`RunObserver`] (empty for
+    /// unobserved runs).
+    pub health: Vec<HealthNote>,
 }
 
 impl RunSummary {
@@ -44,7 +106,13 @@ impl RunSummary {
             edges_removed: 0,
             rounds: 0,
             messages: 0,
+            health: Vec::new(),
         }
+    }
+
+    /// Worst severity recorded during the run, if any note was.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.health.iter().map(|n| n.severity).max()
     }
 
     /// Folds one applied event's outcome into the aggregates; `G'` grows on
@@ -96,20 +164,39 @@ pub fn run<E: HealingEngine + ?Sized>(
     steps: usize,
     seed: u64,
 ) -> RunSummary {
+    run_observed(engine, adversary, steps, seed, &mut NoObserver)
+}
+
+/// Like [`run`], with a [`RunObserver`] hook called after every applied
+/// event — the attachment point for live invariant monitors. The observer's
+/// drained [`HealthNote`]s are recorded into [`RunSummary::health`].
+///
+/// # Panics
+///
+/// Panics on invalid adversary events, as in [`run`].
+pub fn run_observed<E: HealingEngine + ?Sized>(
+    engine: &mut E,
+    adversary: &mut dyn Adversary,
+    steps: usize,
+    seed: u64,
+    observer: &mut dyn RunObserver,
+) -> RunSummary {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut summary = RunSummary::new(engine.graph().clone());
 
-    for _ in 0..steps {
+    for step in 0..steps {
         let Some(event) = adversary.next_event(engine.graph(), &mut rng) else {
             break;
         };
         let outcome = engine
             .apply(&event)
             .unwrap_or_else(|e| panic!("adversary produced bad event: {e}"));
+        observer.on_event(step, &event, &outcome, engine.graph());
         summary.absorb(&event, &outcome);
         summary.events.push(event);
     }
 
+    summary.health = observer.drain_notes();
     summary
 }
 
@@ -192,6 +279,43 @@ mod tests {
         let mut b = Xheal::new(&g0, XhealConfig::new(4).with_seed(5));
         replay(&mut b, &summary.events);
         assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn observer_sees_every_event_and_notes_land_in_summary() {
+        struct Counter {
+            seen: usize,
+            victims: usize,
+        }
+        impl RunObserver for Counter {
+            fn on_event(&mut self, step: usize, _: &Event, outcome: &Outcome, graph: &Graph) {
+                assert_eq!(step, self.seen, "steps arrive in order");
+                self.seen += 1;
+                self.victims += outcome.victims();
+                assert!(graph.node_count() > 0, "post-repair graph is live");
+            }
+            fn drain_notes(&mut self) -> Vec<HealthNote> {
+                vec![HealthNote {
+                    step: self.seen,
+                    severity: Severity::Info,
+                    message: format!("{} victims", self.victims),
+                }]
+            }
+        }
+        let g0 = generators::cycle(12);
+        let mut healer = Xheal::new(&g0, XhealConfig::default());
+        let mut adv = DeleteOnly::new(Targeting::Random, 5);
+        let mut obs = Counter {
+            seen: 0,
+            victims: 0,
+        };
+        let summary = run_observed(&mut healer, &mut adv, 100, 9, &mut obs);
+        // The adversary deletes down to its 5-node floor: 7 deletions.
+        assert_eq!(summary.events.len(), 7);
+        assert_eq!(summary.health.len(), 1);
+        assert_eq!(summary.health[0].message, "7 victims");
+        assert_eq!(summary.worst_severity(), Some(Severity::Info));
+        assert!(Severity::Info < Severity::Warning && Severity::Warning < Severity::Critical);
     }
 
     #[test]
