@@ -83,7 +83,7 @@ const ALLOC_COUNTING: bool = cfg!(feature = "bench");
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xheal_core::{RepairPlanner, XhealConfig};
+use xheal_core::{ApplyScratch, BatchVictim, RepairPlanner, SinkRegistry, XhealConfig};
 use xheal_graph::baseline::BaselineGraph;
 use xheal_graph::{generators, CloudColor, EdgeLabels, Graph, NodeId};
 
@@ -359,6 +359,278 @@ fn run_churn<B: Backend>(g0: &Graph, events: usize) -> ChurnResult {
     }
 }
 
+/// Result of one plan-application run (per-edge or grouped) on the arena
+/// backend: apply-phase latency only, the part `Graph::apply_delta` owns.
+struct PlanApplyResult {
+    deletes: usize,
+    apply: Quantiles,
+    /// Heap allocations across the measurement loop (0 without `bench`).
+    allocs: u64,
+    fingerprint: u64,
+}
+
+/// Victims per batch-deletion event in the grouped-vs-per-edge comparison —
+/// the batch-stage workload the bulk path targets (one flush covers the
+/// detach prologue plus every component stage of the batch plan).
+const APPLY_BATCH: usize = 16;
+
+/// Victims per event in the *clustered-outage* variant: one BFS ball — a
+/// "rack" of topologically adjacent nodes dying together, the correlated
+/// failure `examples/datacenter_outage.rs` models. Clustered victims
+/// concentrate the batch plan's mutations on the hole's boundary and on
+/// cloud leaders, so per-slot groups grow past singletons and the merge
+/// pass in `Graph::apply_delta` does real work.
+const CLUSTER_BATCH: usize = 64;
+
+/// Collects a BFS ball of up to `k` live nodes around a random live
+/// center (deterministic: neighbor lists iterate sorted ascending).
+fn bfs_ball(graph: &Graph, n: usize, adv: &mut StdRng, k: usize, out: &mut Vec<NodeId>) {
+    out.clear();
+    let center = loop {
+        let id = NodeId::new(adv.random_range(0..n as u64));
+        if graph.degree(id).is_some() {
+            break id;
+        }
+    };
+    out.push(center);
+    let mut qi = 0;
+    'fill: while qi < out.len() && out.len() < k {
+        let v = out[qi];
+        qi += 1;
+        for u in graph.neighbors(v) {
+            if !out.contains(&u) {
+                out.push(u);
+                if out.len() == k {
+                    break 'fill;
+                }
+            }
+        }
+    }
+}
+
+/// Batched delete-only schedule (seeded), applying each batch repair plan
+/// through one of the two live application paths and timing **only the
+/// apply phase**:
+///
+/// - `grouped = false`: the sequential reference — one
+///   `PlanAction::apply_streamed` per action (two binary searches and a
+///   list edit per edge);
+/// - `grouped = true`: `BatchRepairPlan::apply_streamed_with` — the whole
+///   batch plan (prologue + all component stages) flushed as one grouped
+///   mutation batch through `Graph::apply_delta`, with the executor-style
+///   persistent [`ApplyScratch`].
+///
+/// `clustered = false` draws [`APPLY_BATCH`] victims uniformly (scattered
+/// independent failures — the no-group-overlap worst case for the bulk
+/// path); `clustered = true` kills a [`CLUSTER_BATCH`]-node BFS ball per
+/// event (a correlated rack-style outage).
+///
+/// No sinks are registered, so the grouped path also exercises the
+/// registry fast path (no delta materialization at all).
+fn run_plan_apply(g0: &Graph, deletes: usize, grouped: bool, clustered: bool) -> PlanApplyResult {
+    let batch = if clustered {
+        CLUSTER_BATCH
+    } else {
+        APPLY_BATCH
+    };
+    let events = deletes.div_ceil(batch);
+    let n = g0.node_count();
+    let mut graph = g0.clone();
+    let mut planner =
+        RepairPlanner::new(g0.nodes(), XhealConfig::new(KAPPA).with_seed(PLANNER_SEED));
+    let mut adv = StdRng::seed_from_u64(ADVERSARY_SEED);
+    let mut live: Vec<NodeId> = if clustered {
+        Vec::new()
+    } else {
+        g0.nodes().collect()
+    };
+    let mut victims: Vec<NodeId> = Vec::with_capacity(batch);
+    let mut sinks = SinkRegistry::default();
+    let mut scratch = ApplyScratch::default();
+    let mut apply_ns: Vec<u64> = Vec::with_capacity(events);
+    let mut applied = 0usize;
+    let allocs_before = alloc_count();
+
+    for _ in 0..events {
+        if clustered {
+            bfs_ball(&graph, n, &mut adv, batch, &mut victims);
+        } else {
+            victims.clear();
+            for _ in 0..batch {
+                victims.push(live.swap_remove(adv.random_range(0..live.len())));
+            }
+        }
+        applied += victims.len();
+        let ctx = BatchVictim::capture(&graph, &victims).expect("victims are live");
+        for bv in &ctx {
+            let _ = graph.remove_node(bv.node);
+        }
+        let plan = planner.plan_batch_deletion(&ctx);
+        let t = Instant::now();
+        if grouped {
+            plan.apply_streamed_with(&mut graph, &mut sinks, &mut scratch);
+        } else {
+            for action in plan.actions() {
+                action.apply_streamed(&mut graph, &mut sinks);
+            }
+        }
+        apply_ns.push(t.elapsed().as_nanos() as u64);
+    }
+
+    let allocs = alloc_count() - allocs_before;
+    PlanApplyResult {
+        deletes: applied,
+        apply: quantiles(&mut apply_ns),
+        allocs,
+        fingerprint: graph.edge_fingerprint(),
+    }
+}
+
+/// Measures the grouped-vs-per-edge plan application comparison on the
+/// arena backend, returning the JSON fragment and the mean apply-phase
+/// speedup. Both paths must land on the same topology fingerprint.
+fn measure_grouped_apply(
+    g0: &Graph,
+    deletes: usize,
+    trials: usize,
+    clustered: bool,
+) -> (String, f64, u64) {
+    // Interleave the two paths' trials so slow drift in machine load hits
+    // both comparably, keeping best-of-trials per path.
+    let mut runs: Vec<PlanApplyResult> = (0..trials)
+        .flat_map(|_| {
+            [
+                run_plan_apply(g0, deletes, false, clustered),
+                run_plan_apply(g0, deletes, true, clustered),
+            ]
+        })
+        .collect();
+    let grouped = runs.drain(..).enumerate().fold(
+        (None::<PlanApplyResult>, None::<PlanApplyResult>),
+        |acc, (i, r)| {
+            let (mut pe, mut gr) = acc;
+            let best = if i % 2 == 0 { &mut pe } else { &mut gr };
+            if best.as_ref().is_none_or(|b| r.apply.mean < b.apply.mean) {
+                *best = Some(r);
+            }
+            (pe, gr)
+        },
+    );
+    let (per_edge, grouped) = (
+        grouped.0.expect("at least one trial"),
+        grouped.1.expect("at least one trial"),
+    );
+    assert_eq!(
+        per_edge.fingerprint, grouped.fingerprint,
+        "grouped and per-edge application must produce bit-identical topologies"
+    );
+    let speedup = ratio(per_edge.apply.mean, grouped.apply.mean);
+    eprintln!(
+        "[n={} {}] grouped apply {speedup:.2}x over per-edge ({} vs {} mean ns/batch-plan)",
+        g0.node_count(),
+        if clustered { "clustered" } else { "uniform" },
+        grouped.apply.mean,
+        per_edge.apply.mean,
+    );
+    let path = |r: &PlanApplyResult| {
+        format!(
+            "{{\"apply\": {}, \"allocs\": {}}}",
+            json_quantiles(&r.apply),
+            r.allocs,
+        )
+    };
+    let json = format!(
+        "{{\"deletes\": {}, \"batch\": {}, \"per_edge\": {}, \"grouped\": {}, \"speedup_apply_mean\": {:.3}, \"topology_match\": true}}",
+        per_edge.deletes,
+        if clustered { CLUSTER_BATCH } else { APPLY_BATCH },
+        path(&per_edge),
+        path(&grouped),
+        speedup,
+    );
+    (json, speedup, grouped.allocs)
+}
+
+/// Runs the grouped-vs-per-edge comparison under both failure models —
+/// uniform scattered victims and clustered BFS-ball outages — returning
+/// the combined JSON object plus both mean speedups and the grouped
+/// path's uniform-schedule allocation count.
+fn measure_grouped_pair(g0: &Graph, deletes: usize, trials: usize) -> (String, f64, f64, u64) {
+    let (uniform_json, uniform_speedup, grouped_allocs) =
+        measure_grouped_apply(g0, deletes, trials, false);
+    let (clustered_json, clustered_speedup, _) = measure_grouped_apply(g0, deletes, trials, true);
+    let json = format!("{{\"uniform\": {uniform_json}, \"clustered_outage\": {clustered_json}}}");
+    (json, uniform_speedup, clustered_speedup, grouped_allocs)
+}
+
+/// The memory-level-parallelism probe: one 64-bit-index pointer-chase ring
+/// (a Sattolo single-cycle permutation), walked two ways over the same
+/// total loads — a single dependent chain (each load's address depends on
+/// the previous load, so the memory system sees one outstanding miss) and
+/// `MLP_LANES` interleaved independent chains (the batched pointer-chase,
+/// many outstanding misses). The ratio is how much latency the dependent
+/// walk leaves on the table — the headroom grouped application harvests.
+struct MlpProbe {
+    elements: usize,
+    lanes: usize,
+    loads: usize,
+    dependent_ns_per_load: f64,
+    batched_ns_per_load: f64,
+    ratio: f64,
+}
+
+const MLP_LANES: usize = 16;
+
+fn run_mlp_probe(elements: usize) -> MlpProbe {
+    assert!(elements >= MLP_LANES * 2 && elements.is_power_of_two());
+    let mut next: Vec<u32> = (0..elements as u32).collect();
+    let mut rng = StdRng::seed_from_u64(0x4D4C_5042);
+    // Sattolo's algorithm: a uniform single-cycle permutation, so every
+    // walk visits all elements and never shortcuts.
+    for i in (1..elements).rev() {
+        let j = rng.random_range(0..i);
+        next.swap(i, j);
+    }
+    let loads = elements - (elements % MLP_LANES);
+
+    // Dependent chain: one pointer, `loads` serial cache misses.
+    let t = Instant::now();
+    let mut p = 0u32;
+    for _ in 0..loads {
+        p = next[p as usize];
+    }
+    std::hint::black_box(p);
+    let dependent_ns = t.elapsed().as_nanos() as f64;
+
+    // Batched: MLP_LANES independent pointers advanced round-robin — the
+    // same total loads, but the memory system overlaps them.
+    let mut ptrs = [0u32; MLP_LANES];
+    for (k, ptr) in ptrs.iter_mut().enumerate() {
+        *ptr = (k * (elements / MLP_LANES)) as u32;
+    }
+    let t = Instant::now();
+    for _ in 0..loads / MLP_LANES {
+        for ptr in &mut ptrs {
+            *ptr = next[*ptr as usize];
+        }
+    }
+    std::hint::black_box(ptrs);
+    let batched_ns = t.elapsed().as_nanos() as f64;
+
+    let probe = MlpProbe {
+        elements,
+        lanes: MLP_LANES,
+        loads,
+        dependent_ns_per_load: dependent_ns / loads as f64,
+        batched_ns_per_load: batched_ns / loads as f64,
+        ratio: dependent_ns / batched_ns.max(1.0),
+    };
+    eprintln!(
+        "[mlp] {} elements: dependent {:.2} ns/load vs batched {:.2} ns/load ({:.2}x)",
+        probe.elements, probe.dependent_ns_per_load, probe.batched_ns_per_load, probe.ratio
+    );
+    probe
+}
+
 fn ratio(seed_ns: u64, arena_ns: u64) -> f64 {
     seed_ns as f64 / arena_ns.max(1) as f64
 }
@@ -374,9 +646,12 @@ struct SizeReport {
     n: usize,
     micro_json: String,
     churn_json: String,
+    grouped_json: String,
     micro_graph_speedup: f64,
     micro_op_speedup: f64,
     churn_speedup: f64,
+    grouped_speedup: f64,
+    clustered_speedup: f64,
     topology_match: bool,
 }
 
@@ -402,6 +677,10 @@ fn measure_size(n: usize, micro_deletes: usize, churn_events: usize, trials: usi
         micro_arena.fingerprint, micro_seed.fingerprint,
         "micro schedules must produce bit-identical topologies"
     );
+
+    eprintln!("[n={n}] grouped vs per-edge plan application: {micro_deletes} deletes × {trials} trial(s) per path");
+    let (grouped_json, grouped_speedup, clustered_speedup, _) =
+        measure_grouped_pair(&g0, micro_deletes, trials);
 
     eprintln!("[n={n}] end-to-end churn: {churn_events} events × {trials} trial(s) per backend");
     let churn_arena = (0..trials)
@@ -475,11 +754,30 @@ fn measure_size(n: usize, micro_deletes: usize, churn_events: usize, trials: usi
         n,
         micro_json,
         churn_json,
+        grouped_json,
         micro_graph_speedup,
         micro_op_speedup,
         churn_speedup,
+        grouped_speedup,
+        clustered_speedup,
         topology_match,
     }
+}
+
+/// The memory-wall row: an arena-only grouped-vs-per-edge comparison at a
+/// size where the seed backend is infeasible (the full seed run at n=50k
+/// already takes ~25 minutes; 1M would take days). Returns the JSON entry
+/// and the grouped apply-phase speedup.
+fn measure_size_arena_only(n: usize, deletes: usize, trials: usize) -> (String, f64, f64) {
+    eprintln!("[n={n}] arena-only memory-wall row: generating 6-regular network…");
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let g0 = generators::random_regular(n, 6, &mut rng);
+    eprintln!("[n={n}] grouped vs per-edge plan application: {deletes} deletes × {trials} trial(s) per path");
+    let (grouped_json, grouped_speedup, clustered_speedup, _) =
+        measure_grouped_pair(&g0, deletes, trials);
+    let entry =
+        format!("    {{\"n\": {n}, \"arena_only\": true, \"grouped_apply\": {grouped_json}}}");
+    (entry, grouped_speedup, clustered_speedup)
 }
 
 fn main() {
@@ -508,11 +806,31 @@ fn main() {
         ]
     };
 
+    // Arena-only rows (n, deletes): the seed backend is infeasible here, so
+    // only the arena hot path runs. Full mode records the 1M-node row plus
+    // an 8M-node row whose slot arena (~1.6 GB) overflows even this host's
+    // 260 MB L3 — the only regime on this machine where delta application
+    // is genuinely DRAM-latency-bound. Smoke keeps a liveness-sized row.
+    let large_rows: Vec<(usize, usize)> = if smoke {
+        vec![(1_000, 200)]
+    } else {
+        vec![(1_000_000, 2_000), (8_000_000, 2_000)]
+    };
+    // MLP probe ring size: 128M × 4B = 512 MiB in full mode — past even a
+    // server-class LLC (this host has 260 MB of L3), so every load is a
+    // genuine memory access.
+    let mlp_elements = if smoke { 1 << 16 } else { 1 << 27 };
+
     let trials = if smoke { 1 } else { 2 };
     let reports: Vec<SizeReport> = sizes
         .iter()
         .map(|&(n, d, e)| measure_size(n, d, e, trials))
         .collect();
+    let large_reports: Vec<(String, f64, f64)> = large_rows
+        .iter()
+        .map(|&(n, d)| measure_size_arena_only(n, d, trials))
+        .collect();
+    let mlp = run_mlp_probe(mlp_elements);
 
     let min_micro = reports
         .iter()
@@ -529,21 +847,56 @@ fn main() {
     let max_churn = reports.iter().map(|r| r.churn_speedup).fold(0.0, f64::max);
     let all_match = reports.iter().all(|r| r.topology_match);
 
-    let size_entries: Vec<String> = reports
+    let mut size_entries: Vec<String> = reports
         .iter()
         .map(|r| {
             format!(
-                "    {{\"n\": {}, \"micro_heal_delete\": {}, \"churn\": {}}}",
-                r.n, r.micro_json, r.churn_json
+                "    {{\"n\": {}, \"micro_heal_delete\": {}, \"churn\": {}, \"grouped_apply\": {}}}",
+                r.n, r.micro_json, r.churn_json, r.grouped_json
             )
         })
         .collect();
+    size_entries.extend(large_reports.iter().map(|(entry, _, _)| entry.clone()));
+    let grouped_speedups: Vec<f64> = reports
+        .iter()
+        .map(|r| r.grouped_speedup)
+        .chain(large_reports.iter().map(|&(_, s, _)| s))
+        .collect();
+    let clustered_speedups: Vec<f64> = reports
+        .iter()
+        .map(|r| r.clustered_speedup)
+        .chain(large_reports.iter().map(|&(_, _, s)| s))
+        .collect();
+    let min_grouped = grouped_speedups
+        .iter()
+        .chain(clustered_speedups.iter())
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max_grouped = grouped_speedups
+        .iter()
+        .chain(clustered_speedups.iter())
+        .copied()
+        .fold(0.0, f64::max);
+    let mlp_json = format!(
+        "{{\"elements\": {}, \"lanes\": {}, \"loads\": {}, \"dependent_ns_per_load\": {:.3}, \"batched_ns_per_load\": {:.3}, \"mlp_ratio\": {:.3}}}",
+        mlp.elements, mlp.lanes, mlp.loads, mlp.dependent_ns_per_load, mlp.batched_ns_per_load, mlp.ratio,
+    );
     let json = format!(
-        "{{\n  \"schema\": \"xheal-churn-throughput/v1\",\n  \"smoke\": {smoke},\n  \"alloc_counting\": {ALLOC_COUNTING},\n  \"kappa\": {KAPPA},\n  \"planner_seed\": {PLANNER_SEED},\n  \"adversary_seed\": {ADVERSARY_SEED},\n  \"sizes\": [\n{}\n  ],\n  \"summary\": {{\n    \"micro_graph_side_speedup_min\": {min_micro:.3},\n    \"micro_graph_side_speedup_max\": {max_micro:.3},\n    \"churn_events_per_sec_speedup_min\": {min_churn:.3},\n    \"churn_events_per_sec_speedup_max\": {max_churn:.3},\n    \"micro_full_op_speedups\": [{}],\n    \"topology_match\": {all_match}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"xheal-churn-throughput/v2\",\n  \"smoke\": {smoke},\n  \"alloc_counting\": {ALLOC_COUNTING},\n  \"kappa\": {KAPPA},\n  \"planner_seed\": {PLANNER_SEED},\n  \"adversary_seed\": {ADVERSARY_SEED},\n  \"mlp_probe\": {mlp_json},\n  \"sizes\": [\n{}\n  ],\n  \"summary\": {{\n    \"micro_graph_side_speedup_min\": {min_micro:.3},\n    \"micro_graph_side_speedup_max\": {max_micro:.3},\n    \"churn_events_per_sec_speedup_min\": {min_churn:.3},\n    \"churn_events_per_sec_speedup_max\": {max_churn:.3},\n    \"grouped_apply_speedup_min\": {min_grouped:.3},\n    \"grouped_apply_speedup_max\": {max_grouped:.3},\n    \"micro_full_op_speedups\": [{}],\n    \"grouped_apply_speedups\": [{}],\n    \"clustered_apply_speedups\": [{}],\n    \"topology_match\": {all_match}\n  }}\n}}\n",
         size_entries.join(",\n"),
         reports
             .iter()
             .map(|r| format!("{:.3}", r.micro_op_speedup))
+            .collect::<Vec<_>>()
+            .join(", "),
+        grouped_speedups
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        clustered_speedups
+            .iter()
+            .map(|s| format!("{s:.3}"))
             .collect::<Vec<_>>()
             .join(", "),
     );

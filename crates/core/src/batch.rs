@@ -154,10 +154,36 @@ impl BatchRepairPlan {
 
     /// Applies every stage to `graph`, in order, emitting the
     /// [`crate::TopologyDelta`] stream to `sinks`.
+    ///
+    /// Convenience wrapper over [`BatchRepairPlan::apply_streamed_with`]
+    /// with a throwaway scratch.
     pub fn apply_streamed(&self, graph: &mut Graph, sinks: &mut crate::engine::SinkRegistry) {
+        self.apply_streamed_with(graph, sinks, &mut crate::plan::ApplyScratch::default());
+    }
+
+    /// Applies all stages as grouped mutation batches through
+    /// [`xheal_graph::Graph::apply_delta`] — the memory-wall fast path.
+    /// Mutations across the prologue and every component stage accumulate
+    /// into shared sequence-ordered batches (chunked past the accumulation
+    /// cap so the op buffer stays cache-resident; per-pair interleavings
+    /// such as the prologue detaching an edge a later stage re-adds stay
+    /// bit-identical to stage-by-stage application), and the
+    /// [`crate::TopologyDelta`] stream is emitted in exactly the order the
+    /// per-action path would produce.
+    pub fn apply_streamed_with(
+        &self,
+        graph: &mut Graph,
+        sinks: &mut crate::engine::SinkRegistry,
+        scratch: &mut crate::plan::ApplyScratch,
+    ) {
+        scratch.begin();
         for action in self.actions() {
-            action.apply_streamed(graph, sinks);
+            if scratch.should_flush() {
+                scratch.flush(graph, sinks);
+            }
+            scratch.push_action(action);
         }
+        scratch.flush(graph, sinks);
     }
 }
 
@@ -202,7 +228,7 @@ impl Xheal {
     /// any mutation); duplicate victims are rejected the same way.
     pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
         let ctx = BatchVictim::capture(self.graph(), victims)?;
-        let (graph, planner, sinks) = self.batch_parts();
+        let (graph, planner, sinks, scratch) = self.batch_parts();
         for bv in &ctx {
             let _ = graph.remove_node(bv.node);
             if !sinks.is_empty() {
@@ -210,7 +236,7 @@ impl Xheal {
             }
         }
         let plan = planner.plan_batch_deletion(&ctx);
-        plan.apply_streamed(graph, sinks);
+        plan.apply_streamed_with(graph, sinks, scratch);
         Ok(plan.report)
     }
 }

@@ -82,11 +82,28 @@ pub enum TopologyDelta {
 pub trait TopologySink {
     /// Called for every structural change, in application order.
     fn on_delta(&mut self, delta: &TopologyDelta);
+
+    /// Called with one whole plan flush of deltas, in application order.
+    ///
+    /// The grouped plan-application path delivers each flush through this
+    /// method; the default forwards delta-by-delta to
+    /// [`TopologySink::on_delta`], so sinks observe the identical stream
+    /// either way. Batch-aware sinks (e.g. `xheal-monitor`'s incremental
+    /// CSR) override it to patch their state once per flush.
+    fn on_deltas(&mut self, deltas: &[TopologyDelta]) {
+        for delta in deltas {
+            self.on_delta(delta);
+        }
+    }
 }
 
 impl<S: TopologySink> TopologySink for Rc<RefCell<S>> {
     fn on_delta(&mut self, delta: &TopologyDelta) {
         self.borrow_mut().on_delta(delta);
+    }
+
+    fn on_deltas(&mut self, deltas: &[TopologyDelta]) {
+        self.borrow_mut().on_deltas(deltas);
     }
 }
 
@@ -121,6 +138,16 @@ impl SinkRegistry {
     pub fn emit(&mut self, delta: TopologyDelta) {
         for sink in &mut self.sinks {
             sink.on_delta(&delta);
+        }
+    }
+
+    /// Broadcasts one whole flush of deltas to every registered sink via
+    /// [`TopologySink::on_deltas`]. Callers on the grouped plan path check
+    /// [`SinkRegistry::is_empty`] once per flush and skip materializing the
+    /// delta slice entirely when no sink is registered.
+    pub fn emit_batch(&mut self, deltas: &[TopologyDelta]) {
+        for sink in &mut self.sinks {
+            sink.on_deltas(deltas);
         }
     }
 }

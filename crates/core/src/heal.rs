@@ -15,6 +15,7 @@ use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
 use crate::engine::{SinkRegistry, TopologyDelta, TopologySink};
 use crate::error::HealError;
+use crate::plan::ApplyScratch;
 use crate::planner::RepairPlanner;
 use crate::stats::{DeletionReport, HealStats};
 
@@ -41,6 +42,8 @@ pub struct Xheal {
     sinks: SinkRegistry,
     /// Reusable incident-edge buffer for the deletion hot loop.
     scratch_incident: Vec<(NodeId, EdgeLabels)>,
+    /// Reusable grouped-application buffers for plan flushes.
+    scratch_apply: ApplyScratch,
 }
 
 impl Xheal {
@@ -52,6 +55,7 @@ impl Xheal {
             planner: RepairPlanner::new(initial.nodes(), config),
             sinks: SinkRegistry::default(),
             scratch_incident: Vec::new(),
+            scratch_apply: ApplyScratch::default(),
         }
     }
 
@@ -184,7 +188,7 @@ impl Xheal {
         }
         let plan = self.planner.plan_deletion(v, &incident, degree);
         self.scratch_incident = incident;
-        plan.apply_streamed(&mut self.graph, &mut self.sinks);
+        plan.apply_streamed_with(&mut self.graph, &mut self.sinks, &mut self.scratch_apply);
         Ok(plan.report)
     }
 
@@ -192,11 +196,23 @@ impl Xheal {
     // Batch-deletion support (crate-internal; see batch.rs)
     // ------------------------------------------------------------------
 
-    /// Simultaneous access to the graph, the planner, and the sink registry
-    /// for the batch executor, which must mutate all three around one
-    /// planning call.
-    pub(crate) fn batch_parts(&mut self) -> (&mut Graph, &mut RepairPlanner, &mut SinkRegistry) {
-        (&mut self.graph, &mut self.planner, &mut self.sinks)
+    /// Simultaneous access to the graph, the planner, the sink registry,
+    /// and the grouped-apply scratch for the batch executor, which must
+    /// mutate all of them around one planning call.
+    pub(crate) fn batch_parts(
+        &mut self,
+    ) -> (
+        &mut Graph,
+        &mut RepairPlanner,
+        &mut SinkRegistry,
+        &mut ApplyScratch,
+    ) {
+        (
+            &mut self.graph,
+            &mut self.planner,
+            &mut self.sinks,
+            &mut self.scratch_apply,
+        )
     }
 }
 

@@ -73,6 +73,6 @@ pub use error::HealError;
 pub use event::Event;
 pub use heal::{Xheal, XhealBuilder};
 pub use healer::Healer;
-pub use plan::{PlanAction, RepairPlan};
+pub use plan::{ApplyScratch, PlanAction, RepairPlan};
 pub use planner::RepairPlanner;
 pub use stats::{DeletionReport, HealCase, HealStats};

@@ -14,10 +14,112 @@
 use std::collections::BTreeSet;
 
 use xheal_expander::EdgeDelta;
-use xheal_graph::{CloudColor, CloudKind, Graph, NodeId};
+use xheal_graph::{CloudColor, CloudKind, DeltaScratch, EdgeMutation, Graph, NodeId};
 
 use crate::engine::{SinkRegistry, TopologyDelta};
 use crate::stats::{DeletionReport, HealCase};
+
+/// Reusable working memory for grouped plan application
+/// ([`RepairPlan::apply_streamed_with`] and the batch flush): the flattened
+/// mutation list, the materialized delta slice for sink emission, and the
+/// graph-level [`DeltaScratch`]. Executors own one and thread it through
+/// their hot loops so steady-state plan application allocates nothing.
+#[derive(Debug, Default)]
+pub struct ApplyScratch {
+    ops: Vec<EdgeMutation>,
+    deltas: Vec<TopologyDelta>,
+    graph: DeltaScratch,
+}
+
+/// Accumulation cap (in mutations) before an intermediate flush. Mature
+/// small-network plans can rewire most of the graph in one plan; unbounded
+/// accumulation would stream megabytes of ops through three passes (copy,
+/// validate, apply) and cost ~17 % on such schedules. Capped at ~96 KiB of
+/// ops the buffer stays L2-resident, while typical plans (well under the
+/// cap) still flush exactly once. Chunked flushing is sequence-preserving,
+/// so the graph and the emitted delta stream are bit-identical either way.
+const FLUSH_CAP: usize = 4096;
+
+impl ApplyScratch {
+    /// Resets the accumulated mutation batch (buffer capacity is kept).
+    pub(crate) fn begin(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Whether the accumulated batch has outgrown [`FLUSH_CAP`] and should
+    /// be flushed before the next action is pushed.
+    pub(crate) fn should_flush(&self) -> bool {
+        self.ops.len() >= FLUSH_CAP
+    }
+
+    /// Flushes the accumulated mutation batch in `self.ops` through
+    /// [`Graph::apply_delta`], then emits the corresponding
+    /// [`TopologyDelta`] stream (in original op order) as one batch.
+    ///
+    /// With no sinks registered the delta slice is never materialized —
+    /// one branch per flush instead of one check per mutation.
+    pub(crate) fn flush(&mut self, graph: &mut Graph, sinks: &mut SinkRegistry) {
+        if self.ops.is_empty() {
+            return;
+        }
+        graph
+            .apply_delta(&self.ops, &mut self.graph)
+            .expect("cloud members are live nodes");
+        if !sinks.is_empty() {
+            self.deltas.clear();
+            self.deltas.reserve(self.ops.len());
+            self.deltas.extend(self.ops.iter().map(|op| {
+                if op.add {
+                    TopologyDelta::EdgeAdded {
+                        a: op.a,
+                        b: op.b,
+                        color: op.color,
+                    }
+                } else {
+                    TopologyDelta::EdgeRemoved {
+                        a: op.a,
+                        b: op.b,
+                        color: op.color,
+                    }
+                }
+            }));
+            sinks.emit_batch(&self.deltas);
+        }
+        self.ops.clear();
+    }
+
+    /// Appends one action's edge rewiring (strips first, then adds — the
+    /// exact order the sequential path applies and emits).
+    pub(crate) fn push_action(&mut self, action: &PlanAction) {
+        let color = Some(action.color());
+        let delta = action.delta();
+        self.ops.reserve(delta.removed.len() + delta.added.len());
+        for &(u, w) in &delta.removed {
+            self.ops.push(EdgeMutation {
+                a: u,
+                b: w,
+                color,
+                add: false,
+            });
+        }
+        for &(u, w) in &delta.added {
+            self.ops.push(EdgeMutation {
+                a: u,
+                b: w,
+                color,
+                add: true,
+            });
+        }
+    }
+}
+
+impl Clone for ApplyScratch {
+    /// Cloning yields a fresh, empty scratch: contents are transient
+    /// per-flush working state, not data.
+    fn clone(&self) -> Self {
+        ApplyScratch::default()
+    }
+}
 
 /// One structural step of a repair.
 #[derive(Clone, Debug)]
@@ -119,10 +221,14 @@ impl PlanAction {
     }
 
     /// Like [`PlanAction::apply_to`], additionally emitting one
-    /// [`TopologyDelta`] per label change to `sinks` — the subscription
-    /// layer's single emission point for plan application. With no sinks
-    /// registered this is exactly `apply_to` (no extra work on the hot
-    /// path).
+    /// [`TopologyDelta`] per label change to `sinks`.
+    ///
+    /// This is the *sequential reference path*: one strip/add (two binary
+    /// searches and a list edit) per edge, in plan order. Whole-plan
+    /// application goes through the grouped bulk path
+    /// ([`RepairPlan::apply_streamed_with`]), which is bit-identical to
+    /// replaying this method action by action — the `grouped_apply`
+    /// integration suite pins that equivalence.
     ///
     /// # Panics
     ///
@@ -196,10 +302,40 @@ impl RepairPlan {
 
     /// Applies every action to `graph`, in order, emitting the
     /// [`TopologyDelta`] stream to `sinks`.
+    ///
+    /// Convenience wrapper over [`RepairPlan::apply_streamed_with`] with a
+    /// throwaway scratch; executor hot loops thread a persistent
+    /// [`ApplyScratch`] instead.
     pub fn apply_streamed(&self, graph: &mut Graph, sinks: &mut SinkRegistry) {
+        self.apply_streamed_with(graph, sinks, &mut ApplyScratch::default());
+    }
+
+    /// Applies the whole plan as grouped mutation batches through
+    /// [`Graph::apply_delta`] (one batch for typical plans; plans past the
+    /// accumulation cap flush in sequence-ordered chunks so the op buffer
+    /// stays cache-resident). The emitted [`TopologyDelta`] stream is
+    /// bit-identical — same deltas, same order — to replaying
+    /// [`PlanAction::apply_streamed`] action by action, as is the
+    /// resulting graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an added edge references a node absent from `graph`
+    /// (cloud members are always live).
+    pub fn apply_streamed_with(
+        &self,
+        graph: &mut Graph,
+        sinks: &mut SinkRegistry,
+        scratch: &mut ApplyScratch,
+    ) {
+        scratch.begin();
         for action in &self.actions {
-            action.apply_streamed(graph, sinks);
+            if scratch.should_flush() {
+                scratch.flush(graph, sinks);
+            }
+            scratch.push_action(action);
         }
+        scratch.flush(graph, sinks);
     }
 
     /// The largest member set among clouds this plan builds (0 when none):

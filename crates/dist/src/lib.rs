@@ -78,8 +78,9 @@ mod messages;
 use std::collections::BTreeSet;
 
 use xheal_core::{
-    BatchReport, BatchVictim, DeletionReport, DistCost, Event, HealCase, HealError, Healer,
-    HealingEngine, Outcome, RepairPlanner, SinkRegistry, TopologyDelta, TopologySink, XhealConfig,
+    ApplyScratch, BatchReport, BatchVictim, DeletionReport, DistCost, Event, HealCase, HealError,
+    Healer, HealingEngine, Outcome, RepairPlanner, SinkRegistry, TopologyDelta, TopologySink,
+    XhealConfig,
 };
 use xheal_graph::{EdgeLabels, Graph, NodeId};
 use xheal_sim::{Counters, NetworkEngine, SyncNetwork};
@@ -106,6 +107,8 @@ pub struct DistXheal<N: NetworkEngine<Msg> = SyncNetwork<Msg>> {
     scratch_incident: Vec<(NodeId, EdgeLabels)>,
     /// Reusable sorted buffer holding the pre-repair free-node snapshot.
     scratch_free: Vec<NodeId>,
+    /// Reusable grouped-application buffers for plan flushes.
+    scratch_apply: ApplyScratch,
 }
 
 impl DistXheal<SyncNetwork<Msg>> {
@@ -159,6 +162,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
             sinks: SinkRegistry::default(),
             scratch_incident: Vec::new(),
             scratch_free: Vec::new(),
+            scratch_apply: ApplyScratch::default(),
         }
     }
 
@@ -308,7 +312,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         }
         let mut free_before = self.take_free_snapshot();
         let plan = self.planner.plan_batch_deletion(&ctx);
-        plan.apply_streamed(&mut self.graph, &mut self.sinks);
+        plan.apply_streamed_with(&mut self.graph, &mut self.sinks, &mut self.scratch_apply);
         let dead: Vec<NodeId> = ctx.iter().map(|bv| bv.node).collect();
         for stage in &plan.stages {
             if stage.component.is_empty() && stage.actions.is_empty() {
@@ -397,7 +401,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         // advances the planner past it.
         let mut free_before = self.take_free_snapshot();
         let plan = self.planner.plan_deletion(v, &incident, degree);
-        plan.apply_streamed(&mut self.graph, &mut self.sinks);
+        plan.apply_streamed_with(&mut self.graph, &mut self.sinks, &mut self.scratch_apply);
         self.repair_seq += 1;
         self.runtime.begin_repair(
             self.repair_seq,

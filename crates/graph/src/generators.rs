@@ -9,7 +9,7 @@ use rand::Rng;
 use crate::{Graph, NodeId};
 
 fn base(n: usize) -> Graph {
-    let mut g = Graph::new();
+    let mut g = Graph::with_node_capacity(n);
     for i in 0..n {
         g.add_node(NodeId::new(i as u64)).expect("fresh id");
     }

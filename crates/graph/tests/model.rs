@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use xheal_graph::baseline::BaselineGraph;
-use xheal_graph::{CloudColor, EdgeLabels, Graph, NodeId};
+use xheal_graph::{CloudColor, DeltaScratch, EdgeLabels, EdgeMutation, Graph, NodeId};
 
 /// One randomized operation over the node id universe `0..universe`.
 #[derive(Clone, Copy, Debug)]
@@ -23,6 +23,9 @@ enum Op {
     StripColor(u64, u64, u64),
     StripBlack(u64, u64),
     RemoveEdge(u64, u64),
+    /// A grouped `Graph::apply_delta` batch, derived from the inner seed —
+    /// replayed on the baseline as the sequential per-edge loop.
+    BulkDelta(u64),
 }
 
 fn random_ops(seed: u64, steps: usize) -> Vec<Op> {
@@ -33,17 +36,45 @@ fn random_ops(seed: u64, steps: usize) -> Vec<Op> {
             let a = rng.random_range(0..universe);
             let b = rng.random_range(0..universe);
             let c = rng.random_range(0..4u64);
-            match rng.random_range(0..10u32) {
+            match rng.random_range(0..11u32) {
                 0..=1 => Op::AddNode(a),
                 2 => Op::RemoveNode(a),
                 3..=5 => Op::AddBlack(a, b),
                 6 => Op::AddColored(a, b, c),
                 7 => Op::StripColor(a, b, c),
                 8 => Op::StripBlack(a, b),
-                _ => Op::RemoveEdge(a, b),
+                9 => Op::RemoveEdge(a, b),
+                _ => Op::BulkDelta(rng.random()),
             }
         })
         .collect()
+}
+
+/// Expands a [`Op::BulkDelta`] seed into a mutation batch legal for the
+/// current graph: adds are restricted to live, distinct endpoints (batch
+/// application validates them up front), strips are unrestricted — their
+/// missing-endpoint/label tolerance is part of what is under test.
+fn random_batch(seed: u64, g: &Graph) -> Vec<EdgeMutation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = 16u64;
+    let n = NodeId::new;
+    let len = rng.random_range(0..24usize);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let a = n(rng.random_range(0..universe));
+        let b = n(rng.random_range(0..universe));
+        let color = if rng.random::<bool>() {
+            Some(CloudColor::new(rng.random_range(0..4u64)))
+        } else {
+            None
+        };
+        let add = rng.random::<bool>();
+        if add && (a == b || !g.contains_node(a) || !g.contains_node(b)) {
+            continue;
+        }
+        out.push(EdgeMutation { a, b, color, add });
+    }
+    out
 }
 
 /// Full observable dump used for cross-representation comparison.
@@ -82,6 +113,27 @@ fn apply_both(g: &mut Graph, m: &mut BaselineGraph, op: Op) -> Result<(), TestCa
         }
         Op::RemoveEdge(a, b) => {
             prop_assert_eq!(g.remove_edge(n(a), n(b)), m.remove_edge(n(a), n(b)));
+        }
+        Op::BulkDelta(seed) => {
+            let batch = random_batch(seed, g);
+            let mut scratch = DeltaScratch::default();
+            prop_assert!(g.apply_delta(&batch, &mut scratch).is_ok());
+            for op in &batch {
+                match (op.add, op.color) {
+                    (true, Some(c)) => {
+                        m.add_colored_edge(op.a, op.b, c).unwrap();
+                    }
+                    (true, None) => {
+                        m.add_black_edge(op.a, op.b).unwrap();
+                    }
+                    (false, Some(c)) => {
+                        m.strip_color(op.a, op.b, c);
+                    }
+                    (false, None) => {
+                        m.strip_black(op.a, op.b);
+                    }
+                }
+            }
         }
     }
     Ok(())

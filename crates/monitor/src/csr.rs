@@ -157,6 +157,10 @@ pub struct IncrementalCsr {
     edge_count: usize,
     generation: u64,
     compactions: usize,
+    /// Inside a [`IncrementalCsr::begin_batch`] flush: compaction deferred.
+    in_batch: bool,
+    /// Reusable slot-grouping buffer for the batch capacity pre-pass.
+    batch_slots: Vec<u32>,
 }
 
 impl IncrementalCsr {
@@ -175,6 +179,8 @@ impl IncrementalCsr {
             edge_count: 0,
             generation: 0,
             compactions: 0,
+            in_batch: false,
+            batch_slots: Vec::new(),
         };
         for v in initial.nodes() {
             csr.add_slot(v);
@@ -328,8 +334,65 @@ impl IncrementalCsr {
             }
             TopologyDelta::EdgeRemoved { a, b, color } => self.strip_label(a, b, color),
         };
-        self.maybe_compact();
+        if !self.in_batch {
+            self.maybe_compact();
+        }
         effect
+    }
+
+    /// Prepares the structure for one flush of `deltas` applied back to
+    /// back (the grouped form [`crate::Monitor`] receives from an
+    /// executor's batched plan application): a single capacity pre-pass
+    /// groups the flush's edge insertions by endpoint slot and sizes every
+    /// touched block up front, so the per-delta patches that follow never
+    /// relocate mid-flush — each block moves **at most once per flush**
+    /// instead of once per doubling. Amortized compaction is deferred to
+    /// [`IncrementalCsr::end_batch`], one check per flush.
+    ///
+    /// The pre-pass is an optimization only: endpoints it cannot resolve
+    /// (e.g. nodes added later in the same stream) are skipped, and the
+    /// per-delta path still grows blocks on demand, so [`apply`] semantics
+    /// — effects, generations, snapshots — are bit-identical with or
+    /// without the batch bracket.
+    ///
+    /// [`apply`]: IncrementalCsr::apply
+    pub fn begin_batch(&mut self, deltas: &[TopologyDelta]) {
+        self.in_batch = true;
+        let mut slots = std::mem::take(&mut self.batch_slots);
+        slots.clear();
+        for delta in deltas {
+            if let TopologyDelta::EdgeAdded { a, b, .. } = *delta {
+                if let (Some(&sa), Some(&sb)) = (self.index.get(&a), self.index.get(&b)) {
+                    slots.push(sa);
+                    slots.push(sb);
+                }
+            }
+        }
+        slots.sort_unstable();
+        let mut i = 0;
+        while i < slots.len() {
+            let slot = slots[i];
+            let mut j = i;
+            while j < slots.len() && slots[j] == slot {
+                j += 1;
+            }
+            // Pessimistic: relabels of existing edges count as growth too —
+            // the over-reservation is plain slack, never a tombstone.
+            let incoming = (j - i) as u32;
+            let b = self.blocks[slot as usize];
+            if b.cap - b.len < incoming {
+                self.grow_block(slot, (b.len + incoming).max(b.cap * 2).max(4));
+            }
+            i = j;
+        }
+        self.batch_slots = slots;
+    }
+
+    /// Closes a [`IncrementalCsr::begin_batch`] flush: runs the deferred
+    /// amortized compaction check once for the whole batch.
+    pub fn end_batch(&mut self) {
+        self.in_batch = false;
+        self.maybe_compact();
     }
 
     fn add_slot(&mut self, v: NodeId) {
@@ -416,20 +479,7 @@ impl IncrementalCsr {
         };
         let b = self.blocks[slot as usize];
         if b.len == b.cap {
-            // Relocate to the tail with slack; the old region tombstones.
-            let new_cap = (b.cap * 2).max(4);
-            let new_start = self.adj.len() as u32;
-            self.adj.reserve(new_cap as usize);
-            for i in 0..b.len as usize {
-                let e = self.adj[b.start as usize + i].clone();
-                self.adj.push(e);
-            }
-            self.adj
-                .resize_with(new_start as usize + new_cap as usize, Entry::filler);
-            self.tombstones += b.cap as usize;
-            let nb = &mut self.blocks[slot as usize];
-            nb.start = new_start;
-            nb.cap = new_cap;
+            self.grow_block(slot, (b.cap * 2).max(4));
         }
         let b = self.blocks[slot as usize];
         let start = b.start as usize;
@@ -438,6 +488,25 @@ impl IncrementalCsr {
             .copy_within_entries_rev(start + pos..start + b.len as usize, start + pos + 1);
         self.adj[start + pos] = entry;
         self.blocks[slot as usize].len += 1;
+    }
+
+    /// Relocates `slot`'s block to the tail of the entry array with
+    /// capacity `new_cap`; the old region tombstones.
+    fn grow_block(&mut self, slot: u32, new_cap: u32) {
+        let b = self.blocks[slot as usize];
+        debug_assert!(new_cap > b.cap);
+        let new_start = self.adj.len() as u32;
+        self.adj.reserve(new_cap as usize);
+        for i in 0..b.len as usize {
+            let e = self.adj[b.start as usize + i].clone();
+            self.adj.push(e);
+        }
+        self.adj
+            .resize_with(new_start as usize + new_cap as usize, Entry::filler);
+        self.tombstones += b.cap as usize;
+        let nb = &mut self.blocks[slot as usize];
+        nb.start = new_start;
+        nb.cap = new_cap;
     }
 
     fn add_label(&mut self, a: NodeId, b: NodeId, labels: &EdgeLabels) -> DeltaEffect {
@@ -915,4 +984,101 @@ mod tests {
     }
 
     use rand::SeedableRng;
+
+    #[test]
+    fn batch_bracket_is_bit_identical_to_per_delta_apply() {
+        use rand::{rngs::StdRng, Rng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let g0 = generators::connected_erdos_renyi(20, 0.2, &mut rng);
+        let mut plain = IncrementalCsr::new(&g0);
+        let mut batched = IncrementalCsr::new(&g0);
+        let mut g = g0.clone();
+        for round in 0..40 {
+            // Build one flush-sized batch of edge deltas, like a plan flush.
+            let nodes = g.node_vec();
+            let mut deltas = Vec::new();
+            for k in 0..rng.random_range(1..12usize) {
+                let a = nodes[rng.random_range(0..nodes.len())];
+                let b = nodes[rng.random_range(0..nodes.len())];
+                if a == b {
+                    continue;
+                }
+                let c = CloudColor::new(rng.random_range(0..5));
+                if (round + k) % 3 == 0 {
+                    g.strip_color(a, b, c);
+                    deltas.push(TopologyDelta::EdgeRemoved {
+                        a,
+                        b,
+                        color: Some(c),
+                    });
+                } else {
+                    g.add_colored_edge(a, b, c).unwrap();
+                    deltas.push(TopologyDelta::EdgeAdded {
+                        a,
+                        b,
+                        color: Some(c),
+                    });
+                }
+            }
+            let plain_effects: Vec<DeltaEffect> = deltas.iter().map(|d| plain.apply(d)).collect();
+            batched.begin_batch(&deltas);
+            let batch_effects: Vec<DeltaEffect> = deltas.iter().map(|d| batched.apply(d)).collect();
+            batched.end_batch();
+            assert_eq!(plain_effects, batch_effects, "round {round}");
+            assert_eq!(plain.generation(), batched.generation());
+            plain.validate().unwrap();
+            batched.validate().unwrap();
+            assert_matches(&batched, &g);
+        }
+        let a = plain.snapshot();
+        let b = batched.snapshot();
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.neighbors_flat(), b.neighbors_flat());
+    }
+
+    #[test]
+    fn batch_pre_pass_relocates_each_block_at_most_once() {
+        // Grow one node's block by 33 spokes in a single flush: the
+        // per-delta path relocates it on every capacity doubling, the
+        // batched path exactly once (one tombstoned region).
+        let mut g = Graph::new();
+        let n_spokes = 33u64;
+        g.add_node(n(0)).unwrap();
+        for i in 1..=n_spokes {
+            g.add_node(n(i)).unwrap();
+        }
+        let mut plain = IncrementalCsr::new(&g);
+        let mut batched = plain.clone();
+        let deltas: Vec<TopologyDelta> = (1..=n_spokes)
+            .map(|i| TopologyDelta::EdgeAdded {
+                a: n(0),
+                b: n(i),
+                color: None,
+            })
+            .collect();
+        for d in &deltas {
+            plain.apply(d);
+        }
+        batched.begin_batch(&deltas);
+        for d in &deltas {
+            batched.apply(d);
+        }
+        batched.end_batch();
+        assert_eq!(
+            batched.tombstones(),
+            0,
+            "one up-front relocation of an empty block leaves no tombstones"
+        );
+        assert!(
+            plain.tombstones() > 0 || plain.compactions() > 0,
+            "per-delta doubling must have relocated at least once"
+        );
+        // Same logical content regardless of layout.
+        let a = plain.snapshot();
+        let b = batched.snapshot();
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.neighbors_flat(), b.neighbors_flat());
+        batched.validate().unwrap();
+    }
 }

@@ -408,6 +408,20 @@ impl TopologySink for Monitor {
     fn on_delta(&mut self, delta: &TopologyDelta) {
         self.absorb(delta);
     }
+
+    /// The grouped feed: when an executor flushes a plan's mutations as
+    /// one batch, the incremental CSR runs a single capacity pre-pass so
+    /// every touched block relocates at most once per flush and the
+    /// amortized compaction check fires once per batch — the metric
+    /// trackers still see every delta in stream order, so maintained
+    /// state is bit-identical to the per-delta feed.
+    fn on_deltas(&mut self, deltas: &[TopologyDelta]) {
+        self.csr.begin_batch(deltas);
+        for delta in deltas {
+            self.absorb(delta);
+        }
+        self.csr.end_batch();
+    }
 }
 
 /// Adapter plugging a shared [`Monitor`] into
@@ -573,6 +587,55 @@ mod tests {
             summary.health
         );
         assert_eq!(summary.worst_severity(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn grouped_feed_matches_per_delta_feed() {
+        // The same engine run observed twice: one monitor fed through the
+        // grouped `on_deltas` path (what batched plan flushes emit), one
+        // forced through single `on_delta` calls. All maintained state
+        // must be bit-identical.
+        let mut rng = StdRng::seed_from_u64(31);
+        let g0 = generators::connected_erdos_renyi(26, 0.14, &mut rng);
+        let grouped = Rc::new(RefCell::new(Monitor::new(&g0, MonitorConfig::default())));
+        let single = Rc::new(RefCell::new(Monitor::new(&g0, MonitorConfig::default())));
+
+        /// Re-splits every batch into per-delta calls before forwarding.
+        #[derive(Debug)]
+        struct Unbatcher(Rc<RefCell<Monitor>>);
+        impl TopologySink for Unbatcher {
+            fn on_delta(&mut self, delta: &TopologyDelta) {
+                self.0.borrow_mut().on_delta(delta);
+            }
+            fn on_deltas(&mut self, deltas: &[TopologyDelta]) {
+                for d in deltas {
+                    self.0.borrow_mut().on_delta(d);
+                }
+            }
+        }
+
+        let mut net = Xheal::builder()
+            .kappa(4)
+            .seed(13)
+            .sink(Box::new(Rc::clone(&grouped)))
+            .sink(Box::new(Unbatcher(Rc::clone(&single))))
+            .build(&g0);
+        for step in 0..25 {
+            let nodes = net.graph().node_vec();
+            net.heal_delete(nodes[(step * 5) % nodes.len()]).unwrap();
+        }
+        let (g, s) = (grouped.borrow(), single.borrow());
+        assert_eq!(g.generation(), s.generation());
+        assert_eq!(g.node_count(), s.node_count());
+        assert_eq!(g.edge_count(), s.edge_count());
+        assert_eq!(g.degrees().buckets(), s.degrees().buckets());
+        assert_eq!(g.black_degrees().buckets(), s.black_degrees().buckets());
+        assert!((g.degree_increase() - s.degree_increase()).abs() < 1e-12);
+        let (gv, sv) = (g.csr().snapshot(), s.csr().snapshot());
+        assert_eq!(gv.nodes(), sv.nodes());
+        assert_eq!(gv.offsets(), sv.offsets());
+        assert_eq!(gv.neighbors_flat(), sv.neighbors_flat());
+        assert_histograms_match(&g, net.graph());
     }
 
     #[test]
