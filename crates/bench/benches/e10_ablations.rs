@@ -1,7 +1,10 @@
 //! E10 — ablations of the design choices DESIGN.md calls out:
 //!
 //! (a) **no secondary clouds** — every multi-cloud repair combines, the
-//!     expensive amortized path the secondary machinery exists to avoid;
+//!     amortized path the secondary machinery exists to avoid (since
+//!     `combine` splices members into the surviving cloud rather than
+//!     dissolving and rebuilding, a single combine is cheap — what the
+//!     machinery still buys is *fewer* forced merges and better structure);
 //! (b) **no free-node sharing** — a cloud without its own free node forces
 //!     combining;
 //! (c) **κ sweep** — degree/cost trade-off.
@@ -75,17 +78,26 @@ fn main() {
 
     let full = &results[0].1;
     let nosec = &results[1].1;
-    let ok = nosec.combines > full.combines && nosec.msgs_avg > full.msgs_avg;
+    // Splice-combine absorbs members into the surviving cloud instead of
+    // dissolving and rebuilding, so one combine is no longer the dominant
+    // message cost this ablation was first written around. The machinery's
+    // measurable value is structural: fewer forced merges, tighter
+    // worst-case rounds, better expansion.
+    let ok = nosec.combines > full.combines
+        && nosec.rounds_max >= full.rounds_max
+        && nosec.lambda < full.lambda;
     verdict(
         ok,
         &format!(
-            "disabling secondary clouds forces {}x the combines and raises mean message \
-             cost {} -> {} — the secondary-cloud machinery is what amortizes repairs",
-            if full.combines == 0 {
-                nosec.combines
-            } else {
-                nosec.combines / full.combines.max(1)
-            },
+            "disabling secondary clouds forces {:.2}x the combines and degrades \
+             expansion lambda {} -> {} (rounds max {} -> {}); msgs avg {} -> {} — \
+             splice-combine made single merges cheap, so secondaries now pay in \
+             messages and pay back in structure",
+            nosec.combines as f64 / full.combines.max(1) as f64,
+            f(full.lambda),
+            f(nosec.lambda),
+            full.rounds_max,
+            nosec.rounds_max,
             f(full.msgs_avg),
             f(nosec.msgs_avg)
         ),

@@ -58,8 +58,10 @@ mod event;
 mod heal;
 mod healer;
 pub mod invariants;
+mod parallel;
 mod plan;
 mod planner;
+mod shard;
 mod stats;
 
 pub use batch::{BatchRepairPlan, BatchReport, BatchStage, BatchVictim};
@@ -73,6 +75,7 @@ pub use error::HealError;
 pub use event::Event;
 pub use heal::{Xheal, XhealBuilder};
 pub use healer::Healer;
+pub use parallel::ParallelXheal;
 pub use plan::{ApplyScratch, PlanAction, RepairPlan};
 pub use planner::RepairPlanner;
 pub use stats::{DeletionReport, HealCase, HealStats};

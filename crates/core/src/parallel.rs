@@ -1,0 +1,256 @@
+//! [`ParallelXheal`]: the component-parallel batch executor.
+//!
+//! Wraps a sequential [`Xheal`] plus a persistent [`WorkerPool`]. Insertions
+//! and single deletions delegate unchanged (they are already O(polylog)
+//! local); batch deletions fan the detach prologue out per affected cloud
+//! and the per-component healing out per dead component, speculating each
+//! component against the post-prologue planner snapshot and replaying the
+//! few that conflicted (see `shard.rs` for the store/footprint machinery).
+//!
+//! The parallel executor is *bit-identical* to sequential [`Xheal`] at every
+//! thread count: same topology fingerprints, same plans, same statistics,
+//! same [`crate::TopologyDelta`] stream — deltas are merged deterministically
+//! in repair order (ascending cloud color in the prologue, component order
+//! in phase 2) before they reach the graph or any sink.
+
+use xheal_graph::{CloudColor, CloudKind, Graph, NodeId};
+use xheal_pool::WorkerPool;
+
+use crate::batch::{BatchReport, BatchVictim};
+use crate::cloud::{Cloud, NodeState};
+use crate::config::XhealConfig;
+use crate::engine::{HealingEngine, Outcome, TopologyDelta, TopologySink};
+use crate::error::HealError;
+use crate::event::Event;
+use crate::heal::{Xheal, XhealBuilder};
+use crate::planner::RepairPlanner;
+use crate::stats::{DeletionReport, HealStats};
+
+/// A healing network whose batch repairs run component-parallel on a
+/// reusable worker pool, bit-identical to sequential [`Xheal`].
+///
+/// # Examples
+///
+/// ```
+/// use xheal_core::{ParallelXheal, Xheal, XhealConfig};
+/// use xheal_graph::{generators, NodeId};
+///
+/// let g0 = generators::cycle(64);
+/// let mut seq = Xheal::new(&g0, XhealConfig::new(4).with_seed(2));
+/// let mut par = ParallelXheal::new(&g0, XhealConfig::new(4).with_seed(2), 4);
+/// let victims: Vec<NodeId> = (0..8).map(|i| NodeId::new(i * 8)).collect();
+/// seq.heal_delete_batch(&victims)?;
+/// par.heal_delete_batch(&victims)?;
+/// assert!(seq.graph() == par.graph());
+/// # Ok::<(), xheal_core::HealError>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelXheal {
+    inner: Xheal,
+    pool: WorkerPool,
+}
+
+impl ParallelXheal {
+    /// Wraps `initial` with `threads` worker threads (clamped to at least 1).
+    pub fn new(initial: &Graph, config: XhealConfig, threads: usize) -> Self {
+        ParallelXheal {
+            inner: Xheal::new(initial, config),
+            pool: WorkerPool::new(threads),
+        }
+    }
+
+    /// Builds from an already-configured sequential engine (keeps its
+    /// sinks, planner state, and graph).
+    pub fn from_sequential(inner: Xheal, threads: usize) -> Self {
+        ParallelXheal {
+            inner,
+            pool: WorkerPool::new(threads),
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The wrapped sequential engine (read-only).
+    pub fn as_sequential(&self) -> &Xheal {
+        &self.inner
+    }
+
+    /// The healed network graph.
+    pub fn graph(&self) -> &Graph {
+        self.inner.graph()
+    }
+
+    /// The shared decision engine.
+    pub fn planner(&self) -> &RepairPlanner {
+        self.inner.planner()
+    }
+
+    /// Cumulative healing statistics.
+    pub fn stats(&self) -> &HealStats {
+        self.inner.stats()
+    }
+
+    /// All live cloud colors with their kinds, ascending.
+    pub fn cloud_colors(&self) -> Vec<(CloudColor, CloudKind)> {
+        self.inner.cloud_colors()
+    }
+
+    /// Read access to a cloud.
+    pub fn cloud(&self, color: CloudColor) -> Option<&Cloud> {
+        self.inner.cloud(color)
+    }
+
+    /// Read access to a node's membership state.
+    pub fn node_state(&self, v: NodeId) -> Option<&NodeState> {
+        self.inner.node_state(v)
+    }
+
+    /// Registers a [`TopologySink`].
+    pub fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
+        self.inner.subscribe(sink);
+    }
+
+    /// Handles an adversarial insertion (delegates to the sequential path —
+    /// insertions do no healing work).
+    pub fn heal_insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
+        self.inner.heal_insert(v, neighbors)
+    }
+
+    /// Heals a single deletion (delegates — one deletion is one component).
+    pub fn heal_delete(&mut self, v: NodeId) -> Result<DeletionReport, HealError> {
+        self.inner.heal_delete(v)
+    }
+
+    /// Heals the simultaneous deletion of `victims`, planning the detach
+    /// prologue and every dead component on the worker pool.
+    pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
+        let ctx = BatchVictim::capture(self.inner.graph(), victims)?;
+        let pool = &self.pool;
+        let (graph, planner, sinks, scratch) = self.inner.batch_parts();
+        for bv in &ctx {
+            let _ = graph.remove_node(bv.node);
+            if !sinks.is_empty() {
+                sinks.emit(TopologyDelta::NodeRemoved(bv.node));
+            }
+        }
+        let plan = planner.plan_batch_deletion_parallel(&ctx, pool);
+        plan.apply_streamed_with(graph, sinks, scratch);
+        Ok(plan.report)
+    }
+}
+
+impl HealingEngine for ParallelXheal {
+    fn name(&self) -> &'static str {
+        "xheal-par"
+    }
+
+    fn graph(&self) -> &Graph {
+        ParallelXheal::graph(self)
+    }
+
+    fn apply(&mut self, event: &Event) -> Result<Outcome, HealError> {
+        match event {
+            Event::Insert { node, neighbors } => {
+                self.heal_insert(*node, neighbors)?;
+                Ok(Outcome::Inserted)
+            }
+            Event::Delete { node } => Ok(Outcome::Healed {
+                report: self.heal_delete(*node)?,
+                cost: None,
+            }),
+            Event::DeleteBatch { nodes } => Ok(Outcome::Batch {
+                report: self.heal_delete_batch(nodes)?,
+                cost: None,
+            }),
+        }
+    }
+
+    fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
+        ParallelXheal::subscribe(self, sink);
+    }
+}
+
+impl XhealBuilder {
+    /// Wraps `initial` in a [`ParallelXheal`] with `threads` workers,
+    /// consuming the builder (keeps any registered sinks).
+    pub fn build_parallel(self, initial: &Graph, threads: usize) -> ParallelXheal {
+        ParallelXheal::from_sequential(self.build(initial), threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DeltaMirror;
+    use crate::invariants;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use xheal_graph::generators;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn run_schedule(engine: &mut dyn HealingEngine, rounds: u64) {
+        for round in 0..rounds {
+            // A scattered batch, an insert, and a single delete per round —
+            // exercises every event kind against colored state.
+            let victims: Vec<NodeId> = engine
+                .graph()
+                .nodes()
+                .filter(|v| (v.as_u64() + round) % 23 == 0)
+                .take(6)
+                .collect();
+            if victims.len() >= 2 {
+                engine
+                    .apply(&Event::DeleteBatch { nodes: victims })
+                    .unwrap();
+            }
+            let anchor = engine.graph().nodes().next().unwrap();
+            engine
+                .apply(&Event::Insert {
+                    node: n(10_000 + round),
+                    neighbors: vec![anchor],
+                })
+                .unwrap();
+            let lone = engine.graph().nodes().nth(3);
+            if let Some(v) = lone {
+                engine.apply(&Event::Delete { node: v }).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        let g0 = generators::random_regular(160, 6, &mut StdRng::seed_from_u64(11));
+        for threads in [1, 2, 4] {
+            let mut seq = Xheal::new(&g0, XhealConfig::new(4).with_seed(5));
+            let mut par = ParallelXheal::new(&g0, XhealConfig::new(4).with_seed(5), threads);
+            run_schedule(&mut seq, 8);
+            run_schedule(&mut par, 8);
+            assert!(seq.graph() == par.graph(), "threads={threads}");
+            assert_eq!(seq.cloud_colors(), par.cloud_colors());
+            assert_eq!(seq.stats(), par.stats());
+            invariants::check_invariants(par.as_sequential()).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_engine_streams_identical_deltas() {
+        let g0 = generators::random_regular(96, 6, &mut StdRng::seed_from_u64(3));
+        let mirror = Rc::new(RefCell::new(DeltaMirror::new(&g0)));
+        let mut par = Xheal::builder()
+            .kappa(4)
+            .seed(9)
+            .sink(Box::new(Rc::clone(&mirror)))
+            .build_parallel(&g0, 4);
+        let victims: Vec<NodeId> = (0..10).map(n).collect();
+        par.heal_delete_batch(&victims).unwrap();
+        assert!(par.graph() == mirror.borrow().graph());
+    }
+}

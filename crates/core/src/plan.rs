@@ -122,7 +122,7 @@ impl Clone for ApplyScratch {
 }
 
 /// One structural step of a repair.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PlanAction {
     /// Install a fresh expander cloud over `members`.
     BuildCloud {

@@ -9,19 +9,32 @@
 //! the LOCAL-model engine) apply those actions to their graph. Because every
 //! random draw happens inside the planner, two executors replaying the same
 //! schedule with the same seed make bit-identical topology changes.
+//!
+//! The healing cases themselves live in `shard.rs`, generic over a
+//! [`PlanStore`]; this planner is the *direct* store (zero-overhead
+//! pass-through). Batch deletions additionally use derived per-cloud /
+//! per-component RNG streams and reserved color windows (see `shard.rs`), so
+//! the sequential batch path and the component-parallel path
+//! ([`crate::ParallelXheal`]) make bit-identical decisions at every thread
+//! count.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng as _, SeedableRng};
 
 use xheal_expander::{EdgeDelta, MaintainedExpander};
 use xheal_graph::{CloudColor, CloudKind, EdgeLabels, FxHashMap, NodeId};
+use xheal_pool::WorkerPool;
 
 use crate::batch::{victim_components, BatchRepairPlan, BatchReport, BatchStage, BatchVictim};
 use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
 use crate::plan::{PlanAction, RepairPlan};
+use crate::shard::{
+    self, derive_seed, CompOutcome, CompShard, ComponentInput, PlanStore, EMPTY_FREE,
+    SEED_COMPONENT, SEED_DETACH,
+};
 use crate::stats::{DeletionReport, HealCase, HealStats};
 
 /// The shared decision engine of the centralized and distributed healers.
@@ -142,6 +155,12 @@ impl RepairPlanner {
         self.clouds.len()
     }
 
+    /// Read access to the reverse attachment index of one primary (for the
+    /// copy-on-write component shard).
+    pub(crate) fn base_attached(&self, p: CloudColor) -> Option<&BTreeMap<CloudColor, u32>> {
+        self.attached_to.get(&p)
+    }
+
     /// Invariant checks (I8, I9): the reverse attachment index holds exactly
     /// the bridge counts recomputable from the live secondary clouds, and
     /// the maintained color order is sorted and mirrors the registry keys.
@@ -221,7 +240,7 @@ impl RepairPlanner {
         let case = if state.is_cloudless() {
             // Case 1: all deleted edges are black.
             if black_nbrs.len() >= 2 {
-                self.create_primary_cloud(&black_nbrs);
+                shard::create_primary_cloud(self, &black_nbrs);
                 HealCase::AllBlack
             } else {
                 // Degree <= 1: "the deleted node is just dropped".
@@ -249,7 +268,8 @@ impl RepairPlanner {
     }
 
     // ------------------------------------------------------------------
-    // Case 2 machinery
+    // Case 2 machinery (the cases themselves live in shard.rs, generic
+    // over the store; this planner is the direct store)
     // ------------------------------------------------------------------
 
     fn plan_colored_deletion(
@@ -269,7 +289,7 @@ impl RepairPlanner {
         // Black neighbors become singleton primary clouds (Case 2 prose).
         let mut singletons: Vec<CloudColor> = Vec::new();
         for &w in black_nbrs {
-            singletons.push(self.create_primary_cloud(&[w]));
+            singletons.push(shard::create_primary_cloud(self, &[w]));
         }
 
         match state.secondary {
@@ -277,7 +297,7 @@ impl RepairPlanner {
                 // Case 2.1.
                 let mut group = alive_primaries;
                 group.extend(singletons);
-                self.make_secondary_among(&group);
+                shard::make_secondary_among(self, &group);
                 HealCase::PrimaryOnly
             }
             Some(f) => {
@@ -287,7 +307,7 @@ impl RepairPlanner {
                     .get_mut(&f)
                     .and_then(|cl| cl.attachments_mut().remove(&v));
                 if let Some(ci) = ci {
-                    self.attach_index_dec(ci, f);
+                    self.attach_dec(ci, f);
                 }
                 let f_emptied = self.remove_from_cloud(f, v);
                 let ci_alive = ci.filter(|c| self.clouds.contains_key(c));
@@ -295,7 +315,7 @@ impl RepairPlanner {
                     // F died with v; the ci side has no F component to join.
                     ci_alive
                 } else {
-                    self.fix_secondary(f, ci_alive)
+                    shard::fix_secondary(self, f, ci_alive)
                 };
 
                 // Clouds still connected through F need no new secondary.
@@ -317,229 +337,15 @@ impl RepairPlanner {
                         group.push(a);
                     }
                 }
-                self.make_secondary_among(&group);
+                shard::make_secondary_among(self, &group);
                 HealCase::Bridge
             }
         }
     }
 
-    /// FixSecondary (Algorithm 3.5): replace the deleted bridge of `ci` in
-    /// `f` with a fresh free node, borrowing or combining as needed. Returns
-    /// the cloud that anchors the `F`-side component (for the connectivity
-    /// fix), or `None` if that side dissolved entirely.
-    fn fix_secondary(&mut self, f: CloudColor, ci_alive: Option<CloudColor>) -> Option<CloudColor> {
-        let f_primaries: BTreeSet<CloudColor> = {
-            let cloud = self.clouds.get(&f).expect("caller checked f alive");
-            let mut p: BTreeSet<CloudColor> = cloud.attachments().values().copied().collect();
-            if let Some(ci) = ci_alive {
-                p.insert(ci);
-            }
-            p
-        };
-
-        if let Some(ci) = ci_alive {
-            // Prefer a free node of ci itself.
-            let mut pick: Option<(NodeId, bool)> = self.first_free_node_of(ci).map(|z| (z, false));
-            if pick.is_none() && !self.config.disable_sharing {
-                // Borrow from the other primaries of F (PickFreeNode's "ask
-                // neighbor clouds").
-                for &c in f_primaries.iter().filter(|&&c| c != ci) {
-                    if let Some(z) = self.first_free_node_of(c) {
-                        pick = Some((z, true));
-                        break;
-                    }
-                }
-            }
-            match pick {
-                Some((z, shared)) => {
-                    if shared {
-                        // Sharing adds z to ci itself.
-                        self.insert_into_cloud(ci, z);
-                        self.op_shares += 1;
-                    }
-                    self.insert_bridge(f, z, ci);
-                }
-                None => {
-                    // No free node anywhere among F's primaries: combine
-                    // them all into one primary cloud (F dissolves inside).
-                    return self.combine(&f_primaries);
-                }
-            }
-        }
-
-        // Vacuous secondary check: a secondary with <= 1 member connects
-        // nothing; dissolve it and report the survivor's primary as anchor.
-        let len = self.clouds.get(&f).map(Cloud::len).unwrap_or(0);
-        if len <= 1 {
-            let survivor_primary = self
-                .clouds
-                .get(&f)
-                .and_then(|cl| cl.attachments().values().next().copied());
-            self.delete_cloud(f);
-            return survivor_primary.filter(|c| self.clouds.contains_key(c));
-        }
-        ci_alive.or_else(|| {
-            self.clouds
-                .get(&f)
-                .and_then(|cl| cl.attachments().values().next().copied())
-                .filter(|c| self.clouds.contains_key(c))
-        })
-    }
-
-    /// MakeSecondary (Algorithm 3.4): connect one free node per cloud of
-    /// `group` into a fresh secondary cloud; combine if there are fewer free
-    /// nodes than clouds.
-    fn make_secondary_among(&mut self, group: &[CloudColor]) -> Option<CloudColor> {
-        // Deduplicate and keep only live, non-empty clouds.
-        let group: Vec<CloudColor> = {
-            let mut seen = BTreeSet::new();
-            group
-                .iter()
-                .copied()
-                .filter(|c| self.clouds.get(c).is_some_and(|cl| !cl.is_empty()))
-                .filter(|c| seen.insert(*c))
-                .collect()
-        };
-        if group.len() <= 1 {
-            return None;
-        }
-        if self.config.disable_secondary {
-            self.combine(&group.iter().copied().collect());
-            return None;
-        }
-
-        // Distinct representatives: maximum bipartite matching preferring
-        // each cloud's own members (over the incrementally maintained free
-        // sets — no membership scans), then sharing for any cloud left over.
-        let mut reps = {
-            let adjacency: Vec<&BTreeSet<NodeId>> =
-                group.iter().map(|&c| self.free_set_of(c)).collect();
-            match_representatives(&adjacency)
-        };
-        let deficit = reps.iter().any(Option::is_none);
-        let mut union_free: Vec<NodeId> = Vec::new();
-        if deficit {
-            // Materialize the free-node union (ascending) only when some
-            // cloud went unmatched — the slow path.
-            let u: BTreeSet<NodeId> = group
-                .iter()
-                .flat_map(|&c| self.free_set_of(c).iter().copied())
-                .collect();
-            if u.len() < group.len() {
-                // Fewer free nodes than clouds: combine (Case 2.1 prose).
-                self.combine(&group.iter().copied().collect());
-                return None;
-            }
-            if self.config.disable_sharing {
-                self.combine(&group.iter().copied().collect());
-                return None;
-            }
-            union_free = u.into_iter().collect();
-        }
-        let mut used: BTreeSet<NodeId> = reps.iter().flatten().copied().collect();
-        for (i, rep) in reps.iter_mut().enumerate() {
-            if rep.is_none() {
-                let z = union_free
-                    .iter()
-                    .copied()
-                    .find(|z| !used.contains(z))
-                    .expect("union_free.len() >= group.len() guarantees a spare");
-                used.insert(z);
-                // Sharing: the borrowed node joins the deficient cloud.
-                self.insert_into_cloud(group[i], z);
-                self.op_shares += 1;
-                *rep = Some(z);
-            }
-        }
-
-        let members: Vec<NodeId> = reps.iter().map(|r| r.expect("filled")).collect();
-        let f = self.create_cloud_raw(CloudKind::Secondary, &members);
-        for (i, &rep) in members.iter().enumerate() {
-            self.clouds
-                .get_mut(&f)
-                .expect("just created")
-                .attachments_mut()
-                .insert(rep, group[i]);
-            self.attach_index_inc(group[i], f);
-            self.nodes
-                .get_mut(&rep)
-                .expect("members are live")
-                .secondary = Some(f);
-            self.set_free_status(rep, false);
-        }
-        self.stats.secondaries_built += 1;
-        Some(f)
-    }
-
-    /// Combines a set of primary clouds into one fresh primary cloud
-    /// (the paper's expensive amortized operation).
-    ///
-    /// Secondary clouds all of whose attached primaries lie inside the set
-    /// are dissolved (their bridges become free again); secondaries that also
-    /// connect outside clouds have their attachments re-pointed at the new
-    /// combined cloud.
-    fn combine(&mut self, colors: &BTreeSet<CloudColor>) -> Option<CloudColor> {
-        self.op_combines += 1;
-        let mut all_nodes: BTreeSet<NodeId> = BTreeSet::new();
-        for c in colors {
-            if let Some(cl) = self.clouds.get(c) {
-                all_nodes.extend(cl.members().iter().copied());
-            }
-        }
-        if all_nodes.is_empty() {
-            return None;
-        }
-
-        // Delete the old primary clouds.
-        for &c in colors {
-            if self.clouds.contains_key(&c) {
-                self.delete_cloud(c);
-            }
-        }
-
-        // Handle secondaries referencing the combined primaries (found via
-        // the reverse attachment index — no registry scan).
-        let new_color = self.fresh_color();
-        let referencing = self.secondaries_attached_to(colors);
-        for fc in referencing {
-            let all_inside = self.clouds[&fc]
-                .attachments()
-                .values()
-                .all(|p| colors.contains(p));
-            if all_inside {
-                // Redundant: the combined cloud connects these directly.
-                self.delete_cloud(fc);
-            } else {
-                let cloud = self.clouds.get_mut(&fc).expect("live");
-                let mut old_targets: Vec<CloudColor> = Vec::new();
-                for target in cloud.attachments_mut().values_mut() {
-                    if colors.contains(target) {
-                        old_targets.push(*target);
-                        *target = new_color;
-                    }
-                }
-                for p in old_targets {
-                    self.attach_index_dec(p, fc);
-                    self.attach_index_inc(new_color, fc);
-                }
-            }
-        }
-
-        // Build the combined primary cloud.
-        let members: Vec<NodeId> = all_nodes.into_iter().collect();
-        self.create_cloud_with_color(new_color, CloudKind::Primary, &members);
-        Some(new_color)
-    }
-
     // ------------------------------------------------------------------
-    // Cloud registry primitives (every graph effect goes through `emit`)
+    // Cloud registry primitives
     // ------------------------------------------------------------------
-
-    fn fresh_color(&mut self) -> CloudColor {
-        let c = CloudColor::new(self.next_color);
-        self.next_color += 1;
-        c
-    }
 
     /// Registers a cloud, keeping `color_order` sorted. Colors allocate
     /// monotonically, so the common case is a push; `combine` can finish
@@ -548,6 +354,11 @@ impl RepairPlanner {
     fn registry_insert(&mut self, color: CloudColor, cloud: Cloud) {
         let prev = self.clouds.insert(color, cloud);
         debug_assert!(prev.is_none(), "color {color} registered twice");
+        self.register_color(color);
+    }
+
+    /// Maintains the sorted `color_order` list for a newly registered color.
+    fn register_color(&mut self, color: CloudColor) {
         match self.color_order.last() {
             Some(&last) if last >= color => {
                 if let Err(pos) = self.color_order.binary_search(&color) {
@@ -565,114 +376,6 @@ impl RepairPlanner {
             self.color_order.remove(pos);
         }
         Some(cloud)
-    }
-
-    fn emit(&mut self, action: PlanAction) {
-        let delta = action.delta();
-        self.op_added += delta.added.len();
-        self.op_removed += delta.removed.len();
-        self.actions.push(action);
-    }
-
-    /// Creates a primary cloud over `members` and registers memberships.
-    fn create_primary_cloud(&mut self, members: &[NodeId]) -> CloudColor {
-        let color = self.fresh_color();
-        self.create_cloud_with_color(color, CloudKind::Primary, members);
-        color
-    }
-
-    /// Creates a cloud (either kind) without setting secondary attachments.
-    fn create_cloud_raw(&mut self, kind: CloudKind, members: &[NodeId]) -> CloudColor {
-        let color = self.fresh_color();
-        self.create_cloud_with_color(color, kind, members);
-        color
-    }
-
-    fn create_cloud_with_color(&mut self, color: CloudColor, kind: CloudKind, members: &[NodeId]) {
-        let (expander, edges) = MaintainedExpander::new(members, self.config.kappa, &mut self.rng);
-        let delta = EdgeDelta {
-            added: edges,
-            removed: Vec::new(),
-        };
-        self.registry_insert(color, Cloud::new(kind, expander));
-        self.emit(PlanAction::BuildCloud {
-            color,
-            kind,
-            members: members.to_vec(),
-            delta,
-        });
-        if kind == CloudKind::Primary {
-            let mut free: Vec<NodeId> = Vec::with_capacity(members.len());
-            for &m in members {
-                let st = self.nodes.get_mut(&m).expect("members are live");
-                st.primaries.insert(color);
-                if st.is_free() {
-                    free.push(m);
-                }
-            }
-            self.clouds
-                .get_mut(&color)
-                .expect("just created")
-                .free_members_mut()
-                .extend(free);
-        }
-    }
-
-    /// Records one more bridge of secondary `f` targeting primary `p`.
-    fn attach_index_inc(&mut self, p: CloudColor, f: CloudColor) {
-        *self.attached_to.entry(p).or_default().entry(f).or_insert(0) += 1;
-    }
-
-    /// Removes one bridge of secondary `f` targeting primary `p`.
-    fn attach_index_dec(&mut self, p: CloudColor, f: CloudColor) {
-        let Some(m) = self.attached_to.get_mut(&p) else {
-            debug_assert!(false, "attachment index missing primary {p}");
-            return;
-        };
-        match m.get_mut(&f) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                m.remove(&f);
-                if m.is_empty() {
-                    self.attached_to.remove(&p);
-                }
-            }
-            None => debug_assert!(false, "attachment index missing ({p},{f})"),
-        }
-    }
-
-    /// The live secondary clouds with a bridge into any color of `colors`,
-    /// ascending (the set `combine` must dissolve or re-point).
-    fn secondaries_attached_to(&self, colors: &BTreeSet<CloudColor>) -> Vec<CloudColor> {
-        let mut out: BTreeSet<CloudColor> = BTreeSet::new();
-        for c in colors {
-            if let Some(m) = self.attached_to.get(c) {
-                out.extend(m.keys().copied());
-            }
-        }
-        out.into_iter()
-            .filter(|fc| self.clouds.contains_key(fc))
-            .collect()
-    }
-
-    /// Re-files `v` in the free-member sets of all of its primary clouds
-    /// after its secondary duty changed.
-    fn set_free_status(&mut self, v: NodeId, free: bool) {
-        let Some(st) = self.nodes.get(&v) else {
-            return;
-        };
-        // Membership lists are tiny (a node is in O(1) primaries); clone to
-        // release the borrow.
-        let primaries: Vec<CloudColor> = st.primaries.iter().copied().collect();
-        for c in primaries {
-            if let Some(cloud) = self.clouds.get_mut(&c) {
-                if free {
-                    cloud.free_members_mut().insert(v);
-                } else {
-                    cloud.free_members_mut().remove(&v);
-                }
-            }
-        }
     }
 
     /// Removes `v` from a cloud, returning `true` when the cloud emptied and
@@ -713,109 +416,13 @@ impl RepairPlanner {
         }
         if freed {
             // Losing its bridge duty makes v free again in its primaries.
-            self.set_free_status(v, true);
+            shard::set_free_status(self, v, true);
         }
         let emptied = self.clouds.get(&color).is_some_and(Cloud::is_empty);
         if emptied {
             self.registry_remove(color);
         }
         emptied
-    }
-
-    /// Adds a live node to a primary cloud (the sharing operation).
-    fn insert_into_cloud(&mut self, color: CloudColor, v: NodeId) {
-        let cloud = self.clouds.get_mut(&color).expect("cloud alive");
-        debug_assert_eq!(
-            cloud.kind(),
-            CloudKind::Primary,
-            "sharing targets primaries"
-        );
-        if cloud.expander().contains(v) {
-            return;
-        }
-        let delta = {
-            let rng = &mut self.rng;
-            cloud.expander_mut().insert(v, rng)
-        };
-        self.emit(PlanAction::ExtendCloud {
-            color,
-            node: v,
-            shared: true,
-            delta,
-        });
-        let st = self.nodes.get_mut(&v).expect("live node");
-        st.primaries.insert(color);
-        if st.is_free() {
-            self.clouds
-                .get_mut(&color)
-                .expect("cloud alive")
-                .free_members_mut()
-                .insert(v);
-        }
-    }
-
-    /// Inserts `z` into secondary `f` as the bridge for primary `ci`.
-    fn insert_bridge(&mut self, f: CloudColor, z: NodeId, ci: CloudColor) {
-        let cloud = self.clouds.get_mut(&f).expect("secondary alive");
-        let delta = {
-            let rng = &mut self.rng;
-            cloud.expander_mut().insert(z, rng)
-        };
-        self.emit(PlanAction::ExtendCloud {
-            color: f,
-            node: z,
-            shared: false,
-            delta,
-        });
-        let replaced = self
-            .clouds
-            .get_mut(&f)
-            .expect("secondary alive")
-            .attachments_mut()
-            .insert(z, ci);
-        debug_assert!(replaced.is_none(), "bridge {z} already attached in {f}");
-        self.attach_index_inc(ci, f);
-        self.nodes.get_mut(&z).expect("live node").secondary = Some(f);
-        self.set_free_status(z, false);
-    }
-
-    /// Deletes a cloud entirely: strips its edges and clears memberships.
-    fn delete_cloud(&mut self, color: CloudColor) {
-        let Some(cloud) = self.registry_remove(color) else {
-            return;
-        };
-        if cloud.kind() == CloudKind::Secondary {
-            for &p in cloud.attachments().values() {
-                self.attach_index_dec(p, color);
-            }
-        }
-        let edges: Vec<(NodeId, NodeId)> = cloud.expander().edges().to_vec();
-        self.emit(PlanAction::DissolveCloud {
-            color,
-            delta: EdgeDelta {
-                added: Vec::new(),
-                removed: edges,
-            },
-        });
-        for &m in cloud.members() {
-            let mut freed = false;
-            if let Some(st) = self.nodes.get_mut(&m) {
-                match cloud.kind() {
-                    CloudKind::Primary => {
-                        st.primaries.remove(&color);
-                    }
-                    CloudKind::Secondary => {
-                        if st.secondary == Some(color) {
-                            st.secondary = None;
-                            freed = true;
-                        }
-                    }
-                }
-            }
-            if freed {
-                self.set_free_status(m, true);
-            }
-        }
     }
 
     fn reset_op_counters(&mut self) {
@@ -832,22 +439,6 @@ impl RepairPlanner {
         self.stats.combines += self.op_combines;
     }
 
-    /// The incrementally maintained free-node set of a cloud, ascending
-    /// (empty set for dead clouds).
-    fn free_set_of(&self, color: CloudColor) -> &BTreeSet<NodeId> {
-        static EMPTY: BTreeSet<NodeId> = BTreeSet::new();
-        self.clouds
-            .get(&color)
-            .map(Cloud::free_members)
-            .unwrap_or(&EMPTY)
-    }
-
-    /// The smallest free node of a cloud — O(log n) off the maintained set
-    /// (the FixSecondary hot path only ever takes the first).
-    fn first_free_node_of(&self, color: CloudColor) -> Option<NodeId> {
-        self.free_set_of(color).first().copied()
-    }
-
     // ------------------------------------------------------------------
     // Batch (multi-node) deletion — the decisions of `heal_delete_batch`
     // and the distributed `delete_batch` (see batch.rs for the model).
@@ -862,15 +453,34 @@ impl RepairPlanner {
     /// state; the caller must apply the returned plan to its graph to stay
     /// consistent.
     pub fn plan_batch_deletion(&mut self, ctx: &[BatchVictim]) -> BatchRepairPlan {
+        self.plan_batch_in(ctx, None)
+    }
+
+    /// [`RepairPlanner::plan_batch_deletion`] with the detach prologue and
+    /// per-component healing fanned out over `pool`. Bit-identical to the
+    /// sequential path at every thread count (both draw per-cloud /
+    /// per-component derived RNG streams and allocate colors from reserved
+    /// windows; speculative components that touched state an earlier
+    /// component changed are replayed in component order).
+    pub(crate) fn plan_batch_deletion_parallel(
+        &mut self,
+        ctx: &[BatchVictim],
+        pool: &WorkerPool,
+    ) -> BatchRepairPlan {
+        self.plan_batch_in(ctx, Some(pool))
+    }
+
+    fn plan_batch_in(&mut self, ctx: &[BatchVictim], pool: Option<&WorkerPool>) -> BatchRepairPlan {
         self.reset_op_counters();
         self.actions.clear();
         let secondaries_before = self.stats.secondaries_built;
+        // One master draw; everything else derives from it, so the repair
+        // streams of distinct clouds/components are independent of execution
+        // interleaving.
+        let batch_seed = self.rng.next_u64();
 
-        // Prologue: remove every victim from every cloud (FixPrimary / the
-        // structural part of FixSecondary), remembering which secondary lost
-        // which bridge. Victims are grouped by cloud so each cloud is
-        // repaired once, with a net edge delta that never references a dead
-        // member.
+        // Phase 0: victim states, lost bridges, and the by-cloud grouping —
+        // pure bookkeeping, no RNG, no plan actions.
         let mut states: BTreeMap<NodeId, NodeState> = BTreeMap::new();
         for bv in ctx {
             states.insert(bv.node, self.nodes.remove(&bv.node).unwrap_or_default());
@@ -887,57 +497,114 @@ impl RepairPlanner {
                 by_cloud.entry(f).or_default().push(v);
             }
         }
-        for (c, vs) in &by_cloud {
-            self.detach_many(*c, vs);
+
+        // Phase 1 (detach prologue): remove every victim from every cloud
+        // (FixPrimary / the structural part of FixSecondary). Each affected
+        // cloud is an independent task with its own derived RNG; the
+        // parallel path merges results back in ascending color order, so the
+        // emitted prologue is identical either way.
+        match pool {
+            None => {
+                for (&c, vs) in &by_cloud {
+                    self.detach_one(c, vs, batch_seed);
+                }
+            }
+            Some(pool) => self.detach_parallel(&by_cloud, batch_seed, pool),
         }
         // Stage boundaries inside the flat action buffer: prologue end,
         // then one checkpoint per component.
         let mut checkpoints: Vec<usize> = vec![self.actions.len()];
 
-        // Per dead component: run the healing cases on the merged state.
+        // Phase 2: per dead component, run the healing cases on the merged
+        // state. Components draw from derived RNG streams and allocate
+        // colors inside reserved windows (prefix sums of a per-component
+        // bound), so their decisions do not depend on who ran first — only
+        // on what state they *touched*, which the parallel path tracks.
         let components = victim_components(ctx);
         let boundary_of: BTreeMap<NodeId, &[NodeId]> = ctx
             .iter()
             .map(|bv| (bv.node, bv.black_boundary.as_slice()))
             .collect();
-        for comp in &components {
-            // Union of the component's primary clouds and live boundary.
-            let mut primaries: BTreeSet<CloudColor> = BTreeSet::new();
-            let mut boundary: BTreeSet<NodeId> = BTreeSet::new();
-            for &v in comp {
-                primaries.extend(states[&v].primaries.iter().copied());
-                boundary.extend(boundary_of[&v].iter().copied());
-            }
-            let alive: Vec<CloudColor> = primaries
-                .into_iter()
-                .filter(|c| self.clouds.contains_key(c))
-                .collect();
+        let inputs: Vec<ComponentInput> = components
+            .iter()
+            .map(|comp| {
+                let mut primaries: BTreeSet<CloudColor> = BTreeSet::new();
+                let mut boundary: BTreeSet<NodeId> = BTreeSet::new();
+                for &v in comp {
+                    primaries.extend(states[&v].primaries.iter().copied());
+                    boundary.extend(boundary_of[&v].iter().copied());
+                }
+                let comp_set: BTreeSet<NodeId> = comp.iter().copied().collect();
+                let bridges: Vec<(CloudColor, Option<CloudColor>)> = lost_bridges
+                    .iter()
+                    .filter(|(v, _, _)| comp_set.contains(v))
+                    .map(|&(_, f, ci)| (f, ci))
+                    .collect();
+                ComponentInput {
+                    primaries,
+                    boundary,
+                    bridges,
+                }
+            })
+            .collect();
+        let phase2_base = self.next_color;
+        let mut bases: Vec<u64> = Vec::with_capacity(inputs.len());
+        let mut acc = phase2_base;
+        for input in &inputs {
+            bases.push(acc);
+            acc += input.color_bound();
+        }
+        let color_end = acc;
 
-            // Replace each lost bridge of this component (Case 2.2 fixes),
-            // collecting anchors that must join the new secondary group.
-            let comp_set: BTreeSet<NodeId> = comp.iter().copied().collect();
-            let mut anchors: Vec<CloudColor> = Vec::new();
-            for &(_, f, ci) in lost_bridges.iter().filter(|(v, _, _)| comp_set.contains(v)) {
-                let ci_alive = ci.filter(|c| self.clouds.contains_key(c));
-                if self.clouds.contains_key(&f) {
-                    if let Some(anchor) = self.fix_secondary(f, ci_alive) {
-                        anchors.push(anchor);
-                    }
-                } else if let Some(a) = ci_alive {
-                    anchors.push(a);
+        match pool {
+            None => {
+                for (i, input) in inputs.iter().enumerate() {
+                    let derived =
+                        StdRng::seed_from_u64(derive_seed(batch_seed, SEED_COMPONENT, i as u64));
+                    let saved = std::mem::replace(&mut self.rng, derived);
+                    self.next_color = bases[i];
+                    shard::heal_component(self, input);
+                    assert!(
+                        self.next_color <= bases[i] + input.color_bound(),
+                        "component overran its color namespace"
+                    );
+                    self.rng = saved;
+                    checkpoints.push(self.actions.len());
                 }
             }
-
-            // Boundary nodes become singleton primary clouds; connect
-            // everything with one secondary cloud (or combine).
-            let mut group: Vec<CloudColor> = alive;
-            for &w in &boundary {
-                group.push(self.create_primary_cloud(&[w]));
+            Some(pool) => {
+                let mut slots = self.speculate_components(&inputs, &bases, batch_seed, pool);
+                // Commit in component order. A speculative outcome whose
+                // footprint is disjoint from everything committed so far saw
+                // exactly the state a sequential replay would have seen, so
+                // it commits verbatim; otherwise replay it here against the
+                // current state (the replayed footprint joins the fence like
+                // any other, keeping later checks sound).
+                let mut fence_colors: BTreeSet<CloudColor> = BTreeSet::new();
+                let mut fence_nodes: BTreeSet<NodeId> = BTreeSet::new();
+                for (i, input) in inputs.iter().enumerate() {
+                    let speculative = slots[i].take();
+                    let outcome = match speculative {
+                        Some(o) if !o.conflicts_with(&fence_colors, &fence_nodes) => o,
+                        _ => {
+                            let mut replay = CompShard::new(
+                                &*self,
+                                derive_seed(batch_seed, SEED_COMPONENT, i as u64),
+                                bases[i],
+                                input.color_bound(),
+                            );
+                            shard::heal_component(&mut replay, input);
+                            replay.into_outcome()
+                        }
+                    };
+                    fence_colors.extend(outcome.touched_colors.iter().copied());
+                    fence_nodes.extend(outcome.touched_nodes.iter().copied());
+                    self.commit_component(outcome);
+                    checkpoints.push(self.actions.len());
+                }
             }
-            group.extend(anchors);
-            self.make_secondary_among(&group);
-            checkpoints.push(self.actions.len());
         }
+        self.next_color = color_end;
 
         self.stats.deletions += ctx.len();
         self.stats.black_degree_sum += ctx.iter().map(|bv| bv.black_boundary.len()).sum::<usize>();
@@ -972,38 +639,135 @@ impl RepairPlanner {
         BatchRepairPlan { stages, report }
     }
 
-    /// Detaches several (already graph-removed) victims from one cloud,
-    /// applying only the *net* edge delta — intermediate expander rebuilds
-    /// may transiently reference other still-registered victims, but the
-    /// final edge set only spans live members.
-    fn detach_many(&mut self, color: CloudColor, victims: &[NodeId]) {
-        let Some(cloud) = self.clouds.get_mut(&color) else {
+    /// Detaches the victims of one cloud sequentially (same derived RNG the
+    /// parallel path uses).
+    fn detach_one(&mut self, color: CloudColor, victims: &[NodeId], batch_seed: u64) {
+        let Some(mut cloud) = self.clouds.remove(&color) else {
             return;
         };
-        let before = cloud.expander().edges().to_vec();
-        let mut any = false;
-        let mut detached = Vec::new();
-        for &v in victims {
-            if cloud.expander().contains(v) {
-                let _ = cloud.expander_mut().remove(v, &mut self.rng);
-                cloud.free_members_mut().remove(&v);
-                any = true;
-                detached.push(v);
+        let mut rng = StdRng::seed_from_u64(derive_seed(batch_seed, SEED_DETACH, color.as_u64()));
+        let (action, emptied) = detach_cloud(color, &mut cloud, victims, &mut rng);
+        self.finish_detach(color, cloud, action, emptied);
+    }
+
+    /// Fans the per-cloud detach tasks out over `pool`, merging results back
+    /// in ascending color order. Clouds are moved out of the registry for
+    /// the duration, so tasks share nothing.
+    fn detach_parallel(
+        &mut self,
+        by_cloud: &BTreeMap<CloudColor, Vec<NodeId>>,
+        batch_seed: u64,
+        pool: &WorkerPool,
+    ) {
+        let mut tasks: Vec<(CloudColor, Cloud, &[NodeId])> = Vec::with_capacity(by_cloud.len());
+        for (&c, vs) in by_cloud {
+            if let Some(cloud) = self.clouds.remove(&c) {
+                tasks.push((c, cloud, vs.as_slice()));
             }
         }
-        if any {
-            // Both snapshots are sorted, so the net delta is one merge walk
-            // (same ascending order the former set-difference produced).
-            let delta = EdgeDelta::between(&before, cloud.expander().edges());
-            self.emit(PlanAction::PatchCloud {
-                color,
-                removed: detached,
-                delta,
-            });
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.scope(|scope| {
+            for (i, (c, mut cloud, vs)) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                let seed = derive_seed(batch_seed, SEED_DETACH, c.as_u64());
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let (action, emptied) = detach_cloud(c, &mut cloud, vs, &mut rng);
+                    let _ = tx.send((i, c, cloud, action, emptied));
+                });
+            }
+        });
+        drop(tx);
+        let mut results: Vec<(usize, CloudColor, Cloud, Option<PlanAction>, bool)> =
+            rx.try_iter().collect();
+        results.sort_unstable_by_key(|r| r.0);
+        for (_, c, cloud, action, emptied) in results {
+            self.finish_detach(c, cloud, action, emptied);
         }
-        if self.clouds.get(&color).is_some_and(Cloud::is_empty) {
-            self.registry_remove(color);
+    }
+
+    /// Reinstates (or retires) a detached cloud and records its net patch.
+    fn finish_detach(
+        &mut self,
+        color: CloudColor,
+        cloud: Cloud,
+        action: Option<PlanAction>,
+        emptied: bool,
+    ) {
+        if let Some(action) = action {
+            self.emit(action);
         }
+        if emptied {
+            if let Ok(pos) = self.color_order.binary_search(&color) {
+                self.color_order.remove(pos);
+            }
+        } else {
+            self.clouds.insert(color, cloud);
+        }
+    }
+
+    /// Runs every component speculatively against the current (post-detach)
+    /// state, returning outcomes indexed by component.
+    fn speculate_components(
+        &self,
+        inputs: &[ComponentInput],
+        bases: &[u64],
+        batch_seed: u64,
+        pool: &WorkerPool,
+    ) -> Vec<Option<CompOutcome>> {
+        let mut slots: Vec<Option<CompOutcome>> = Vec::with_capacity(inputs.len());
+        slots.resize_with(inputs.len(), || None);
+        let base: &RepairPlanner = self;
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.scope(|scope| {
+            for (i, input) in inputs.iter().enumerate() {
+                let tx = tx.clone();
+                let seed = derive_seed(batch_seed, SEED_COMPONENT, i as u64);
+                let color_base = bases[i];
+                scope.spawn(move || {
+                    let mut sh = CompShard::new(base, seed, color_base, input.color_bound());
+                    shard::heal_component(&mut sh, input);
+                    let _ = tx.send((i, sh.into_outcome()));
+                });
+            }
+        });
+        drop(tx);
+        for (i, outcome) in rx.try_iter() {
+            slots[i] = Some(outcome);
+        }
+        slots
+    }
+
+    /// Applies one component's overlay outcome to the planner in one pass.
+    fn commit_component(&mut self, outcome: CompOutcome) {
+        for (c, entry) in outcome.clouds {
+            match entry {
+                None => {
+                    self.registry_remove(c);
+                }
+                Some(cloud) => {
+                    if self.clouds.insert(c, cloud).is_none() {
+                        self.register_color(c);
+                    }
+                }
+            }
+        }
+        for (v, st) in outcome.nodes {
+            self.nodes.insert(v, st);
+        }
+        for (p, m) in outcome.attached {
+            if m.is_empty() {
+                self.attached_to.remove(&p);
+            } else {
+                self.attached_to.insert(p, m);
+            }
+        }
+        self.actions.extend(outcome.actions);
+        self.op_added += outcome.op_added;
+        self.op_removed += outcome.op_removed;
+        self.op_shares += outcome.op_shares;
+        self.op_combines += outcome.op_combines;
+        self.stats.secondaries_built += outcome.secondaries_built;
     }
 
     /// Removes the attachment entry of a deleted bridge, returning the
@@ -1014,9 +778,155 @@ impl RepairPlanner {
             .get_mut(&f)
             .and_then(|cl| cl.attachments_mut().remove(&v));
         if let Some(ci) = ci {
-            self.attach_index_dec(ci, f);
+            self.attach_dec(ci, f);
         }
         ci
+    }
+}
+
+/// Detaches several (already graph-removed) victims from one cloud, applying
+/// only the *net* edge delta — intermediate expander rebuilds may transiently
+/// reference other still-registered victims, but the final edge set only
+/// spans live members. Pure in the cloud + RNG, so the parallel prologue can
+/// run it shared-nothing.
+fn detach_cloud(
+    color: CloudColor,
+    cloud: &mut Cloud,
+    victims: &[NodeId],
+    rng: &mut StdRng,
+) -> (Option<PlanAction>, bool) {
+    let before = cloud.expander().edges().to_vec();
+    let mut detached = Vec::new();
+    for &v in victims {
+        if cloud.expander().contains(v) {
+            let _ = cloud.expander_mut().remove(v, rng);
+            cloud.free_members_mut().remove(&v);
+            detached.push(v);
+        }
+    }
+    if detached.is_empty() {
+        return (None, cloud.is_empty());
+    }
+    // Both snapshots are sorted, so the net delta is one merge walk (same
+    // ascending order the former set-difference produced).
+    let delta = EdgeDelta::between(&before, cloud.expander().edges());
+    (
+        Some(PlanAction::PatchCloud {
+            color,
+            removed: detached,
+            delta,
+        }),
+        cloud.is_empty(),
+    )
+}
+
+/// The direct store: the planner itself, with zero indirection overhead.
+/// Reads record nothing (there is no speculation to conflict with) and
+/// writes go straight to the registry.
+impl PlanStore for RepairPlanner {
+    fn config(&self) -> &XhealConfig {
+        &self.config
+    }
+
+    fn contains_cloud(&mut self, c: CloudColor) -> bool {
+        self.clouds.contains_key(&c)
+    }
+
+    fn cloud_ref(&mut self, c: CloudColor) -> Option<&Cloud> {
+        self.clouds.get(&c)
+    }
+
+    fn cloud_mut(&mut self, c: CloudColor) -> Option<&mut Cloud> {
+        self.clouds.get_mut(&c)
+    }
+
+    fn insert_cloud(&mut self, c: CloudColor, cloud: Cloud) {
+        self.registry_insert(c, cloud);
+    }
+
+    fn remove_cloud(&mut self, c: CloudColor) -> Option<Cloud> {
+        self.registry_remove(c)
+    }
+
+    fn node_ref(&mut self, v: NodeId) -> Option<&NodeState> {
+        self.nodes.get(&v)
+    }
+
+    fn node_mut(&mut self, v: NodeId) -> Option<&mut NodeState> {
+        self.nodes.get_mut(&v)
+    }
+
+    fn attach_inc(&mut self, p: CloudColor, f: CloudColor) {
+        *self.attached_to.entry(p).or_default().entry(f).or_insert(0) += 1;
+    }
+
+    fn attach_dec(&mut self, p: CloudColor, f: CloudColor) {
+        let Some(m) = self.attached_to.get_mut(&p) else {
+            debug_assert!(false, "attachment index missing primary {p}");
+            return;
+        };
+        match m.get_mut(&f) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                m.remove(&f);
+                if m.is_empty() {
+                    self.attached_to.remove(&p);
+                }
+            }
+            None => debug_assert!(false, "attachment index missing ({p},{f})"),
+        }
+    }
+
+    fn attached_secondaries_into(&mut self, p: CloudColor, out: &mut BTreeSet<CloudColor>) {
+        if let Some(m) = self.attached_to.get(&p) {
+            out.extend(m.keys().copied());
+        }
+    }
+
+    fn fresh_color(&mut self) -> CloudColor {
+        let c = CloudColor::new(self.next_color);
+        self.next_color += 1;
+        c
+    }
+
+    fn build_expander(
+        &mut self,
+        members: &[NodeId],
+    ) -> (MaintainedExpander, Vec<(NodeId, NodeId)>) {
+        MaintainedExpander::new(members, self.config.kappa, &mut self.rng)
+    }
+
+    fn expander_insert(&mut self, c: CloudColor, v: NodeId) -> EdgeDelta {
+        let cloud = self.clouds.get_mut(&c).expect("cloud alive");
+        cloud.expander_mut().insert(v, &mut self.rng)
+    }
+
+    fn prepare_free_reads(&mut self, _colors: &[CloudColor]) {}
+
+    fn free_set(&self, c: CloudColor) -> &BTreeSet<NodeId> {
+        self.clouds
+            .get(&c)
+            .map(Cloud::free_members)
+            .unwrap_or(&EMPTY_FREE)
+    }
+
+    fn emit(&mut self, action: PlanAction) {
+        let delta = action.delta();
+        self.op_added += delta.added.len();
+        self.op_removed += delta.removed.len();
+        self.actions.push(action);
+    }
+
+    fn note_share(&mut self) {
+        self.op_shares += 1;
+    }
+
+    fn note_combine(&mut self) {
+        self.op_combines += 1;
+    }
+
+    fn note_secondary_built(&mut self) {
+        self.stats.secondaries_built += 1;
     }
 }
 
@@ -1027,7 +937,7 @@ impl RepairPlanner {
 /// common case (every cloud has an unclaimed free node early in its set) only
 /// the first few candidates are ever visited, so huge combined clouds cost
 /// nothing here.
-fn match_representatives(adjacency: &[&BTreeSet<NodeId>]) -> Vec<Option<NodeId>> {
+pub(crate) fn match_representatives(adjacency: &[&BTreeSet<NodeId>]) -> Vec<Option<NodeId>> {
     let mut owner: BTreeMap<NodeId, usize> = BTreeMap::new();
 
     fn try_assign(
@@ -1118,5 +1028,53 @@ mod tests {
         let plan = planner.plan_deletion(n(0), &incident, 1);
         assert_eq!(plan.case(), HealCase::Dropped);
         assert!(plan.actions.is_empty());
+    }
+
+    #[test]
+    fn derive_seed_separates_tags_and_keys() {
+        let s = 0xDEAD_BEEF_u64;
+        let a = derive_seed(s, SEED_DETACH, 0);
+        let b = derive_seed(s, SEED_DETACH, 1);
+        let c = derive_seed(s, SEED_COMPONENT, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(s, SEED_DETACH, 0), "pure function");
+    }
+
+    #[test]
+    fn parallel_batch_plan_matches_sequential() {
+        use xheal_graph::generators;
+        let mut gen_rng = StdRng::seed_from_u64(7);
+        let g = generators::erdos_renyi(200, 0.04, &mut gen_rng);
+        let mut seq = RepairPlanner::new(g.nodes(), XhealConfig::new(4).with_seed(3));
+        let mut par = seq.clone();
+        let pool = WorkerPool::new(4);
+
+        // A few rounds so later batches hit colored state.
+        let mut graph_a = g.clone();
+        let mut graph_b = g.clone();
+        for round in 0..6 {
+            let victims: Vec<NodeId> = graph_a
+                .nodes()
+                .filter(|v| (v.as_u64() + round) % 17 == 0)
+                .take(8)
+                .collect();
+            let ctx = BatchVictim::capture(&graph_a, &victims).unwrap();
+            for &v in &victims {
+                let _ = graph_a.remove_node(v);
+                let _ = graph_b.remove_node(v);
+            }
+            let plan_seq = seq.plan_batch_deletion(&ctx);
+            let plan_par = par.plan_batch_deletion_parallel(&ctx, &pool);
+            assert_eq!(plan_seq.stages.len(), plan_par.stages.len());
+            for (a, b) in plan_seq.stages.iter().zip(plan_par.stages.iter()) {
+                assert_eq!(a.component, b.component);
+                assert_eq!(a.actions, b.actions);
+            }
+            plan_seq.apply_to(&mut graph_a);
+            plan_par.apply_to(&mut graph_b);
+        }
+        assert_eq!(seq.cloud_colors(), par.cloud_colors());
+        assert_eq!(seq.stats(), par.stats());
     }
 }

@@ -70,6 +70,14 @@ impl BaselineGraph {
         self.adj.keys().copied().collect()
     }
 
+    /// Order-sensitive hash over the full [`BaselineGraph::edges`]
+    /// enumeration — same fold, same order as
+    /// [`crate::Graph::edge_fingerprint`], so equal fingerprints across
+    /// representations mean bit-identical topologies.
+    pub fn edge_fingerprint(&self) -> u64 {
+        crate::graph::fingerprint_edges(self.edges())
+    }
+
     /// Iterator over all undirected edges as `(u, v, labels)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &EdgeLabels)> + '_ {
         self.adj.iter().flat_map(|(&u, nbrs)| {

@@ -510,6 +510,30 @@ impl Clone for Graph {
     }
 }
 
+/// One step of the order-sensitive edge-fingerprint fold.
+fn fold_hash(h: u64, x: u64) -> u64 {
+    (h.rotate_left(5) ^ x).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Order-sensitive fold hash over an `edges()`-style enumeration. Shared by
+/// [`Graph::edge_fingerprint`] and the seed representation's equivalent so
+/// the two backends produce comparable witnesses.
+pub(crate) fn fingerprint_edges<'a, I>(edges: I) -> u64
+where
+    I: Iterator<Item = (NodeId, NodeId, &'a EdgeLabels)>,
+{
+    let mut h = 0u64;
+    for (u, v, l) in edges {
+        h = fold_hash(h, u.as_u64());
+        h = fold_hash(h, v.as_u64());
+        h = fold_hash(h, u64::from(l.is_black()));
+        for c in l.colors() {
+            h = fold_hash(h, c.as_u64());
+        }
+    }
+    h
+}
+
 impl PartialEq for Graph {
     /// Semantic equality: same node set, same edges, same labels. Arena
     /// layout (slot numbers, free-list history) is intentionally ignored so
@@ -631,6 +655,16 @@ impl Graph {
                 .filter(move |n| u < n.id)
                 .map(move |n| (u, n.id, &n.labels))
         })
+    }
+
+    /// Order-sensitive hash over the full [`Graph::edges`] enumeration
+    /// (endpoints, black flag, cloud colors): equal fingerprints mean
+    /// identical topology *and* identical iteration order. This is the
+    /// determinism witness used by the bench harness and the parallel
+    /// executor's cross-validation — the seed representation computes the
+    /// same value over the same enumeration order.
+    pub fn edge_fingerprint(&self) -> u64 {
+        fingerprint_edges(self.edges())
     }
 
     /// Degree of `v` (number of incident edges of any label), if present.

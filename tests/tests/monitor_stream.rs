@@ -1,8 +1,9 @@
 //! The monitor's consistency proof: an [`IncrementalCsr`] patched purely
 //! from the [`TopologyDelta`] stream equals `Graph::csr_view()` — after
 //! **every** event, under arbitrary mixed insert/delete/batch churn, for
-//! the centralized executor and both distributed engines, including a
-//! subscription that starts mid-run. The companion property pins the
+//! the centralized executor, both distributed engines, and the
+//! component-parallel executor, including a subscription that starts
+//! mid-run. The companion property pins the
 //! monitor's O(1)-maintained degree histograms and degree-increase metric
 //! against from-scratch recounts on the same schedule.
 
@@ -58,7 +59,7 @@ fn engine_with_monitor(
                 .sink(mon_sink)
                 .build(g0),
         ),
-        _ => Box::new(
+        2 => Box::new(
             DistXheal::builder()
                 .config(cfg)
                 .sink(csr_sink)
@@ -69,6 +70,16 @@ fn engine_with_monitor(
                     AsyncConfig::uniform(1, 3, 29).with_jitter(1),
                 ))
                 .build(g0),
+        ),
+        // Component-parallel batches: the merged per-component delta
+        // streams arrive in repair-seq order, so the monitor's batch
+        // bracket sees the same sequence as the sequential engine's.
+        _ => Box::new(
+            Xheal::builder()
+                .config(cfg)
+                .sink(csr_sink)
+                .sink(mon_sink)
+                .build_parallel(g0, 2),
         ),
     };
     (engine, csr, monitor)
@@ -129,7 +140,7 @@ proptest! {
         );
         let cfg = XhealConfig::new(4).with_seed(seed ^ 0xCAFE);
 
-        for kind in 0..3usize {
+        for kind in 0..4usize {
             let (mut engine, csr, monitor) = engine_with_monitor(kind, &g0, cfg.clone());
             let mut adv_rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
             let mut next_id = 10_000u64;

@@ -1,0 +1,223 @@
+//! The component-parallel executor's determinism proof: `ParallelXheal`
+//! is bit-identical to sequential `Xheal` — same graph, same cloud
+//! registry, same statistics, same `TopologyDelta` stream — at every
+//! thread count, under arbitrary mixed insert/delete/batch churn and under
+//! conflict-heavy clustered outages, plus the worker pool's poisoned-scope
+//! contract (a panicking component planner propagates; the engine's pool
+//! is not wedged for unrelated callers).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use xheal_core::{
+    invariants, DeltaMirror, Event, HealingEngine, ParallelXheal, Xheal, XhealConfig,
+};
+use xheal_graph::{generators, Graph, NodeId};
+use xheal_pool::WorkerPool;
+use xheal_workload::{bfs_rack, run, BurstDeletions};
+
+/// The thread counts every property is pinned at. 1 exercises the
+/// speculation/commit machinery with no actual concurrency; 8 oversubscribes
+/// any CI host, forcing heavy interleaving of component tasks.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One adversary move: mixed inserts, single deletions, and batches big
+/// enough to split into several dead components.
+fn next_event(graph: &Graph, rng: &mut StdRng, next_id: &mut u64) -> Event {
+    let nodes = graph.node_vec();
+    let roll = rng.random_range(0..5u32);
+    if nodes.len() < 12 || roll == 0 {
+        let node = NodeId::new(*next_id);
+        *next_id += 1;
+        let wanted = rng.random_range(1..=3usize.min(nodes.len()));
+        let mut neighbors = Vec::with_capacity(wanted);
+        for _ in 0..wanted {
+            neighbors.push(nodes[rng.random_range(0..nodes.len())]);
+        }
+        neighbors.dedup();
+        Event::Insert { node, neighbors }
+    } else if roll < 3 {
+        Event::Delete {
+            node: nodes[rng.random_range(0..nodes.len())],
+        }
+    } else {
+        let mut victims: Vec<NodeId> = Vec::new();
+        for _ in 0..rng.random_range(3..=8usize) {
+            let v = nodes[rng.random_range(0..nodes.len())];
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        Event::DeleteBatch { nodes: victims }
+    }
+}
+
+/// Drives the sequential engine through `steps` events, recording the
+/// schedule for bit-exact replay against the parallel engines.
+fn record_schedule(net: &mut Xheal, seed: u64, steps: usize) -> Vec<Event> {
+    let mut adv_rng = StdRng::seed_from_u64(seed);
+    let mut next_id = 10_000u64;
+    let mut events = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let event = next_event(net.graph(), &mut adv_rng, &mut next_id);
+        net.apply(&event).expect("recorded event is valid");
+        events.push(event);
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Graph, fingerprint, cloud registry, statistics, and mirrored delta
+    /// stream all bit-identical to sequential at every thread count.
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts(
+        seed in any::<u64>(),
+        n in 16usize..40,
+        steps in 10usize..26,
+    ) {
+        let g0 = generators::connected_erdos_renyi(
+            n,
+            0.15,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let cfg = XhealConfig::new(4).with_seed(seed ^ 0x9A11);
+        let mut seq = Xheal::new(&g0, cfg.clone());
+        let events = record_schedule(&mut seq, seed ^ 0xAD7, steps);
+
+        for threads in THREADS {
+            let mirror = Rc::new(RefCell::new(DeltaMirror::new(&g0)));
+            let mut par = Xheal::builder()
+                .config(cfg.clone())
+                .sink(Box::new(Rc::clone(&mirror)))
+                .build_parallel(&g0, threads);
+            for event in &events {
+                par.apply(event).map_err(|e| {
+                    TestCaseError::fail(format!("threads={threads}: {e}"))
+                })?;
+            }
+            prop_assert!(
+                seq.graph() == par.graph(),
+                "threads={threads}: graphs diverged"
+            );
+            prop_assert!(
+                seq.graph().edge_fingerprint() == par.graph().edge_fingerprint(),
+                "threads={threads}: fingerprints diverged"
+            );
+            prop_assert_eq!(seq.cloud_colors(), par.cloud_colors());
+            prop_assert_eq!(seq.stats(), par.stats());
+            prop_assert!(
+                par.graph() == mirror.borrow().graph(),
+                "threads={threads}: delta stream diverged from graph"
+            );
+            invariants::check_invariants(par.as_sequential())
+                .map_err(|e| TestCaseError::fail(format!("threads={threads}: {e}")))?;
+        }
+    }
+
+    /// Clustered rack outages: every batch is one BFS ball, so victims
+    /// share clouds and boundaries — the conflict-heavy regime where the
+    /// speculative planner must replay components. Still bit-identical.
+    #[test]
+    fn clustered_outages_force_replays_and_stay_identical(
+        seed in any::<u64>(),
+        bursts in 2usize..6,
+    ) {
+        let g0 = generators::random_regular(
+            72,
+            6,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let cfg = XhealConfig::new(4).with_seed(seed ^ 0xC1A5);
+        let mut adv_rng = StdRng::seed_from_u64(seed ^ 0xFA11);
+        let mut seq = Xheal::new(&g0, cfg.clone());
+        // Record BFS-ball batches against the sequential engine's graph.
+        let mut events: Vec<Event> = Vec::with_capacity(bursts);
+        for _ in 0..bursts {
+            let nodes = seq.graph().node_vec();
+            let center = nodes[adv_rng.random_range(0..nodes.len())];
+            let victims = bfs_rack(seq.graph(), center, 12);
+            let event = Event::DeleteBatch { nodes: victims };
+            seq.apply(&event).expect("rack victims are live");
+            events.push(event);
+        }
+        for threads in THREADS {
+            let mut par = ParallelXheal::new(&g0, cfg.clone(), threads);
+            for event in &events {
+                par.apply(event).map_err(|e| {
+                    TestCaseError::fail(format!("threads={threads}: {e}"))
+                })?;
+            }
+            prop_assert!(
+                seq.graph() == par.graph(),
+                "threads={threads}: clustered outage diverged"
+            );
+            prop_assert_eq!(seq.stats(), par.stats());
+        }
+    }
+}
+
+/// A panicking job inside a scope reaches the scope caller as a panic (not
+/// a hang, not a silent drop), and the pool keeps serving fresh scopes
+/// afterwards — the poisoned-worker contract `ParallelXheal` relies on.
+#[test]
+fn pool_panic_propagates_and_pool_is_reusable_for_healing() {
+    let pool = WorkerPool::new(2);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("component planner died"));
+            s.spawn(|| {});
+        });
+    }));
+    let payload = caught.expect_err("job panic must propagate to the scope caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("component planner died"), "payload: {msg:?}");
+
+    // The same pool still runs real work after the poisoned scope.
+    let (tx, rx) = std::sync::mpsc::channel();
+    pool.scope(|s| {
+        for i in 0..4u32 {
+            let tx = tx.clone();
+            s.spawn(move || tx.send(i).unwrap());
+        }
+    });
+    let mut got: Vec<u32> = rx.try_iter().collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2, 3]);
+}
+
+/// The parallel engine rides the generic workload runner like any other
+/// `HealingEngine`, and a rack-failure adversary driving both engines on
+/// the same seed produces bit-identical topologies and summaries.
+#[test]
+fn parallel_engine_rides_the_generic_runner() {
+    let g0 = generators::random_regular(64, 6, &mut StdRng::seed_from_u64(41));
+    let cfg = XhealConfig::new(4).with_seed(17);
+    let steps = 40;
+    let seed = 0xB1257;
+
+    let mut seq = Xheal::new(&g0, cfg.clone());
+    let mut seq_adv = BurstDeletions::new(6, 5, 3, 16, &g0);
+    let seq_summary = run(&mut seq, &mut seq_adv, steps, seed);
+
+    let mut par = ParallelXheal::new(&g0, cfg, 4);
+    let mut par_adv = BurstDeletions::new(6, 5, 3, 16, &g0);
+    let par_summary = run(&mut par, &mut par_adv, steps, seed);
+
+    assert!(seq.graph() == par.graph());
+    assert_eq!(
+        seq.graph().edge_fingerprint(),
+        par.graph().edge_fingerprint()
+    );
+    assert_eq!(seq_summary.events, par_summary.events);
+    assert_eq!(seq_summary.edges_added, par_summary.edges_added);
+    assert_eq!(seq_summary.edges_removed, par_summary.edges_removed);
+}
