@@ -33,59 +33,7 @@
 
 use std::time::{Duration, Instant};
 
-/// Counting global allocator (the `bench` feature): every allocation bumps
-/// a relaxed atomic, so phases can report exact heap-allocation counts.
-/// The schedule is fully seeded, so counts are deterministic per phase.
-#[cfg(feature = "bench")]
-mod alloc_count {
-    use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-    struct CountingAlloc;
-
-    // SAFETY: delegates verbatim to `System`; the counter has no effect on
-    // allocation behavior.
-    unsafe impl GlobalAlloc for CountingAlloc {
-        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-            System.alloc(layout)
-        }
-
-        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-            System.dealloc(ptr, layout)
-        }
-
-        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-            System.realloc(ptr, layout, new_size)
-        }
-    }
-
-    #[global_allocator]
-    static A: CountingAlloc = CountingAlloc;
-
-    /// Allocations since process start.
-    pub fn current() -> u64 {
-        ALLOCS.load(Ordering::Relaxed)
-    }
-}
-
-/// Allocations since process start (0 without the `bench` feature).
-fn alloc_count() -> u64 {
-    #[cfg(feature = "bench")]
-    {
-        alloc_count::current()
-    }
-    #[cfg(not(feature = "bench"))]
-    {
-        0
-    }
-}
-
-/// Whether allocation counting is live in this build.
-const ALLOC_COUNTING: bool = cfg!(feature = "bench");
+use xheal_bench::{alloc_count, ALLOC_COUNTING};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -5,9 +5,73 @@
 //! regenerates one experiment from DESIGN.md's per-experiment index; run one
 //! with `cargo bench -p xheal-bench --bench e1_degree_bound` or all with
 //! `cargo bench --workspace`.
+//!
+//! With the `bench` feature this crate also installs the counting global
+//! allocator ([`alloc_count`]) that the `churn_throughput` and
+//! `traffic_throughput` binaries use for their allocation ledgers.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the feature-gated counting allocator below
+// is the one permitted unsafe block (a verbatim delegation to `System`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Counting global allocator (the `bench` feature): every allocation bumps
+/// a relaxed atomic, so measurement phases can report exact
+/// heap-allocation counts. Schedules are fully seeded, so counts are
+/// deterministic per phase. Installed for every binary linking this crate
+/// when the feature is on — off by default, since the counter adds an
+/// atomic op to every alloc.
+#[cfg(feature = "bench")]
+#[allow(unsafe_code)]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counter has no effect on
+    // allocation behavior.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static A: CountingAlloc = CountingAlloc;
+
+    pub(crate) fn current() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Heap allocations since process start (always 0 without the `bench`
+/// feature — check [`ALLOC_COUNTING`] before trusting deltas).
+pub fn alloc_count() -> u64 {
+    #[cfg(feature = "bench")]
+    {
+        alloc_counter::current()
+    }
+    #[cfg(not(feature = "bench"))]
+    {
+        0
+    }
+}
+
+/// Whether allocation counting is live in this build.
+pub const ALLOC_COUNTING: bool = cfg!(feature = "bench");
 
 /// Prints an experiment header with provenance.
 pub fn header(id: &str, claim: &str) {

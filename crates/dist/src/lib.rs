@@ -148,7 +148,8 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
     /// [`xheal_sim::AsyncNetwork`] with latency and faults). Existing
     /// registrations in the engine are kept; every graph node is
     /// (idempotently) registered as a processor.
-    pub fn with_engine(initial: &Graph, config: XhealConfig, engine: N) -> Self {
+    pub fn with_engine(initial: &Graph, config: XhealConfig, mut engine: N) -> Self {
+        engine.set_classifier(Msg::KIND_LABELS, |m| m.kind_index());
         let mut runtime = ActorRuntime::new(engine);
         for v in initial.nodes() {
             runtime.add_node(v);
@@ -206,6 +207,14 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
     /// Engine-level totals (rounds, messages, drops) across the whole run.
     pub fn counters(&self) -> Counters {
         self.runtime.counters()
+    }
+
+    /// Sent messages broken down by protocol phase, as parallel
+    /// `(labels, counts)` slices over [`Msg::KIND_LABELS`] — the
+    /// observability hook orchestration layers read to see *where* the
+    /// communication budget goes (probe/grant fan-out vs. splice gossip).
+    pub fn message_breakdown(&self) -> (&'static [&'static str], &[u64]) {
+        self.engine().kind_counts()
     }
 
     /// Adversarial insertion of `v` with black edges to `neighbors`.

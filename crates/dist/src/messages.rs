@@ -78,6 +78,25 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// Labels of the per-kind message breakdown, indexed by
+    /// [`Msg::kind_index`]. The executors install this pair as the engine's
+    /// payload classifier (see `xheal_sim::NetworkEngine::set_classifier`),
+    /// so communication complexity can be read per protocol phase.
+    pub const KIND_LABELS: &'static [&'static str] =
+        &["probe", "grant", "link", "unlink", "splice", "splice_ack"];
+
+    /// Index of this variant in [`Msg::KIND_LABELS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Msg::Probe { .. } => 0,
+            Msg::Grant { .. } => 1,
+            Msg::Link { .. } => 2,
+            Msg::Unlink { .. } => 3,
+            Msg::Splice { .. } => 4,
+            Msg::SpliceAck { .. } => 5,
+        }
+    }
+
     /// The repair this message belongs to.
     pub fn repair(&self) -> u64 {
         match self {

@@ -38,6 +38,27 @@ pub fn cycle(n: usize) -> Graph {
     g
 }
 
+/// Chord-augmented ring: the cycle `0 - 1 - ... - (n-1) - 0` plus, for
+/// every node `i` and every power of two `2^k < n/2` (k ≥ 1), the chord
+/// `i — (i + 2^k) mod n`.
+///
+/// This is the classic greedy-routable overlay (Chord's finger graph made
+/// undirected): greedy forwarding by clockwise ring distance reaches any
+/// destination in O(log n) hops, and degrees are Θ(log n). The routed
+/// traffic benchmark uses it as the substrate whose healed descendants
+/// are still greedily routable.
+pub fn ring_with_chords(n: usize) -> Graph {
+    let mut g = cycle(n);
+    let mut span = 2usize;
+    while span < n.div_ceil(2) {
+        for i in 0..n {
+            g.add_black_edge(id(i), id((i + span) % n)).expect("valid");
+        }
+        span *= 2;
+    }
+    g
+}
+
 /// Star with center `0` and `n - 1` leaves.
 ///
 /// This is the paper's running worst case: deleting the center collapses

@@ -112,4 +112,24 @@ pub trait NetworkEngine<M> {
 
     /// Cost counters so far.
     fn counters(&self) -> Counters;
+
+    /// Installs a payload classifier for per-kind send accounting: every
+    /// subsequent [`NetworkEngine::send`] tallies its payload under
+    /// `labels[classify(&payload)]` (out-of-range indices are ignored).
+    /// Installing a classifier resets any previous tally. The protocol
+    /// layer uses this to break communication complexity down by message
+    /// type without the engine knowing the payload enum.
+    ///
+    /// The default implementation ignores the classifier — engines
+    /// without per-kind accounting report empty [`NetworkEngine::kind_counts`].
+    fn set_classifier(&mut self, labels: &'static [&'static str], classify: fn(&M) -> usize) {
+        let _ = (labels, classify);
+    }
+
+    /// The per-kind sent-message breakdown as parallel `(labels, counts)`
+    /// slices — both empty until a classifier is installed via
+    /// [`NetworkEngine::set_classifier`].
+    fn kind_counts(&self) -> (&'static [&'static str], &[u64]) {
+        (&[], &[])
+    }
 }

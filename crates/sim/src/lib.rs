@@ -70,6 +70,7 @@
 
 mod engine;
 mod event_queue;
+mod mailbox;
 mod sync;
 
 pub use engine::{Counters, Envelope, NetworkEngine};

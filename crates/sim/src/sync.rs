@@ -1,62 +1,59 @@
 //! The synchronous-round engine: the paper's LOCAL model taken literally.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use xheal_graph::NodeId;
 
 use crate::engine::{Counters, Envelope, NetworkEngine};
+use crate::mailbox::Mailboxes;
 
 /// The synchronous-round engine: every message staged during round `r` is
 /// delivered at round `r + 1`, reliably and in send order. This is the
 /// LOCAL model of the paper's Section 2 with no adversarial scheduling —
 /// the reference substrate the asynchronous engine is validated against.
+///
+/// Membership and inboxes live in the shared flat mailbox arena
+/// (`crate::mailbox`): slot-indexed delivery, a maintained dirty-slot
+/// list instead of full-map scans, and buffers that keep their capacity —
+/// steady-state stepping allocates nothing.
 #[derive(Clone, Debug, Default)]
 pub struct SyncNetwork<M> {
-    nodes: BTreeSet<NodeId>,
+    mail: Mailboxes<M>,
     staged: Vec<Envelope<M>>,
-    inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
-    dropped: Vec<Envelope<M>>,
-    counters: Counters,
 }
 
 impl<M> SyncNetwork<M> {
     /// Creates an empty network.
     pub fn new() -> Self {
         SyncNetwork {
-            nodes: BTreeSet::new(),
+            mail: Mailboxes::new(),
             staged: Vec::new(),
-            inboxes: BTreeMap::new(),
-            dropped: Vec::new(),
-            counters: Counters::default(),
         }
     }
 
     /// Registers a processor. Idempotent.
     pub fn add_node(&mut self, v: NodeId) {
-        self.nodes.insert(v);
+        self.mail.add(v);
     }
 
     /// Removes a processor; its pending inbox is discarded and any staged
     /// messages to it will be dropped at delivery time (the adversary
     /// deleted it mid-protocol).
     pub fn remove_node(&mut self, v: NodeId) {
-        self.nodes.remove(&v);
-        self.inboxes.remove(&v);
+        self.mail.remove(v);
     }
 
     /// Is the processor registered?
     pub fn contains(&self, v: NodeId) -> bool {
-        self.nodes.contains(&v)
+        self.mail.contains(v)
     }
 
     /// Number of registered processors.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.mail.len()
     }
 
     /// True when no processors are registered.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.mail.len() == 0
     }
 
     /// Stages a message for delivery at the next [`SyncNetwork::step`].
@@ -66,25 +63,22 @@ impl<M> SyncNetwork<M> {
     /// Panics if the sender is not registered (recipients may legitimately
     /// disappear before delivery; senders cannot).
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
-        assert!(self.nodes.contains(&from), "sender {from} not registered");
+        assert!(self.mail.contains(from), "sender {from} not registered");
+        self.mail.tally(&payload);
         self.staged.push(Envelope { from, to, payload });
     }
 
     /// Advances one synchronous round, delivering all staged messages.
     /// Returns the number delivered.
     pub fn step(&mut self) -> usize {
-        self.counters.rounds += 1;
+        self.mail.count_round();
         let mut delivered = 0;
         for env in self.staged.drain(..) {
-            if self.nodes.contains(&env.to) {
-                self.inboxes.entry(env.to).or_default().push(env);
+            if self.mail.deliver(env, false) {
                 delivered += 1;
-            } else {
-                self.counters.dropped += 1;
-                self.dropped.push(env);
             }
         }
-        self.counters.messages += delivered as u64;
+        self.mail.count_delivered(delivered);
         delivered
     }
 
@@ -99,15 +93,19 @@ impl<M> SyncNetwork<M> {
 
     /// Takes all messages waiting at `v`.
     pub fn drain_inbox(&mut self, v: NodeId) -> Vec<Envelope<M>> {
-        self.inboxes.remove(&v).unwrap_or_default()
+        let mut out = Vec::new();
+        self.mail.drain_inbox_into(v, &mut out);
+        out
     }
 
-    /// Nodes with non-empty inboxes, ascending. Borrows — the per-round
-    /// delivery loop uses [`NetworkEngine::nodes_with_mail_into`] with a
-    /// reusable buffer instead, since it must mutate the network while
-    /// iterating.
+    /// Nodes with non-empty inboxes, ascending. Collects a snapshot — the
+    /// per-round delivery loop uses [`NetworkEngine::nodes_with_mail_into`]
+    /// with a reusable buffer instead, since it must mutate the network
+    /// while iterating.
     pub fn nodes_with_mail(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.inboxes.keys().copied()
+        let mut out = Vec::new();
+        self.mail.nodes_with_mail_into(&mut out);
+        out.into_iter()
     }
 
     /// Are messages staged for the next round?
@@ -117,17 +115,17 @@ impl<M> SyncNetwork<M> {
 
     /// Cost counters so far.
     pub fn counters(&self) -> Counters {
-        self.counters
+        self.mail.counters()
     }
 
     /// Rounds stepped so far.
     pub fn rounds(&self) -> u64 {
-        self.counters.rounds
+        self.mail.counters().rounds
     }
 
     /// Messages delivered so far.
     pub fn messages(&self) -> u64 {
-        self.counters.messages
+        self.mail.counters().messages
     }
 }
 
@@ -161,24 +159,27 @@ impl<M> NetworkEngine<M> for SyncNetwork<M> {
     }
 
     fn nodes_with_mail_into(&self, out: &mut Vec<NodeId>) {
-        out.clear();
-        out.extend(self.inboxes.keys().copied());
+        self.mail.nodes_with_mail_into(out);
     }
 
     fn drain_inbox_into(&mut self, v: NodeId, out: &mut Vec<Envelope<M>>) {
-        out.clear();
-        if let Some(mut inbox) = self.inboxes.remove(&v) {
-            out.append(&mut inbox);
-        }
+        self.mail.drain_inbox_into(v, out);
     }
 
     fn drain_dropped_into(&mut self, out: &mut Vec<Envelope<M>>) {
-        out.clear();
-        out.append(&mut self.dropped);
+        self.mail.drain_dropped_into(out);
     }
 
     fn counters(&self) -> Counters {
-        self.counters
+        self.mail.counters()
+    }
+
+    fn set_classifier(&mut self, labels: &'static [&'static str], classify: fn(&M) -> usize) {
+        self.mail.set_classifier(labels, classify);
+    }
+
+    fn kind_counts(&self) -> (&'static [&'static str], &[u64]) {
+        self.mail.kind_counts()
     }
 }
 
@@ -292,5 +293,17 @@ mod tests {
         net.remove_node(n(1));
         net.add_node(n(1));
         assert!(net.drain_inbox(n(1)).is_empty());
+    }
+
+    #[test]
+    fn classifier_breaks_down_sent_messages() {
+        let mut net = net3();
+        NetworkEngine::set_classifier(&mut net, &["small", "big"], |p: &u32| (*p >= 10) as usize);
+        net.send(n(0), n(1), 3);
+        net.send(n(0), n(2), 30);
+        net.send(n(1), n(2), 40);
+        let (labels, counts) = NetworkEngine::kind_counts(&net);
+        assert_eq!(labels, &["small", "big"]);
+        assert_eq!(counts, &[1, 2]);
     }
 }

@@ -31,9 +31,14 @@
 
 mod adversary;
 mod runner;
+mod traffic;
 
 pub use adversary::{
     bfs_rack, Adversary, BurstDeletions, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting,
 };
 pub use runner::{replay, run, run_observed, HealthNote, RunObserver, RunSummary, Severity};
+pub use traffic::{
+    bfs_distance, greedy_next_hop, ring_distance, route_hops, BfsScratch, RoutingRequest,
+    TrafficGen,
+};
 pub use xheal_core::Event;

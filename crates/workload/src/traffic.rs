@@ -1,0 +1,263 @@
+//! Routed-traffic workload: seeded request streams and greedy overlay
+//! routing over a [`CsrView`] snapshot.
+//!
+//! The paper's guarantees are about the *healed overlay as a routing
+//! substrate*: constant-factor degree increase and O(log n) stretch mean
+//! traffic keeps flowing after arbitrary churn. This module supplies the
+//! traffic side of that claim for the throughput benchmark and any
+//! higher-level harness:
+//!
+//! - [`RoutingRequest`] — the per-message routing state (destination,
+//!   hop count, TTL), small and `Copy` so it can ride through a
+//!   `xheal_sim` engine as the payload;
+//! - [`TrafficGen`] — a seeded source of `(src, dst)` pairs over the
+//!   live nodes of a snapshot;
+//! - [`greedy_next_hop`] / [`route_hops`] — greedy clockwise-ring-distance
+//!   forwarding (the classic routing rule of chord-style overlays, see
+//!   [`xheal_graph::generators::ring_with_chords`]) with a deterministic
+//!   escape hop at local minima, which churn holes create;
+//! - [`bfs_distance`] — the shortest-path baseline that turns observed
+//!   route lengths into stretch.
+//!
+//! Everything is deterministic: the generator is seeded and the escape
+//! hop is a hash, so a traffic run is exactly reproducible.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xheal_graph::{CsrView, NodeId};
+
+/// Per-message routing state carried through the engine: where the
+/// request is going, how far it has come, and how many hops it may still
+/// take before it is declared lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutingRequest {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Hops taken so far.
+    pub hops: u32,
+    /// Remaining hop budget.
+    pub ttl: u32,
+}
+
+/// Seeded source of routing pairs over a snapshot's live nodes.
+#[derive(Clone, Debug)]
+pub struct TrafficGen {
+    rng: StdRng,
+}
+
+impl TrafficGen {
+    /// A generator reproducing the same request stream for the same seed.
+    pub fn new(seed: u64) -> Self {
+        TrafficGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a uniform `(src, dst)` pair of **distinct dense indices**
+    /// into `csr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot has fewer than two nodes.
+    pub fn pair(&mut self, csr: &CsrView) -> (usize, usize) {
+        assert!(csr.len() >= 2, "routing needs at least two nodes");
+        let src = self.rng.random_range(0..csr.len());
+        let mut dst = self.rng.random_range(0..csr.len() - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        (src, dst)
+    }
+}
+
+/// Clockwise-or-counterclockwise distance between two ids on the identifier
+/// ring of size `ring` (the original overlay size; deleted ids leave holes
+/// but survivors keep their ring positions).
+pub fn ring_distance(a: u64, b: u64, ring: u64) -> u64 {
+    let d = (a % ring).abs_diff(b % ring);
+    d.min(ring - d)
+}
+
+/// SplitMix64-style avalanche — the deterministic escape-hop hash.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(c);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The next hop of greedy ring-distance routing from dense index `at`
+/// toward dense index `dst`: the neighbor closest to `dst` on the id ring
+/// when that strictly improves on `at`'s own distance, otherwise a
+/// deterministic pseudo-random neighbor (the escape hop out of the local
+/// minima churn holes create — vary `salt`, e.g. by hop count, so
+/// repeated escapes explore different directions). Returns `None` when
+/// `at == dst` or `at` has no neighbors.
+pub fn greedy_next_hop(
+    csr: &CsrView,
+    at: usize,
+    dst: usize,
+    ring: u64,
+    salt: u64,
+) -> Option<usize> {
+    if at == dst {
+        return None;
+    }
+    let neighbors = csr.neighbors_of(at);
+    if neighbors.is_empty() {
+        return None;
+    }
+    let dst_id = csr.node(dst).as_u64();
+    let mut best = (u64::MAX, 0usize);
+    for &j in neighbors {
+        let d = ring_distance(csr.node(j as usize).as_u64(), dst_id, ring);
+        if d < best.0 {
+            best = (d, j as usize);
+        }
+    }
+    if best.0 < ring_distance(csr.node(at).as_u64(), dst_id, ring) {
+        Some(best.1)
+    } else {
+        let pick = mix(at as u64, dst_id, salt) as usize % neighbors.len();
+        Some(neighbors[pick] as usize)
+    }
+}
+
+/// Routes `src → dst` greedily over the snapshot, returning the hop count
+/// on success or `None` when the TTL ran out (or a dead end was hit) —
+/// the offline twin of the engine-driven forwarding loop, used to sample
+/// observed stretch.
+pub fn route_hops(csr: &CsrView, src: usize, dst: usize, ring: u64, ttl: u32) -> Option<u32> {
+    let mut at = src;
+    for hop in 1..=ttl {
+        at = greedy_next_hop(csr, at, dst, ring, u64::from(hop))?;
+        if at == dst {
+            return Some(hop);
+        }
+    }
+    None
+}
+
+/// Reusable breadth-first-search buffers for [`bfs_distance`].
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    queue: VecDeque<u32>,
+}
+
+/// Unweighted shortest-path distance between dense indices over the
+/// snapshot (`None` when disconnected) — the baseline that observed route
+/// lengths are divided by to get stretch.
+pub fn bfs_distance(
+    csr: &CsrView,
+    src: usize,
+    dst: usize,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
+    if src == dst {
+        return Some(0);
+    }
+    scratch.dist.clear();
+    scratch.dist.resize(csr.len(), u32::MAX);
+    scratch.queue.clear();
+    scratch.dist[src] = 0;
+    scratch.queue.push_back(src as u32);
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u as usize];
+        for &j in csr.neighbors_of(u as usize) {
+            if scratch.dist[j as usize] == u32::MAX {
+                if j as usize == dst {
+                    return Some(du + 1);
+                }
+                scratch.dist[j as usize] = du + 1;
+                scratch.queue.push_back(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xheal_graph::generators;
+
+    #[test]
+    fn ring_distance_wraps_both_ways() {
+        assert_eq!(ring_distance(0, 1, 16), 1);
+        assert_eq!(ring_distance(0, 15, 16), 1);
+        assert_eq!(ring_distance(3, 11, 16), 8);
+        assert_eq!(ring_distance(5, 5, 16), 0);
+    }
+
+    #[test]
+    fn greedy_routes_a_chord_ring_in_log_hops() {
+        let n = 64usize;
+        let csr = generators::ring_with_chords(n).csr_view();
+        let budget = 2 * n.ilog2();
+        let mut scratch = BfsScratch::default();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let hops = route_hops(&csr, src, dst, n as u64, 4 * budget)
+                    .unwrap_or_else(|| panic!("{src}->{dst} undeliverable"));
+                assert!(hops <= budget, "{src}->{dst}: {hops} hops > {budget}");
+                let shortest = bfs_distance(&csr, src, dst, &mut scratch).expect("connected");
+                assert!(hops >= shortest, "greedy beat BFS");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_survives_churn_holes_via_escape_hops() {
+        // Punch holes in the ring, heal nothing, and route between
+        // survivors: greedy alone would die in local minima; the escape
+        // hop must still deliver well within an O(log^2) budget.
+        let n = 128usize;
+        let mut g = generators::ring_with_chords(n);
+        for dead in [3u64, 4, 5, 64, 65, 100] {
+            g.remove_node(NodeId::new(dead)).expect("live");
+        }
+        let csr = g.csr_view();
+        let mut gen = TrafficGen::new(9);
+        let mut delivered = 0;
+        for _ in 0..200 {
+            let (src, dst) = gen.pair(&csr);
+            if route_hops(&csr, src, dst, n as u64, 64).is_some() {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 195, "only {delivered}/200 delivered");
+    }
+
+    #[test]
+    fn bfs_distance_on_a_cycle_is_the_arc_length() {
+        let csr = generators::cycle(10).csr_view();
+        let mut scratch = BfsScratch::default();
+        assert_eq!(bfs_distance(&csr, 0, 5, &mut scratch), Some(5));
+        assert_eq!(bfs_distance(&csr, 0, 7, &mut scratch), Some(3));
+        assert_eq!(bfs_distance(&csr, 2, 2, &mut scratch), Some(0));
+    }
+
+    #[test]
+    fn traffic_gen_is_deterministic_and_distinct() {
+        let csr = generators::cycle(20).csr_view();
+        let draw = |seed| {
+            let mut gen = TrafficGen::new(seed);
+            (0..50).map(|_| gen.pair(&csr)).collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7));
+        assert_ne!(a, draw(8));
+        assert!(a.iter().all(|&(s, d)| s != d && s < 20 && d < 20));
+    }
+}

@@ -96,6 +96,19 @@ fn main() {
         net.counters().messages,
         net.counters().dropped
     );
+    let (labels, counts) = net.message_breakdown();
+    let total_sent: u64 = counts.iter().sum();
+    println!("sent by protocol phase:");
+    for (label, count) in labels.iter().zip(counts) {
+        println!(
+            "  {label:<11}{count:>8}  ({:5.1}%)",
+            100.0 * *count as f64 / total_sent as f64
+        );
+    }
+    assert!(
+        total_sent >= net.counters().messages,
+        "per-kind tally lost sends"
+    );
     assert!((worst_recovery as f64) <= budget, "recovery budget blown");
     assert!(components::is_connected(net.graph()));
     println!("\nall outages healed: overlay connected, recovery within budget");
