@@ -17,10 +17,11 @@
 //!   adversary deletes processors mid-flight and Xheal heals around them
 //!   (CSR snapshot refreshed per churn event). Reports messages/sec,
 //!   effective ns/send, steady-state allocations per step (the
-//!   zero-alloc ledger), hop and stretch distributions, and
-//!   delivered/lost accounting.
+//!   zero-alloc ledger), hop and stretch distributions, per-request
+//!   tick-latency percentiles (p50/p95/p99 of injection-to-delivery
+//!   engine rounds), and delivered/lost accounting.
 //!
-//! Output is `BENCH_traffic.json` (schema `xheal-bench-traffic/v1`,
+//! Output is `BENCH_traffic.json` (schema `xheal-bench-traffic/v2`,
 //! override the path with `--out`); `--smoke` shrinks sizes for CI. With
 //! the `bench` feature the shared counting allocator records the
 //! allocation ledger. Run the full measurement with:
@@ -231,6 +232,7 @@ fn micro<E: NetworkEngine<RoutingRequest>>(
         dst: NodeId::new(0),
         hops: 0,
         ttl: 0,
+        born: 0,
     };
     for &(a, b) in &pairs[..preload] {
         net.send(a, b, req);
@@ -266,12 +268,30 @@ fn micro<E: NetworkEngine<RoutingRequest>>(
 // ---------------------------------------------------------------------------
 
 const HIST: usize = 256;
+/// Tick-latency histogram width: TTL hops × worst-case per-link delay
+/// stays well inside this; the last bucket absorbs any tail.
+const LAT_HIST: usize = 4096;
 
 #[derive(Default)]
 struct Stats {
     completed: u64,
     lost: u64,
     hops_hist: Vec<u64>,
+    lat_hist: Vec<u64>,
+}
+
+/// The smallest value whose cumulative count reaches quantile `q` of
+/// `total` (histogram bucket index = value).
+fn hist_quantile(hist: &[u64], total: u64, q: f64) -> u64 {
+    let target = ((total as f64 * q).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (v, &cnt) in hist.iter().enumerate() {
+        seen += cnt;
+        if seen >= target {
+            return v as u64;
+        }
+    }
+    hist.len().saturating_sub(1) as u64
 }
 
 struct TrafficRun {
@@ -302,6 +322,7 @@ impl TrafficRun {
                         dst: self.csr.node(di),
                         hops: 1,
                         ttl: self.ttl,
+                        born: self.steps,
                     },
                 );
                 self.open += 1;
@@ -324,6 +345,8 @@ impl TrafficRun {
                 if env.to == req.dst {
                     self.stats.completed += 1;
                     self.stats.hops_hist[(req.hops as usize).min(HIST - 1)] += 1;
+                    let latency = (self.steps - req.born) as usize;
+                    self.stats.lat_hist[latency.min(LAT_HIST - 1)] += 1;
                     self.open -= 1;
                 } else {
                     self.forward(env.to, req);
@@ -359,6 +382,7 @@ impl TrafficRun {
                     dst: req.dst,
                     hops: req.hops + 1,
                     ttl: req.ttl - 1,
+                    born: req.born,
                 },
             ),
             None => {
@@ -398,6 +422,10 @@ struct TrafficReport {
     steady_allocs: u64,
     hops_mean: f64,
     hops_p99: u64,
+    latency_mean: f64,
+    latency_p50: u64,
+    latency_p95: u64,
+    latency_p99: u64,
     stretch_samples: usize,
     stretch_mean: f64,
     stretch_p99: f64,
@@ -433,6 +461,7 @@ fn traffic(
         dst: NodeId::new(u64::MAX),
         hops: 0,
         ttl: 0,
+        born: 0,
     };
     for v in g0.nodes() {
         engine.send(v, v, warm);
@@ -460,6 +489,7 @@ fn traffic(
         gen: TrafficGen::new(TRAFFIC_SEED),
         stats: Stats {
             hops_hist: vec![0; HIST],
+            lat_hist: vec![0; LAT_HIST],
             ..Stats::default()
         },
         with_mail,
@@ -530,6 +560,21 @@ fn traffic(
         }
     }
 
+    // Per-request tick latency of completed requests (injection to
+    // delivery, engine rounds: link delays included, unlike the hop
+    // count).
+    let lat_total: u64 = run
+        .stats
+        .lat_hist
+        .iter()
+        .enumerate()
+        .map(|(l, &cnt)| l as u64 * cnt)
+        .sum();
+    let latency_mean = lat_total as f64 / run.stats.completed.max(1) as f64;
+    let latency_p50 = hist_quantile(&run.stats.lat_hist, run.stats.completed, 0.50);
+    let latency_p95 = hist_quantile(&run.stats.lat_hist, run.stats.completed, 0.95);
+    let latency_p99 = hist_quantile(&run.stats.lat_hist, run.stats.completed, 0.99);
+
     // Stretch on the final healed snapshot: greedy hops vs BFS shortest
     // path over a fresh request sample.
     let mut sgen = TrafficGen::new(TRAFFIC_SEED ^ 0x57);
@@ -568,6 +613,10 @@ fn traffic(
         steady_allocs,
         hops_mean,
         hops_p99,
+        latency_mean,
+        latency_p50,
+        latency_p95,
+        latency_p99,
         stretch_samples: ratios.len(),
         stretch_mean,
         stretch_p99,
@@ -656,6 +705,10 @@ fn main() {
         t.hops_mean, t.hops_p99
     );
     println!(
+        "  tick latency   : mean {:.2}, p50 {}, p95 {}, p99 {}",
+        t.latency_mean, t.latency_p50, t.latency_p95, t.latency_p99
+    );
+    println!(
         "  stretch        : mean {:.3}, p99 {:.3} over {} samples \
          ({} unreachable)",
         t.stretch_mean, t.stretch_p99, t.stretch_samples, t.stretch_unreachable
@@ -686,7 +739,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"xheal-bench-traffic/v1\",\n  \"smoke\": {smoke},\n  \
+        "{{\n  \"schema\": \"xheal-bench-traffic/v2\",\n  \"smoke\": {smoke},\n  \
          \"alloc_counting\": {ALLOC_COUNTING},\n  \"substrate\": {{\n    \
          \"nodes\": {micro_nodes},\n    \"preload_in_flight\": {preload},\n    \
          \"timed_sends\": {timed},\n    \"calendar\": {{\"ns_per_send\": {:.2}, \
@@ -700,6 +753,8 @@ fn main() {
          \"steady\": {{\"steps\": {}, \"allocs\": {}, \"allocs_per_step\": {:.4}, \
          \"allocs_per_million_messages\": {:.2}}},\n    \
          \"hops\": {{\"mean\": {:.3}, \"p99\": {}}},\n    \
+         \"latency_ticks\": {{\"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \
+         \"p99\": {}}},\n    \
          \"stretch\": {{\"samples\": {}, \"mean\": {:.4}, \"p99\": {:.4}, \
          \"unreachable\": {}}}\n  }}\n}}\n",
         new_r.ns_per_send,
@@ -724,6 +779,10 @@ fn main() {
         allocs_per_million,
         t.hops_mean,
         t.hops_p99,
+        t.latency_mean,
+        t.latency_p50,
+        t.latency_p95,
+        t.latency_p99,
         t.stretch_samples,
         t.stretch_mean,
         t.stretch_p99,

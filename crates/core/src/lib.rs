@@ -29,6 +29,8 @@
 //! - [`XhealConfig`]: κ, seeding, and ablation switches;
 //! - [`RepairPlanner`] / [`RepairPlan`]: healing decisions as data, shared
 //!   verbatim by the centralized and distributed executors;
+//! - [`EngineRegistry`]: name-keyed engine constructors, so arena/sweep
+//!   drivers can build fresh engines of every flavor over one graph;
 //! - [`invariants::check_invariants`]: structural self-checks used heavily
 //!   by the test suites.
 //!
@@ -61,6 +63,7 @@ pub mod invariants;
 mod parallel;
 mod plan;
 mod planner;
+mod registry;
 mod shard;
 mod stats;
 
@@ -78,4 +81,5 @@ pub use healer::Healer;
 pub use parallel::ParallelXheal;
 pub use plan::{ApplyScratch, PlanAction, RepairPlan};
 pub use planner::RepairPlanner;
+pub use registry::{EngineBuilder, EngineRegistry};
 pub use stats::{DeletionReport, HealCase, HealStats};

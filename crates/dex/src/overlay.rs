@@ -1,0 +1,484 @@
+//! The virtual d-regular multigraph underneath DEX.
+//!
+//! DEX maintains its expander on *virtual* nodes connected by *ports*: every
+//! virtual node owns exactly `d` ports, and an edge is a pairing of two ports
+//! (possibly of the same virtual node — self-loops are legal and count twice
+//! toward degree). All topology changes are port rewirings:
+//!
+//! - [`Overlay::split`] hands half of a node's ports to a fresh node and ties
+//!   the two halves together with `d/2` parallel edges (insertions);
+//! - [`Overlay::merge`] contracts one node into another and *splices* the
+//!   excess port pairs — `(a, m), (m, b)` becomes `(a, b)` — so every other
+//!   node's degree is untouched (deletions);
+//! - [`Overlay::ensure_connected`] cross-connects components with a
+//!   degree-preserving 2-swap.
+//!
+//! Because `d` is even, every operation leaves every virtual node at degree
+//! exactly `d`, and each component is Eulerian (all degrees even), hence
+//! bridgeless — which is what makes the 2-swap in `ensure_connected` safe:
+//! removing one edge from a component can never disconnect it.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Raw virtual-node identifier.
+pub(crate) type Vid = u64;
+
+/// One endpoint slot of an edge: `(edge id, slot)` where slot 0/1 selects the
+/// first/second endpoint. A self-loop contributes both slots of one edge.
+type PortRef = (u64, u8);
+
+/// A `d`-regular virtual multigraph under port-pairing dynamics.
+#[derive(Clone, Debug)]
+pub(crate) struct Overlay {
+    /// Even port count every virtual node holds at every event boundary.
+    degree: usize,
+    /// Edge id → endpoint pair. Self-loops store the same vid twice.
+    edges: BTreeMap<u64, (Vid, Vid)>,
+    /// Vid → sorted edge ids touching it (self-loops listed twice).
+    incident: BTreeMap<Vid, Vec<u64>>,
+    next_vid: Vid,
+    next_eid: u64,
+    /// Running count of port rewirings (each edge add/remove/redirect moves
+    /// ports); the engine reads deltas of this as its message-cost model.
+    port_ops: u64,
+}
+
+impl Overlay {
+    /// Builds `m` virtual nodes wired as the union of `d/2` seeded Hamilton
+    /// cycles (the classic constant-degree expander construction). `m = 1`
+    /// degenerates to `d/2` self-loops, `m = 2` to `d` parallel edges.
+    pub(crate) fn bootstrap(degree: usize, m: usize, rng: &mut StdRng) -> Self {
+        assert!(
+            degree >= 2 && degree % 2 == 0,
+            "DEX degree must be even >= 2"
+        );
+        let mut ov = Overlay {
+            degree,
+            edges: BTreeMap::new(),
+            incident: BTreeMap::new(),
+            next_vid: 0,
+            next_eid: 0,
+            port_ops: 0,
+        };
+        let vids: Vec<Vid> = (0..m as Vid).collect();
+        for &v in &vids {
+            ov.incident.insert(v, Vec::new());
+        }
+        ov.next_vid = m as Vid;
+        if m == 0 {
+            return ov;
+        }
+        let mut perm = vids;
+        for _ in 0..degree / 2 {
+            perm.shuffle(rng);
+            for i in 0..m {
+                ov.add_edge(perm[i], perm[(i + 1) % m]);
+            }
+        }
+        ov
+    }
+
+    pub(crate) fn vnode_count(&self) -> usize {
+        self.incident.len()
+    }
+
+    pub(crate) fn port_ops(&self) -> u64 {
+        self.port_ops
+    }
+
+    /// Sorted virtual-node ids.
+    pub(crate) fn vids(&self) -> impl Iterator<Item = Vid> + '_ {
+        self.incident.keys().copied()
+    }
+
+    /// Endpoint pairs of all edges (for projection rebuilds).
+    pub(crate) fn edge_endpoints(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
+        self.edges.values().copied()
+    }
+
+    /// Distinct peer vids of `w`, ascending (self excluded).
+    pub(crate) fn peer_vids(&self, w: Vid) -> Vec<Vid> {
+        let mut peers: Vec<Vid> = self
+            .occurrences(w)
+            .into_iter()
+            .map(|(eid, slot)| self.other_end(eid, slot))
+            .filter(|&p| p != w)
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+
+    /// Whether at least one edge joins `a` and `b` directly.
+    pub(crate) fn adjacent(&self, a: Vid, b: Vid) -> bool {
+        let small = if self.incident[&a].len() <= self.incident[&b].len() {
+            a
+        } else {
+            b
+        };
+        self.incident[&small].iter().any(|eid| {
+            let (x, y) = self.edges[eid];
+            (x == a && y == b) || (x == b && y == a)
+        })
+    }
+
+    /// A brand-new virtual node wired only to itself: `d/2` self-loops.
+    /// Used when the very first real node joins an empty network.
+    pub(crate) fn fresh_isolated(&mut self) -> Vid {
+        let v = self.alloc_vid();
+        for _ in 0..self.degree / 2 {
+            self.add_edge(v, v);
+        }
+        v
+    }
+
+    /// Splits `w`: a fresh node `w2` takes over half of `w`'s ports, and the
+    /// two halves are tied back together with `d/2` parallel `w`–`w2` edges.
+    /// Both end at degree exactly `d`; no other node's degree changes, and
+    /// connectivity is preserved (the parallel edges bridge the halves).
+    pub(crate) fn split(&mut self, w: Vid) -> Vid {
+        let w2 = self.alloc_vid();
+        let half = self.degree / 2;
+        let occ = self.occurrences(w);
+        debug_assert_eq!(occ.len(), self.degree);
+        for &(eid, slot) in occ.iter().take(half) {
+            self.redirect(eid, slot, w2);
+        }
+        for _ in 0..half {
+            self.add_edge(w, w2);
+        }
+        w2
+    }
+
+    /// Merges `absorb` into `keep`: `keep` takes over every port of `absorb`
+    /// (edges between the two become self-loops at `keep`), then sheds the
+    /// `d` excess ports — self-loops first (each frees two ports), then by
+    /// splicing pairs `(keep, a), (keep, b)` into a direct `(a, b)` edge.
+    /// Every node other than the two merged ends at its original degree.
+    pub(crate) fn merge(&mut self, keep: Vid, absorb: Vid) {
+        assert_ne!(keep, absorb);
+        for (eid, slot) in self.occurrences(absorb) {
+            self.redirect(eid, slot, keep);
+        }
+        let gone = self.incident.remove(&absorb);
+        debug_assert!(gone.is_some_and(|l| l.is_empty()));
+
+        let mut need = self.degree; // deg(keep) is now 2d; shed down to d.
+        while need > 0 {
+            let Some(eid) = self.self_loop_at(keep) else {
+                break;
+            };
+            self.remove_edge(eid);
+            need -= 2;
+        }
+        while need > 0 {
+            // No self-loops remain at `keep`, so every occurrence is a
+            // distinct edge to some other node. Pair the lexicographically
+            // first and last peers to spread the splice.
+            let mut occ: Vec<(Vid, u64, u8)> = self
+                .occurrences(keep)
+                .into_iter()
+                .map(|(eid, slot)| (self.other_end(eid, slot), eid, slot))
+                .collect();
+            occ.sort_unstable();
+            let (a, e1, _) = occ[0];
+            let (b, e2, _) = occ[occ.len() - 1];
+            debug_assert_ne!(e1, e2);
+            self.remove_edge(e1);
+            self.remove_edge(e2);
+            self.add_edge(a, b);
+            need -= 2;
+        }
+    }
+
+    /// Drops every edge and node (the network emptied out).
+    pub(crate) fn clear(&mut self) {
+        self.port_ops += 2 * self.edges.len() as u64;
+        self.edges.clear();
+        self.incident.clear();
+    }
+
+    /// Reconnects the multigraph if merges left it in pieces, using
+    /// degree-preserving 2-swaps: take one edge `(a1, b1)` from the grown
+    /// component and one edge `(a2, b2)` from a stray component, and replace
+    /// them with the cross pair `(a1, a2), (b1, b2)`. All degrees are even at
+    /// the call boundary, so each component is bridgeless and losing one edge
+    /// cannot disconnect it. Returns `true` if any rewiring happened.
+    pub(crate) fn ensure_connected(&mut self) -> bool {
+        let comps = self.components();
+        if comps.len() <= 1 {
+            return false;
+        }
+        let mut main: Vec<Vid> = comps[0].clone();
+        for comp in &comps[1..] {
+            let e1 = self.smallest_edge_of(&main);
+            let e2 = self.smallest_edge_of(comp);
+            let (a1, b1) = self.edges[&e1];
+            let (a2, b2) = self.edges[&e2];
+            self.remove_edge(e1);
+            self.remove_edge(e2);
+            self.add_edge(a1, a2);
+            self.add_edge(b1, b2);
+            main.extend_from_slice(comp);
+        }
+        true
+    }
+
+    /// Panics unless every virtual node holds exactly `d` ports and the
+    /// edge/incidence tables mirror each other. Test/debug aid.
+    pub(crate) fn assert_invariants(&self) {
+        let mut counts: BTreeMap<Vid, usize> = self.vids().map(|v| (v, 0)).collect();
+        for (&eid, &(a, b)) in &self.edges {
+            *counts
+                .get_mut(&a)
+                .unwrap_or_else(|| panic!("edge {eid} endpoint {a} unknown")) += 1;
+            *counts
+                .get_mut(&b)
+                .unwrap_or_else(|| panic!("edge {eid} endpoint {b} unknown")) += 1;
+        }
+        for (v, list) in &self.incident {
+            assert_eq!(
+                list.len(),
+                self.degree,
+                "vnode {v} holds {} ports, want {}",
+                list.len(),
+                self.degree
+            );
+            assert_eq!(counts[v], self.degree, "incidence/edge mismatch at {v}");
+            assert!(list.windows(2).all(|w| w[0] <= w[1]), "unsorted incidence");
+            for eid in list {
+                let (a, b) = self.edges[eid];
+                assert!(a == *v || b == *v, "stale incidence {eid} at {v}");
+            }
+        }
+    }
+
+    /// Picks a uniformly random virtual node (seeded). DEX proper samples via
+    /// random walks; with global determinism available we sample directly.
+    pub(crate) fn random_vid(&self, rng: &mut StdRng) -> Option<Vid> {
+        if self.incident.is_empty() {
+            return None;
+        }
+        let k = rng.random_range(0..self.incident.len());
+        self.vids().nth(k)
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn alloc_vid(&mut self) -> Vid {
+        let v = self.next_vid;
+        self.next_vid += 1;
+        self.incident.insert(v, Vec::new());
+        v
+    }
+
+    fn add_edge(&mut self, a: Vid, b: Vid) -> u64 {
+        let eid = self.next_eid;
+        self.next_eid += 1;
+        self.edges.insert(eid, (a, b));
+        Self::insert_sorted(self.incident.get_mut(&a).expect("endpoint"), eid);
+        Self::insert_sorted(self.incident.get_mut(&b).expect("endpoint"), eid);
+        self.port_ops += 2;
+        eid
+    }
+
+    fn remove_edge(&mut self, eid: u64) {
+        let (a, b) = self.edges.remove(&eid).expect("edge");
+        Self::remove_one(self.incident.get_mut(&a).expect("endpoint"), eid);
+        Self::remove_one(self.incident.get_mut(&b).expect("endpoint"), eid);
+        self.port_ops += 2;
+    }
+
+    /// Rewires one endpoint slot of `eid` to `to`.
+    fn redirect(&mut self, eid: u64, slot: u8, to: Vid) {
+        let ends = self.edges.get_mut(&eid).expect("edge");
+        let from = if slot == 0 { ends.0 } else { ends.1 };
+        if slot == 0 {
+            ends.0 = to;
+        } else {
+            ends.1 = to;
+        }
+        Self::remove_one(self.incident.get_mut(&from).expect("endpoint"), eid);
+        Self::insert_sorted(self.incident.get_mut(&to).expect("endpoint"), eid);
+        self.port_ops += 1;
+    }
+
+    /// Every port of `w` as `(edge id, slot)`, ascending by edge id; a
+    /// self-loop yields both slots.
+    fn occurrences(&self, w: Vid) -> Vec<PortRef> {
+        let list = &self.incident[&w];
+        let mut out = Vec::with_capacity(list.len());
+        let mut i = 0;
+        while i < list.len() {
+            let eid = list[i];
+            let (a, b) = self.edges[&eid];
+            if a == w {
+                out.push((eid, 0));
+            }
+            if b == w {
+                out.push((eid, 1));
+            }
+            // Skip the duplicate incidence entry a self-loop carries.
+            i += if a == w && b == w { 2 } else { 1 };
+        }
+        out
+    }
+
+    fn other_end(&self, eid: u64, slot: u8) -> Vid {
+        let (a, b) = self.edges[&eid];
+        if slot == 0 {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn self_loop_at(&self, w: Vid) -> Option<u64> {
+        self.incident[&w].iter().copied().find(|eid| {
+            let (a, b) = self.edges[eid];
+            a == w && b == w
+        })
+    }
+
+    fn smallest_edge_of(&self, comp: &[Vid]) -> u64 {
+        comp.iter()
+            .filter_map(|v| self.incident[v].first().copied())
+            .min()
+            .expect("component with edgeless vnode (degree 0 < d)")
+    }
+
+    /// Connected components over vids, each sorted, ordered by smallest vid.
+    fn components(&self) -> Vec<Vec<Vid>> {
+        let mut seen: BTreeMap<Vid, bool> = self.vids().map(|v| (v, false)).collect();
+        let mut comps = Vec::new();
+        for root in self.vids().collect::<Vec<_>>() {
+            if seen[&root] {
+                continue;
+            }
+            let mut comp = vec![root];
+            seen.insert(root, true);
+            let mut head = 0;
+            while head < comp.len() {
+                let v = comp[head];
+                head += 1;
+                for eid in &self.incident[&v] {
+                    let (a, b) = self.edges[eid];
+                    for u in [a, b] {
+                        if !seen[&u] {
+                            seen.insert(u, true);
+                            comp.push(u);
+                        }
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    fn insert_sorted(list: &mut Vec<u64>, eid: u64) {
+        let pos = list.partition_point(|&e| e < eid);
+        list.insert(pos, eid);
+    }
+
+    fn remove_one(list: &mut Vec<u64>, eid: u64) {
+        let pos = list.partition_point(|&e| e < eid);
+        debug_assert!(list.get(pos) == Some(&eid));
+        list.remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn bootstrap_is_regular_and_connected() {
+        for m in [1usize, 2, 3, 5, 24] {
+            let ov = Overlay::bootstrap(8, m, &mut rng());
+            ov.assert_invariants();
+            assert_eq!(ov.vnode_count(), m);
+            assert_eq!(ov.components().len(), 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn split_preserves_regularity_and_connectivity() {
+        let mut ov = Overlay::bootstrap(6, 4, &mut rng());
+        for _ in 0..20 {
+            let w = ov.vids().next().unwrap();
+            ov.split(w);
+            ov.assert_invariants();
+            assert_eq!(ov.components().len(), 1);
+        }
+        assert_eq!(ov.vnode_count(), 24);
+    }
+
+    #[test]
+    fn merge_preserves_regularity() {
+        let mut ov = Overlay::bootstrap(8, 16, &mut rng());
+        while ov.vnode_count() > 1 {
+            let vids: Vec<Vid> = ov.vids().collect();
+            ov.merge(vids[0], vids[1]);
+            ov.assert_invariants();
+            ov.ensure_connected();
+            ov.assert_invariants();
+            assert_eq!(ov.components().len(), 1);
+        }
+    }
+
+    #[test]
+    fn merge_down_to_self_loops() {
+        // Merging everything into one vnode must end at d/2 self-loops.
+        let mut ov = Overlay::bootstrap(4, 6, &mut rng());
+        let vids: Vec<Vid> = ov.vids().collect();
+        for &v in &vids[1..] {
+            ov.merge(vids[0], v);
+            ov.assert_invariants();
+        }
+        assert_eq!(ov.vnode_count(), 1);
+        assert_eq!(ov.edge_endpoints().count(), 2);
+    }
+
+    #[test]
+    fn ensure_connected_joins_components() {
+        // Two disjoint bootstraps glued into one Overlay are impossible to
+        // build through the public API, so simulate the post-merge hazard:
+        // split far apart then merge until a component could strand.
+        let mut ov = Overlay::bootstrap(4, 12, &mut rng());
+        let mut r = rng();
+        for step in 0..200 {
+            let vids: Vec<Vid> = ov.vids().collect();
+            if vids.len() > 2 && step % 3 != 0 {
+                let i = r.random_range(0..vids.len());
+                let j = (i + 1 + r.random_range(0..vids.len() - 1)) % vids.len();
+                ov.merge(vids[i.min(j)], vids[i.max(j)]);
+            } else {
+                let i = r.random_range(0..vids.len());
+                ov.split(vids[i]);
+            }
+            ov.ensure_connected();
+            ov.assert_invariants();
+            assert_eq!(ov.components().len(), 1, "step {step}");
+        }
+    }
+
+    #[test]
+    fn port_ops_monotone() {
+        let mut ov = Overlay::bootstrap(4, 4, &mut rng());
+        let before = ov.port_ops();
+        let w = ov.vids().next().unwrap();
+        ov.split(w);
+        assert!(ov.port_ops() > before);
+    }
+}

@@ -8,8 +8,18 @@
 //! snapshot against the budgets and emits **edge-triggered**
 //! [`HealthEvent`]s: one `Critical` alert when a metric crosses into
 //! breach, one `Info` recovery when it crosses back — no per-event alert
-//! spam while a breach persists (the breach state lives in the caller's
-//! [`BreachState`]).
+//! spam while a breach persists (the per-metric [`Band`] lives in the
+//! caller's [`BreachState`]).
+//!
+//! Each continuous metric optionally carries a **warn edge** between the
+//! healthy zone and the breach limit, turning the policy into a three-band
+//! machine with hysteresis: crossing the warn edge emits one `Warning`,
+//! crossing the breach limit one `Critical`, and — crucially — a metric in
+//! breach only *recovers* once it comes back past the warn edge. A value
+//! oscillating around the breach limit therefore fires exactly one alert
+//! instead of a `Critical`/`Info` pair per oscillation. Warn edges default
+//! to `None`, which collapses the warn band to zero width and reproduces
+//! the plain two-band behavior exactly.
 
 use std::fmt;
 
@@ -39,12 +49,26 @@ impl fmt::Display for MetricKind {
     }
 }
 
+/// The band a monitored metric currently sits in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Band {
+    /// Within budget (below the warn edge).
+    #[default]
+    Ok,
+    /// Past the warn edge but not the breach limit.
+    Warn,
+    /// Past the breach limit — and, by hysteresis, still past the warn
+    /// edge on the way back.
+    Breach,
+}
+
 /// One structured alert from the policy layer.
 #[derive(Clone, Debug)]
 pub struct HealthEvent {
     /// Topology generation the triggering snapshot was computed at.
     pub generation: u64,
-    /// `Critical` on breach, `Info` on recovery.
+    /// `Critical` on breach, `Warning` on entering the warn band, `Info`
+    /// on recovery.
     pub severity: Severity,
     /// The invariant concerned.
     pub metric: MetricKind,
@@ -80,16 +104,26 @@ pub struct MetricsSnapshot {
     pub components: Option<usize>,
 }
 
-/// Configurable invariant budgets. `None` disables a check.
+/// Configurable invariant budgets. `None` disables a check; `warn_*`
+/// edges are optional and add a [`Band::Warn`] buffer (with hysteresis)
+/// inside the corresponding budget.
 #[derive(Clone, Copy, Debug)]
 pub struct HealthPolicy {
     /// Alert when the max degree increase exceeds this factor. The paper
     /// guarantees O(κ); a sensible budget is `c·κ` for small `c`.
     pub max_degree_increase: Option<f64>,
+    /// Warn edge below [`HealthPolicy::max_degree_increase`] (clamped to
+    /// it): crossing it emits a `Warning`, and a degree-increase breach
+    /// only recovers once the value drops back under this edge.
+    pub warn_degree_increase: Option<f64>,
     /// Alert when λ₂ of the normalized Laplacian falls below this floor.
     pub min_spectral_gap: Option<f64>,
+    /// Warn edge above [`HealthPolicy::min_spectral_gap`] (clamped to it).
+    pub warn_spectral_gap: Option<f64>,
     /// Alert when the sweep-cut expansion estimate falls below this floor.
     pub min_expansion: Option<f64>,
+    /// Warn edge above [`HealthPolicy::min_expansion`] (clamped to it).
+    pub warn_expansion: Option<f64>,
     /// Alert when the component count exceeds this (usually 1).
     pub max_components: Option<usize>,
 }
@@ -99,68 +133,109 @@ impl Default for HealthPolicy {
     fn default() -> Self {
         HealthPolicy {
             max_degree_increase: None,
+            warn_degree_increase: None,
             min_spectral_gap: None,
+            warn_spectral_gap: None,
             min_expansion: None,
+            warn_expansion: None,
             max_components: Some(1),
         }
     }
 }
 
-/// Edge-trigger memory: which metrics are currently in breach.
+/// Edge-trigger memory: the [`Band`] each metric currently sits in.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BreachState {
-    degree_increase: bool,
-    spectral_gap: bool,
-    expansion: bool,
-    connectivity: bool,
+    degree_increase: Band,
+    spectral_gap: Band,
+    expansion: Band,
+    connectivity: Band,
 }
 
 impl BreachState {
     /// Is any monitored invariant currently in breach?
     pub fn any(&self) -> bool {
-        self.degree_increase || self.spectral_gap || self.expansion || self.connectivity
+        [
+            self.degree_increase,
+            self.spectral_gap,
+            self.expansion,
+            self.connectivity,
+        ]
+        .contains(&Band::Breach)
+    }
+
+    /// The band `metric` currently sits in.
+    pub fn band(&self, metric: MetricKind) -> Band {
+        match metric {
+            MetricKind::DegreeIncrease => self.degree_increase,
+            MetricKind::SpectralGap => self.spectral_gap,
+            MetricKind::Expansion => self.expansion,
+            MetricKind::Connectivity => self.connectivity,
+        }
     }
 }
 
 impl HealthPolicy {
     /// Compares `snap` against the budgets, appending edge-triggered
     /// alerts to `out` and updating `state`.
+    ///
+    /// Per measured metric the tuple is `(value, breach limit, warn edge,
+    /// beyond breach?, beyond warn?)`; the band machine then applies the
+    /// hysteresis rule — a metric in [`Band::Breach`] that retreats into
+    /// the warn zone *stays* in breach until it clears the warn edge too.
     pub fn evaluate(
         &self,
         snap: &MetricsSnapshot,
         state: &mut BreachState,
         out: &mut Vec<HealthEvent>,
     ) {
-        let mut check = |kind: MetricKind, breached: Option<(bool, f64, f64)>, flag: &mut bool| {
-            let Some((bad, value, limit)) = breached else {
+        let mut check = |kind: MetricKind,
+                         measured: Option<(f64, f64, f64, bool, bool)>,
+                         band: &mut Band| {
+            let Some((value, breach_lim, warn_lim, beyond_breach, beyond_warn)) = measured else {
                 return; // metric not measured this round: hold state
             };
-            if bad != *flag {
-                *flag = bad;
-                out.push(HealthEvent {
-                    generation: snap.generation,
-                    severity: if bad {
-                        Severity::Critical
-                    } else {
-                        Severity::Info
-                    },
-                    metric: kind,
-                    value,
-                    limit,
-                });
+            let next = if beyond_breach || (beyond_warn && *band == Band::Breach) {
+                Band::Breach
+            } else if beyond_warn {
+                Band::Warn
+            } else {
+                Band::Ok
+            };
+            if next == *band {
+                return;
             }
+            *band = next;
+            let (severity, limit) = match next {
+                Band::Breach => (Severity::Critical, breach_lim),
+                Band::Warn => (Severity::Warning, warn_lim),
+                Band::Ok => (Severity::Info, warn_lim),
+            };
+            out.push(HealthEvent {
+                generation: snap.generation,
+                severity,
+                metric: kind,
+                value,
+                limit,
+            });
         };
 
         check(
             MetricKind::DegreeIncrease,
-            self.max_degree_increase
-                .map(|lim| (snap.degree_increase > lim, snap.degree_increase, lim)),
+            self.max_degree_increase.map(|lim| {
+                let warn = self.warn_degree_increase.unwrap_or(lim).min(lim);
+                let v = snap.degree_increase;
+                (v, lim, warn, v > lim, v > warn)
+            }),
             &mut state.degree_increase,
         );
         check(
             MetricKind::SpectralGap,
             match (self.min_spectral_gap, snap.spectral_gap) {
-                (Some(lim), Some(v)) => Some((v < lim, v, lim)),
+                (Some(lim), Some(v)) => {
+                    let warn = self.warn_spectral_gap.unwrap_or(lim).max(lim);
+                    Some((v, lim, warn, v < lim, v < warn))
+                }
                 _ => None,
             },
             &mut state.spectral_gap,
@@ -168,7 +243,10 @@ impl HealthPolicy {
         check(
             MetricKind::Expansion,
             match (self.min_expansion, snap.expansion) {
-                (Some(lim), Some(v)) => Some((v < lim, v, lim)),
+                (Some(lim), Some(v)) => {
+                    let warn = self.warn_expansion.unwrap_or(lim).max(lim);
+                    Some((v, lim, warn, v < lim, v < warn))
+                }
                 _ => None,
             },
             &mut state.expansion,
@@ -176,7 +254,10 @@ impl HealthPolicy {
         check(
             MetricKind::Connectivity,
             match (self.max_components, snap.components) {
-                (Some(lim), Some(c)) => Some((c > lim, c as f64, lim as f64)),
+                (Some(lim), Some(c)) => {
+                    let (v, l) = (c as f64, lim as f64);
+                    Some((v, l, l, c > lim, c > lim))
+                }
                 _ => None,
             },
             &mut state.connectivity,
@@ -193,8 +274,7 @@ mod tests {
         let policy = HealthPolicy {
             max_degree_increase: Some(4.0),
             min_spectral_gap: Some(0.05),
-            min_expansion: None,
-            max_components: Some(1),
+            ..HealthPolicy::default()
         };
         let mut state = BreachState::default();
         let mut out = Vec::new();
@@ -248,12 +328,94 @@ mod tests {
     }
 
     #[test]
+    fn warn_band_and_hysteresis() {
+        let policy = HealthPolicy {
+            max_degree_increase: Some(4.0),
+            warn_degree_increase: Some(3.0),
+            ..HealthPolicy::default()
+        };
+        let mut state = BreachState::default();
+        let mut out = Vec::new();
+        let at = |generation: u64, degree_increase: f64| MetricsSnapshot {
+            generation,
+            degree_increase,
+            components: Some(1),
+            ..MetricsSnapshot::default()
+        };
+
+        // Ok → Warn: one Warning against the warn edge.
+        policy.evaluate(&at(1, 3.5), &mut state, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].limit, 3.0);
+        assert_eq!(state.band(MetricKind::DegreeIncrease), Band::Warn);
+        assert!(!state.any(), "warn is not a breach");
+
+        // Warn → Breach: one Critical against the breach limit.
+        policy.evaluate(&at(2, 4.5), &mut state, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].severity, Severity::Critical);
+        assert_eq!(out[1].limit, 4.0);
+        assert!(state.any());
+
+        // Oscillating around the breach limit while above the warn edge:
+        // hysteresis holds the breach, no alert flapping.
+        for (gen, v) in [(3, 3.9), (4, 4.1), (5, 3.2)] {
+            policy.evaluate(&at(gen, v), &mut state, &mut out);
+        }
+        assert_eq!(out.len(), 2, "no events inside the hysteresis band");
+        assert_eq!(state.band(MetricKind::DegreeIncrease), Band::Breach);
+
+        // Only clearing the warn edge recovers — straight to Ok.
+        policy.evaluate(&at(6, 2.0), &mut state, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].severity, Severity::Info);
+        assert_eq!(out[2].limit, 3.0, "recovery is judged at the warn edge");
+        assert_eq!(state.band(MetricKind::DegreeIncrease), Band::Ok);
+
+        // Warn → Ok also recovers with an Info.
+        policy.evaluate(&at(7, 3.5), &mut state, &mut out);
+        policy.evaluate(&at(8, 1.0), &mut state, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[3].severity, Severity::Warning);
+        assert_eq!(out[4].severity, Severity::Info);
+    }
+
+    #[test]
+    fn warn_floor_guards_lower_bounded_metrics() {
+        // Spectral gap: breach below 0.05, warn below 0.1.
+        let policy = HealthPolicy {
+            min_spectral_gap: Some(0.05),
+            warn_spectral_gap: Some(0.1),
+            max_components: None,
+            ..HealthPolicy::default()
+        };
+        let mut state = BreachState::default();
+        let mut out = Vec::new();
+        let gap = |generation: u64, g: f64| MetricsSnapshot {
+            generation,
+            spectral_gap: Some(g),
+            ..MetricsSnapshot::default()
+        };
+        policy.evaluate(&gap(1, 0.08), &mut state, &mut out);
+        assert_eq!(out.last().unwrap().severity, Severity::Warning);
+        policy.evaluate(&gap(2, 0.04), &mut state, &mut out);
+        assert_eq!(out.last().unwrap().severity, Severity::Critical);
+        // Back into the warn zone: still breached (hysteresis).
+        policy.evaluate(&gap(3, 0.08), &mut state, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(state.band(MetricKind::SpectralGap), Band::Breach);
+        policy.evaluate(&gap(4, 0.2), &mut state, &mut out);
+        assert_eq!(out.last().unwrap().severity, Severity::Info);
+        assert_eq!(state.band(MetricKind::SpectralGap), Band::Ok);
+    }
+
+    #[test]
     fn unmeasured_metrics_hold_state() {
         let policy = HealthPolicy {
-            max_degree_increase: None,
             min_spectral_gap: Some(0.1),
-            min_expansion: None,
             max_components: None,
+            ..HealthPolicy::default()
         };
         let mut state = BreachState::default();
         let mut out = Vec::new();

@@ -62,10 +62,10 @@ use std::rc::Rc;
 use xheal_core::{Event, Outcome, TopologyDelta, TopologySink};
 use xheal_graph::Graph;
 use xheal_spectral::sweep_cut_csr;
-use xheal_workload::{HealthNote, RunObserver};
+use xheal_workload::{HealthNote, RunObserver, Severity};
 
 pub use csr::{DeltaEffect, IncrementalCsr};
-pub use health::{BreachState, HealthEvent, HealthPolicy, MetricKind, MetricsSnapshot};
+pub use health::{Band, BreachState, HealthEvent, HealthPolicy, MetricKind, MetricsSnapshot};
 pub use metrics::{
     component_count, sampled_stretch, DegreeHistogram, DegreeIncreaseTracker, GPrimeShadow,
     StretchReservoir,
@@ -83,6 +83,10 @@ pub struct MonitorConfig {
     pub stretch_window: u64,
     /// Seed for the reservoir's replacement randomness.
     pub seed: u64,
+    /// Additionally chase λ₃ of the normalized Laplacian at checkpoints
+    /// (a second deflated Lanczos sweep; see
+    /// [`SpectralGapTracker::with_lambda3`]). Off by default.
+    pub track_lambda3: bool,
 }
 
 impl Default for MonitorConfig {
@@ -92,6 +96,7 @@ impl Default for MonitorConfig {
             stretch_capacity: 16,
             stretch_window: 4096,
             seed: 0x5EED,
+            track_lambda3: false,
         }
     }
 }
@@ -118,6 +123,9 @@ pub struct HealthReport {
     pub components: usize,
     /// Warm-started λ₂ of the normalized Laplacian.
     pub spectral_gap: GapEstimate,
+    /// Warm-started λ₃ of the normalized Laplacian, `Some` only when
+    /// [`MonitorConfig::track_lambda3`] is on and the graph has ≥ 3 nodes.
+    pub lambda3: Option<f64>,
     /// Sweep-cut expansion estimate (constructive upper bound on `h`),
     /// `None` for degenerate graphs.
     pub expansion: Option<f64>,
@@ -186,7 +194,11 @@ impl Monitor {
                 config.stretch_window,
                 config.seed,
             ),
-            spectral: SpectralGapTracker::new(),
+            spectral: if config.track_lambda3 {
+                SpectralGapTracker::with_lambda3()
+            } else {
+                SpectralGapTracker::new()
+            },
             policy: config.policy,
             breaches: BreachState::default(),
             alerts: Vec::new(),
@@ -288,6 +300,7 @@ impl Monitor {
             degree_increase: self.degree_increase.max(),
             components,
             spectral_gap: gap,
+            lambda3: gap.lambda3,
             expansion,
             stretch,
         }
@@ -456,7 +469,19 @@ impl RunObserver for MonitorHook {
             "monitor drifted from the engine graph"
         );
         if self.checkpoint_every != 0 && (step + 1) % self.checkpoint_every == 0 {
-            monitor.checkpoint();
+            let report = monitor.checkpoint();
+            // Surface the spectral pair in the run record when λ₃ is
+            // tracked; λ₂-only runs keep their historical note stream.
+            if let Some(l3) = report.lambda3 {
+                self.notes.push(HealthNote {
+                    step,
+                    severity: Severity::Info,
+                    message: format!(
+                        "checkpoint gen {}: lambda2={:.6}, lambda3={:.6}",
+                        report.generation, report.spectral_gap.lambda, l3
+                    ),
+                });
+            }
         } else {
             monitor.evaluate_policy();
         }
@@ -562,9 +587,7 @@ mod tests {
         let config = MonitorConfig {
             policy: HealthPolicy {
                 max_degree_increase: Some(1.0),
-                min_spectral_gap: None,
-                min_expansion: None,
-                max_components: Some(1),
+                ..HealthPolicy::default()
             },
             ..MonitorConfig::default()
         };
@@ -587,6 +610,37 @@ mod tests {
             summary.health
         );
         assert_eq!(summary.worst_severity(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn hook_notes_spectral_pair_at_checkpoints_when_lambda3_tracked() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let g0 = generators::connected_erdos_renyi(20, 0.2, &mut rng);
+        let config = MonitorConfig {
+            track_lambda3: true,
+            ..MonitorConfig::default()
+        };
+        let monitor = Rc::new(RefCell::new(Monitor::new(&g0, config)));
+        let mut net = Xheal::builder()
+            .kappa(4)
+            .seed(7)
+            .sink(Box::new(Rc::clone(&monitor)))
+            .build(&g0);
+        let mut adv = RandomChurn::new(0.4, 1, 2, &g0);
+        let mut hook = MonitorHook::new(Rc::clone(&monitor), 5);
+        let summary = run_observed(&mut net, &mut adv, 20, 77, &mut hook);
+        let spectral_notes: Vec<_> = summary
+            .health
+            .iter()
+            .filter(|h| h.severity == Severity::Info && h.message.contains("lambda3="))
+            .collect();
+        assert_eq!(
+            spectral_notes.len(),
+            4,
+            "one Info note per checkpoint: {:?}",
+            summary.health
+        );
+        assert!(spectral_notes[0].message.contains("lambda2="));
     }
 
     #[test]

@@ -285,6 +285,14 @@ impl GPrimeShadow {
         self.adj.len()
     }
 
+    /// Number of recorded insertion edges. A shadow with zero edges marks
+    /// a *reference-free* engine (e.g. one that rebuilds its topology from
+    /// membership alone and never installs black edges): every
+    /// reference-relative metric is vacuous then.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(Vec::len).sum::<usize>() / 2
+    }
+
     /// BFS distances from `s` in `G'` (dead nodes are traversed — a
     /// baseline shortest path may run through them, per the model).
     pub fn bfs(&self, s: NodeId) -> FxHashMap<NodeId, u32> {

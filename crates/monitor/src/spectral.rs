@@ -11,7 +11,9 @@
 //! (asserted by the `monitor_overhead` harness).
 
 use xheal_graph::{CsrView, FxHashMap, NodeId};
-use xheal_spectral::{lanczos_deflated, lanczos_deflated_from, CsrNormalizedLaplacian, LinOp};
+use xheal_spectral::{
+    lanczos_multi_deflated, lanczos_multi_deflated_from, CsrNormalizedLaplacian, LinOp,
+};
 
 /// Lanczos steps per warm restart sweep.
 const WARM_STEPS: usize = 24;
@@ -28,34 +30,62 @@ pub struct GapEstimate {
     /// λ₂ of the normalized Laplacian (0.0 for degenerate graphs, matching
     /// `normalized_algebraic_connectivity`).
     pub lambda: f64,
-    /// Restart sweeps spent (0 for degenerate graphs).
+    /// λ₃ of the normalized Laplacian, chased only when the tracker was
+    /// built with [`SpectralGapTracker::with_lambda3`] and the graph has at
+    /// least three nodes. The λ₂/λ₃ pair separates "the whole graph is
+    /// loosening" from "one cut is about to open": a collapsing λ₂ with a
+    /// healthy λ₃ pins the damage to a single near-disconnecting cut.
+    pub lambda3: Option<f64>,
+    /// Restart sweeps spent on the λ₂ chase (0 for degenerate graphs).
     pub restarts: usize,
-    /// Final residual `‖L v − λ v‖` (0.0 for degenerate graphs).
+    /// Final λ₂ residual `‖L v − λ v‖` (0.0 for degenerate graphs).
     pub residual: f64,
 }
 
 /// Carries the Fiedler estimate across topology generations, keyed by node
-/// id so it survives node churn and CSR renumbering.
+/// id so it survives node churn and CSR renumbering. With
+/// [`SpectralGapTracker::with_lambda3`] it additionally chases λ₃ through a
+/// second deflated sweep — deflating {kernel, current Fiedler estimate} and
+/// warm-starting from the previous λ₃ eigenvector.
 #[derive(Clone, Debug, Default)]
 pub struct SpectralGapTracker {
     prev: FxHashMap<NodeId, f64>,
+    prev3: FxHashMap<NodeId, f64>,
+    track_lambda3: bool,
 }
 
 impl SpectralGapTracker {
-    /// Fresh tracker (the first estimate runs cold).
+    /// Fresh tracker (the first estimate runs cold); λ₂ only.
     pub fn new() -> Self {
         SpectralGapTracker::default()
     }
 
+    /// Fresh tracker that also chases λ₃ on every estimate.
+    pub fn with_lambda3() -> Self {
+        SpectralGapTracker {
+            track_lambda3: true,
+            ..SpectralGapTracker::default()
+        }
+    }
+
+    /// Whether this tracker chases λ₃ in addition to λ₂.
+    pub fn tracks_lambda3(&self) -> bool {
+        self.track_lambda3
+    }
+
     /// Estimates λ₂ of the normalized Laplacian of `csr`, warm-started from
     /// the previous call's Fiedler vector, and stores the new vector for
-    /// the next call.
+    /// the next call. When λ₃ tracking is on, runs a second deflated chase
+    /// for λ₃ (warm-started from the previous λ₃ vector) with the fresh
+    /// Fiedler estimate joining the kernel in the deflation set.
     pub fn estimate(&mut self, csr: &CsrView) -> GapEstimate {
         let n = csr.len();
         if n < 2 || csr.edge_count() == 0 {
             self.prev.clear();
+            self.prev3.clear();
             return GapEstimate {
                 lambda: 0.0,
+                lambda3: None,
                 restarts: 0,
                 residual: 0.0,
             };
@@ -64,39 +94,90 @@ impl SpectralGapTracker {
         let kernel = op.kernel();
         let steps = WARM_STEPS.min(n - 1).max(1);
 
-        // Warm start: the previous estimate mapped onto the current node
-        // order (nodes that joined since get a small nonzero component so a
-        // grown graph still explores its new coordinates).
-        let mut start: Vec<f64> = csr
-            .nodes()
+        let start = Self::warm_start(&self.prev, csr);
+        let (best, restarts) = Self::chase(&op, &[&kernel], &start, steps, 0x5EED);
+        let Some((lambda, vec, residual)) = best else {
+            self.prev.clear();
+            self.prev3.clear();
+            return GapEstimate {
+                lambda: 0.0,
+                lambda3: None,
+                restarts,
+                residual: 0.0,
+            };
+        };
+        self.prev.clear();
+        for (i, &v) in csr.nodes().iter().enumerate() {
+            self.prev.insert(v, vec[i]);
+        }
+
+        let lambda3 = if self.track_lambda3 && n >= 3 {
+            let start3 = Self::warm_start(&self.prev3, csr);
+            let (best3, _) = Self::chase(&op, &[&kernel, &vec], &start3, steps, 0x5EED3);
+            self.prev3.clear();
+            best3.map(|(l3, v3, _)| {
+                for (i, &v) in csr.nodes().iter().enumerate() {
+                    self.prev3.insert(v, v3[i]);
+                }
+                l3.max(0.0)
+            })
+        } else {
+            self.prev3.clear();
+            None
+        };
+        GapEstimate {
+            lambda: lambda.max(0.0),
+            lambda3,
+            restarts,
+            residual,
+        }
+    }
+
+    /// Maps a previous eigenvector estimate onto the current node order.
+    /// Nodes that joined since get a small alternating nonzero component so
+    /// a grown graph still explores its new coordinates.
+    fn warm_start(prev: &FxHashMap<NodeId, f64>, csr: &CsrView) -> Vec<f64> {
+        csr.nodes()
             .iter()
             .enumerate()
             .map(|(i, v)| {
-                self.prev
-                    .get(v)
+                prev.get(v)
                     .copied()
                     .unwrap_or_else(|| if i % 2 == 0 { 1e-3 } else { -1e-3 })
             })
-            .collect();
+            .collect()
+    }
 
+    /// Restarted warm Lanczos sweeps against a fixed deflation set: returns
+    /// the best `(ritz value, vector, residual)` triple and the sweeps
+    /// spent. A warm vector that deflates to zero (e.g. the whole previous
+    /// estimate died with deleted nodes) falls back to seeded noise.
+    #[allow(clippy::type_complexity)]
+    fn chase(
+        op: &dyn LinOp,
+        deflates: &[&[f64]],
+        start: &[f64],
+        steps: usize,
+        seed: u64,
+    ) -> (Option<(f64, Vec<f64>, f64)>, usize) {
+        let mut start = start.to_vec();
         let mut best: Option<(f64, Vec<f64>, f64)> = None;
         let mut restarts = 0;
         while restarts < MAX_RESTARTS {
             restarts += 1;
-            let r = match lanczos_deflated_from(&op, &kernel, &start, steps) {
+            let r = match lanczos_multi_deflated_from(op, deflates, &start, steps) {
                 Some(r) => r,
-                // The warm vector deflated to zero (e.g. the whole previous
-                // estimate died with deleted nodes): fall back to noise.
-                None => match lanczos_deflated(&op, &kernel, steps, 0x5EED ^ restarts as u64) {
+                None => match lanczos_multi_deflated(op, deflates, steps, seed ^ restarts as u64) {
                     Some(r) => r,
                     None => break,
                 },
             };
             let lambda = r.ritz_values[0];
             let vec = r.smallest_vector;
-            let sweep_residual = Self::residual(&op, lambda, &vec);
-            // Ritz values bound λ₂ from above, so the smallest sweep wins;
-            // its residual travels with it (never a later sweep's).
+            let sweep_residual = Self::residual(op, lambda, &vec);
+            // Ritz values bound the target from above, so the smallest
+            // sweep wins; its residual travels with it (never a later
+            // sweep's).
             let improved = best.as_ref().is_none_or(|&(l, _, _)| lambda <= l + 1e-15);
             if improved {
                 best = Some((lambda, vec.clone(), sweep_residual));
@@ -106,24 +187,7 @@ impl SpectralGapTracker {
             }
             start = vec;
         }
-
-        let Some((lambda, vec, residual)) = best else {
-            self.prev.clear();
-            return GapEstimate {
-                lambda: 0.0,
-                restarts,
-                residual: 0.0,
-            };
-        };
-        self.prev.clear();
-        for (i, &v) in csr.nodes().iter().enumerate() {
-            self.prev.insert(v, vec[i]);
-        }
-        GapEstimate {
-            lambda: lambda.max(0.0),
-            restarts,
-            residual,
-        }
+        (best, restarts)
     }
 
     fn residual(op: &dyn LinOp, lambda: f64, v: &[f64]) -> f64 {
@@ -182,6 +246,43 @@ mod tests {
             warm.restarts,
             cold.restarts
         );
+    }
+
+    #[test]
+    fn lambda3_matches_dense_reference() {
+        use xheal_spectral::{jacobi_eigen, normalized_laplacian_dense};
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut g = generators::random_regular(60, 6, &mut rng);
+        let mut tr = SpectralGapTracker::with_lambda3();
+        assert!(tr.tracks_lambda3());
+        for round in 0..3 {
+            let est = tr.estimate(&g.csr_view());
+            let (_, m) = normalized_laplacian_dense(&g);
+            let eig = jacobi_eigen(&m);
+            assert!(
+                (est.lambda - eig.values[1]).abs() < 1e-6,
+                "round {round}: λ₂ {} vs dense {}",
+                est.lambda,
+                eig.values[1]
+            );
+            let l3 = est.lambda3.expect("λ₃ tracked");
+            assert!(
+                (l3 - eig.values[2]).abs() < 1e-6,
+                "round {round}: λ₃ {l3} vs dense {}",
+                eig.values[2]
+            );
+            // Perturb for the next (warm) round.
+            g.remove_node(NodeId::new(round as u64)).unwrap();
+        }
+    }
+
+    #[test]
+    fn lambda3_is_off_by_default() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::random_regular(40, 4, &mut rng);
+        let mut tr = SpectralGapTracker::new();
+        assert!(!tr.tracks_lambda3());
+        assert!(tr.estimate(&g.csr_view()).lambda3.is_none());
     }
 
     #[test]

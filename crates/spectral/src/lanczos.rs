@@ -56,6 +56,29 @@ pub struct LanczosResult {
     pub smallest_vector: Vec<f64>,
 }
 
+/// Orthonormalizes `vs` by (twice-repeated) Gram–Schmidt, dropping vectors
+/// that are numerically dependent on earlier ones or zero.
+fn orthonormalize(vs: &[&[f64]]) -> Vec<Vec<f64>> {
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(vs.len());
+    for v in vs {
+        let mut u = v.to_vec();
+        for _ in 0..2 {
+            for b in &basis {
+                let c = dot(&u, b);
+                axpy(&mut u, -c, b);
+            }
+        }
+        let nu = norm(&u);
+        if nu > 1e-12 {
+            for x in &mut u {
+                *x /= nu;
+            }
+            basis.push(u);
+        }
+    }
+    basis
+}
+
 /// Runs Lanczos on `op` restricted to the orthogonal complement of
 /// `deflate` (typically the all-ones vector for a Laplacian), for at most
 /// `max_steps` iterations, starting from seeded noise.
@@ -67,11 +90,7 @@ pub fn lanczos_deflated(
     max_steps: usize,
     seed: u64,
 ) -> Option<LanczosResult> {
-    if op.dim() < 2 {
-        return None;
-    }
-    let start = seeded_vector(op.dim(), seed);
-    lanczos_deflated_from(op, deflate, &start, max_steps)
+    lanczos_multi_deflated(op, &[deflate], max_steps, seed)
 }
 
 /// Like [`lanczos_deflated`], but **warm-started**: the first Krylov vector
@@ -89,20 +108,48 @@ pub fn lanczos_deflated_from(
     start: &[f64],
     max_steps: usize,
 ) -> Option<LanczosResult> {
+    lanczos_multi_deflated_from(op, &[deflate], start, max_steps)
+}
+
+/// [`lanczos_deflated`] against a whole deflation *set*: the iteration runs
+/// on the orthogonal complement of `span(deflates)`, so with the kernel and
+/// the Fiedler vector deflated the smallest Ritz value is λ₃ — the
+/// second-order drift signal the monitor's tracker chases. Starts from
+/// seeded noise.
+pub fn lanczos_multi_deflated(
+    op: &dyn LinOp,
+    deflates: &[&[f64]],
+    max_steps: usize,
+    seed: u64,
+) -> Option<LanczosResult> {
+    if op.dim() < 2 {
+        return None;
+    }
+    let start = seeded_vector(op.dim(), seed);
+    lanczos_multi_deflated_from(op, deflates, &start, max_steps)
+}
+
+/// The warm-started multi-vector twin of [`lanczos_deflated_from`]:
+/// deflates every vector in `deflates` (orthonormalized internally;
+/// dependent or zero vectors are dropped) and starts the Krylov basis from
+/// `start`.
+pub fn lanczos_multi_deflated_from(
+    op: &dyn LinOp,
+    deflates: &[&[f64]],
+    start: &[f64],
+    max_steps: usize,
+) -> Option<LanczosResult> {
     let n = op.dim();
     if n < 2 {
         return None;
     }
-    assert_eq!(deflate.len(), n, "deflation vector dimension mismatch");
+    for d in deflates {
+        assert_eq!(d.len(), n, "deflation vector dimension mismatch");
+    }
     assert_eq!(start.len(), n, "start vector dimension mismatch");
-    let dnorm = norm(deflate);
-    let unit_deflate: Option<Vec<f64>> = if dnorm > 0.0 {
-        Some(deflate.iter().map(|v| v / dnorm).collect())
-    } else {
-        None
-    };
+    let deflate_basis = orthonormalize(deflates);
     let project = |v: &mut [f64]| {
-        if let Some(u) = &unit_deflate {
+        for u in &deflate_basis {
             let c = dot(v, u);
             axpy(v, -c, u);
         }
@@ -210,6 +257,32 @@ mod tests {
         let r = lanczos_deflated(&m, &deflate, 10, 3).unwrap();
         let d = dot(&r.smallest_vector, &deflate);
         assert!(d.abs() < 1e-8, "dot with deflation vector = {d}");
+    }
+
+    #[test]
+    fn multi_deflation_recovers_third_eigenvalue() {
+        // diag(0, 1, 5, 9): deflating e0 and e1 leaves 5 as the smallest.
+        let mut m = SymMatrix::zeros(4);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 5.0);
+        m.set(3, 3, 9.0);
+        let d0 = vec![1.0, 0.0, 0.0, 0.0];
+        let d1 = vec![0.0, 1.0, 0.0, 0.0];
+        let r = lanczos_multi_deflated(&m, &[&d0, &d1], 10, 11).unwrap();
+        assert!((r.ritz_values[0] - 5.0).abs() < 1e-9, "{:?}", r.ritz_values);
+    }
+
+    #[test]
+    fn dependent_deflation_vectors_are_dropped() {
+        // Both deflation vectors span the same line; only one component is
+        // removed, so the smallest remaining eigenvalue is 1, not 5.
+        let mut m = SymMatrix::zeros(3);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 5.0);
+        let d0 = vec![1.0, 0.0, 0.0];
+        let d1 = vec![2.0, 0.0, 0.0];
+        let r = lanczos_multi_deflated(&m, &[&d0, &d1], 10, 13).unwrap();
+        assert!((r.ritz_values[0] - 1.0).abs() < 1e-9, "{:?}", r.ritz_values);
     }
 
     #[test]

@@ -40,7 +40,10 @@ mod tridiag;
 
 pub use dense::SymMatrix;
 pub use jacobi::{jacobi_eigen, EigenDecomposition};
-pub use lanczos::{lanczos_deflated, lanczos_deflated_from, LanczosResult, LinOp};
+pub use lanczos::{
+    lanczos_deflated, lanczos_deflated_from, lanczos_multi_deflated, lanczos_multi_deflated_from,
+    LanczosResult, LinOp,
+};
 pub use laplacian::{
     algebraic_connectivity, algebraic_connectivity_csr, fiedler_vector, fiedler_vector_csr,
     laplacian_dense, laplacian_dense_csr, laplacian_spectrum, normalized_algebraic_connectivity,

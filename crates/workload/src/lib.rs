@@ -11,6 +11,11 @@
 //! reference graph `G'` and aggregating the structured
 //! [`xheal_core::Outcome`]s.
 //!
+//! The [`run_arena`] harness composes all of it into a cross-algorithm
+//! shoot-out: [`standard_registry`] builds every engine in the workspace,
+//! [`ArenaSchedule::standard`] fixes three seeded adversary tapes, and any
+//! [`ArenaScorer`] turns each run into a trade-off [`ArenaMatrix`] cell.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,11 +35,16 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod arena;
 mod runner;
 mod traffic;
 
 pub use adversary::{
     bfs_rack, Adversary, BurstDeletions, DeleteOnly, InsertOnly, RandomChurn, Scripted, Targeting,
+};
+pub use arena::{
+    run_arena, standard_registry, ArenaCell, ArenaMatrix, ArenaQuality, ArenaSchedule, ArenaScorer,
+    NoScorer,
 };
 pub use runner::{replay, run, run_observed, HealthNote, RunObserver, RunSummary, Severity};
 pub use traffic::{

@@ -30,8 +30,8 @@ use rand::{Rng, SeedableRng};
 use xheal_graph::{CsrView, NodeId};
 
 /// Per-message routing state carried through the engine: where the
-/// request is going, how far it has come, and how many hops it may still
-/// take before it is declared lost.
+/// request is going, how far it has come, how many hops it may still
+/// take before it is declared lost, and when it entered the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoutingRequest {
     /// Destination node.
@@ -40,6 +40,10 @@ pub struct RoutingRequest {
     pub hops: u32,
     /// Remaining hop budget.
     pub ttl: u32,
+    /// Engine tick the request was injected at. Completion tick minus
+    /// `born` is the request's end-to-end tick latency (hops *and* link
+    /// delays), the quantity behind the benchmark's latency percentiles.
+    pub born: u64,
 }
 
 /// Seeded source of routing pairs over a snapshot's live nodes.

@@ -23,14 +23,20 @@ fn main() {
     describe("initial overlay", &g0);
 
     // Budgets for the Theorem 2 invariant family. The degree budget is
-    // deliberately tight so the dashboard has something to show.
+    // deliberately tight so the dashboard has something to show, and the
+    // warn edges put a hysteresis band inside each budget: one Warning on
+    // the way in, no Critical/Info flapping around the breach limit.
     let config = MonitorConfig {
         policy: HealthPolicy {
             max_degree_increase: Some(3.0),
+            warn_degree_increase: Some(2.5),
             min_spectral_gap: Some(0.02),
+            warn_spectral_gap: Some(0.03),
             min_expansion: Some(0.05),
+            warn_expansion: Some(0.07),
             max_components: Some(1),
         },
+        track_lambda3: true,
         ..MonitorConfig::default()
     };
     let monitor = Rc::new(RefCell::new(Monitor::new(&g0, config)));
@@ -74,10 +80,11 @@ fn main() {
         fmt(report.degree_increase)
     );
     println!(
-        "components {}   spectral gap {} ({} warm restarts)   expansion {}   stretch {}",
+        "components {}   spectral gap {} ({} warm restarts)   lambda3 {}   expansion {}   stretch {}",
         report.components,
         fmt(report.spectral_gap.lambda),
         report.spectral_gap.restarts,
+        report.lambda3.map_or("n/a".into(), fmt),
         report.expansion.map_or("n/a".into(), fmt),
         report.stretch.map_or("n/a".into(), fmt),
     );

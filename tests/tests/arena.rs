@@ -1,0 +1,242 @@
+//! Cross-crate arena integration: DEX invariants under arbitrary churn
+//! (property tests) and the ten-engine arena harness end to end, including
+//! a monitor-backed scorer so every engine's delta stream is checked in
+//! debug mode.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use xheal_core::{DeltaMirror, Event, HealingEngine, Outcome};
+use xheal_dex::{Dex, DexConfig};
+use xheal_graph::{components, generators, Graph};
+use xheal_monitor::{Monitor, MonitorConfig, MonitorHook};
+use xheal_workload::{
+    replay, run, run_arena, run_observed, standard_registry, ArenaQuality, ArenaSchedule,
+    ArenaScorer, BurstDeletions, HealthNote, NoScorer, RandomChurn, RunObserver, RunSummary,
+    Severity,
+};
+
+/// Observer asserting DEX's hard invariants after every applied event:
+/// the constant-degree cap and connectivity.
+struct DexInvariantCheck {
+    bound: usize,
+}
+
+impl RunObserver for DexInvariantCheck {
+    fn on_event(&mut self, step: usize, _: &Event, _: &Outcome, graph: &Graph) {
+        for v in graph.node_vec() {
+            let d = graph.degree(v).expect("live node");
+            assert!(
+                d <= self.bound,
+                "step {step}: degree {d} of {v} exceeds {}",
+                self.bound
+            );
+        }
+        assert!(
+            graph.node_count() == 0 || components::is_connected(graph),
+            "step {step}: projection disconnected"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mixed insert/delete churn never breaks DEX's constant-degree bound
+    /// or connectivity — checked after *every* event, not just at the end.
+    #[test]
+    fn dex_bound_and_connectivity_under_churn(
+        seed in any::<u64>(),
+        n in 8usize..24,
+        steps in 10usize..40,
+        p_insert in 0.2f64..0.7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g0 = generators::connected_erdos_renyi(n, 0.2, &mut rng);
+        let mut dex = Dex::new(&g0, DexConfig { seed: seed ^ 1, ..DexConfig::default() });
+        let bound = dex.degree_bound();
+        let mut adv = RandomChurn::new(p_insert, 2, 4, &g0);
+        let mut check = DexInvariantCheck { bound };
+        run_observed(&mut dex, &mut adv, steps, seed ^ 2, &mut check);
+        dex.assert_invariants();
+    }
+
+    /// Clustered `DeleteBatch` racks (adjacent victims, whole-rack kills)
+    /// respect the same invariants.
+    #[test]
+    fn dex_survives_batch_racks(
+        seed in any::<u64>(),
+        n in 14usize..30,
+        steps in 8usize..24,
+    ) {
+        let g0 = generators::ring_with_chords(n);
+        let mut dex = Dex::new(&g0, DexConfig { seed: seed ^ 5, ..DexConfig::default() });
+        let bound = dex.degree_bound();
+        let mut adv = BurstDeletions::new(3, 3, 3, 6, &g0);
+        let mut check = DexInvariantCheck { bound };
+        run_observed(&mut dex, &mut adv, steps, seed ^ 6, &mut check);
+        dex.assert_invariants();
+    }
+
+    /// The same event tape replayed onto fresh DEX instances lands on
+    /// bit-identical graphs: the engine is deterministic in (seed, tape).
+    #[test]
+    fn dex_is_deterministic_across_reruns(
+        seed in any::<u64>(),
+        n in 8usize..20,
+        steps in 8usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g0 = generators::connected_erdos_renyi(n, 0.2, &mut rng);
+        let cfg = DexConfig { seed: seed ^ 9, ..DexConfig::default() };
+        let mut live = Dex::new(&g0, cfg);
+        let mut adv = RandomChurn::new(0.5, 2, 4, &g0);
+        let summary = run(&mut live, &mut adv, steps, seed ^ 10);
+
+        let mut a = Dex::new(&g0, cfg);
+        let mut b = Dex::new(&g0, cfg);
+        replay(&mut a, &summary.events);
+        replay(&mut b, &summary.events);
+        prop_assert_eq!(a.graph(), b.graph());
+        prop_assert_eq!(a.graph(), live.graph());
+        prop_assert_eq!(
+            a.graph().edge_fingerprint(),
+            live.graph().edge_fingerprint()
+        );
+    }
+
+    /// A `DeltaMirror` fed from DEX's subscription stream reconstructs the
+    /// engine graph exactly under mixed churn — the delta stream is
+    /// complete and minimal.
+    #[test]
+    fn dex_delta_stream_rebuilds_the_graph(
+        seed in any::<u64>(),
+        n in 8usize..20,
+        steps in 8usize..30,
+        p_insert in 0.2f64..0.7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g0 = generators::connected_erdos_renyi(n, 0.2, &mut rng);
+        let mut dex = Dex::new(&g0, DexConfig { seed: seed ^ 3, ..DexConfig::default() });
+        // Mirror the *post-construction* graph: DEX rebuilds its topology,
+        // so the subscription baseline is its bootstrap projection.
+        let mirror = Rc::new(RefCell::new(DeltaMirror::new(dex.graph())));
+        dex.subscribe(Box::new(Rc::clone(&mirror)));
+        let mut adv = RandomChurn::new(p_insert, 2, 4, &g0);
+        run(&mut dex, &mut adv, steps, seed ^ 4);
+        let rebuilt = mirror.borrow();
+        prop_assert_eq!(rebuilt.graph(), dex.graph());
+    }
+}
+
+/// Monitor-backed scorer (mirrors the arena bench bin's): exercises every
+/// engine's delta stream against the monitor's drift `debug_assert`s.
+struct MonitorScorer {
+    monitor: Rc<RefCell<Monitor>>,
+    hook: MonitorHook,
+}
+
+impl MonitorScorer {
+    fn new(initial: &Graph) -> Self {
+        let config = MonitorConfig {
+            track_lambda3: true,
+            ..MonitorConfig::default()
+        };
+        let monitor = Rc::new(RefCell::new(Monitor::new(initial, config)));
+        let hook = MonitorHook::new(Rc::clone(&monitor), 8);
+        MonitorScorer { monitor, hook }
+    }
+}
+
+impl RunObserver for MonitorScorer {
+    fn on_event(&mut self, step: usize, event: &Event, outcome: &Outcome, graph: &Graph) {
+        self.hook.on_event(step, event, outcome, graph);
+    }
+
+    fn drain_notes(&mut self) -> Vec<HealthNote> {
+        self.hook.drain_notes()
+    }
+}
+
+impl ArenaScorer for MonitorScorer {
+    fn attach(&mut self, engine: &mut dyn HealingEngine) {
+        engine.subscribe(Box::new(Rc::clone(&self.monitor)));
+    }
+
+    fn finish(&mut self, graph: &Graph, summary: &RunSummary) -> ArenaQuality {
+        let mut m = self.monitor.borrow_mut();
+        assert_eq!(
+            (m.node_count(), m.edge_count()),
+            (graph.node_count(), graph.edge_count()),
+            "monitor drifted from the engine graph"
+        );
+        let report = m.checkpoint();
+        ArenaQuality {
+            max_degree: report.max_degree,
+            degree_increase: Some(report.degree_increase),
+            stretch: report.stretch,
+            expansion: report.expansion,
+            spectral_gap: Some(report.spectral_gap.lambda),
+            lambda3: report.lambda3,
+            components: report.components,
+            warn_notes: summary
+                .health
+                .iter()
+                .filter(|h| h.severity == Severity::Warning)
+                .count(),
+            critical_notes: summary
+                .health
+                .iter()
+                .filter(|h| h.severity == Severity::Critical)
+                .count(),
+        }
+    }
+}
+
+/// The full ten-engine arena with the dependency-free scorer: every cell
+/// present, every engine driven through every schedule.
+#[test]
+fn arena_covers_ten_engines_by_three_schedules() {
+    let g0 = generators::ring_with_chords(28);
+    let reg = standard_registry(4);
+    let matrix = run_arena(&reg, &ArenaSchedule::standard(15), &g0, 11, |_, _, _| {
+        NoScorer
+    });
+    assert!(matrix.is_complete());
+    assert_eq!(matrix.cells.len(), 30);
+    assert_eq!(matrix.engines().len(), 10);
+    assert_eq!(matrix.schedules().len(), 3);
+}
+
+/// The monitor-scored arena in debug mode: every engine's delta stream
+/// must keep the monitor's incremental CSR exactly in sync (the monitor
+/// `debug_assert`s drift per event), and the scored qualities must be
+/// sane: λ₂/λ₃ ordered, components ≥ 1, degree caps where promised.
+#[test]
+fn monitor_scored_arena_is_consistent_for_every_engine() {
+    let g0 = generators::ring_with_chords(26);
+    let reg = standard_registry(4);
+    let matrix = run_arena(&reg, &ArenaSchedule::standard(12), &g0, 23, |_, _, g| {
+        MonitorScorer::new(g)
+    });
+    assert!(matrix.is_complete());
+    let dex_bound = DexConfig::default().degree * DexConfig::default().max_load;
+    for cell in &matrix.cells {
+        let q = &cell.quality;
+        assert!(q.components >= 1, "{}/{}", cell.engine, cell.schedule);
+        let gap = q.spectral_gap.expect("scored");
+        if let Some(l3) = q.lambda3 {
+            assert!(
+                l3 >= gap - 1e-9,
+                "{}/{}: lambda3 {l3} below lambda2 {gap}",
+                cell.engine,
+                cell.schedule
+            );
+        }
+        if cell.engine == "dex" {
+            assert!(q.max_degree <= dex_bound);
+        }
+    }
+}
