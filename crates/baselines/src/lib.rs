@@ -205,7 +205,7 @@ macro_rules! baseline_common {
                 match event {
                     Event::Insert { node, neighbors } => {
                         self.base.insert(*node, neighbors)?;
-                        Ok(Outcome::Inserted)
+                        Ok(Outcome::Inserted { cost: None })
                     }
                     Event::Delete { node } => Ok(Outcome::Healed {
                         report: self.heal_one(*node)?,

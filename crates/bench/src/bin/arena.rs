@@ -157,6 +157,7 @@ fn json(matrix: &ArenaMatrix, smoke: bool, steps: usize, dex_bound: usize) -> St
              \"steps_applied\": {}, \"insertions\": {}, \"deletions\": {}, \
              \"edges_added\": {}, \"edges_removed\": {}, \
              \"rounds\": {}, \"messages\": {}, \
+             \"insert_rounds\": {}, \"insert_messages\": {}, \
              \"nodes\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \
              \"max_degree\": {}, \"degree_increase\": {}, \"stretch\": {}, \
              \"expansion\": {}, \"spectral_gap\": {}, \"lambda3\": {}, \
@@ -170,6 +171,8 @@ fn json(matrix: &ArenaMatrix, smoke: bool, steps: usize, dex_bound: usize) -> St
             c.edges_removed,
             c.rounds,
             c.messages,
+            c.insert_rounds,
+            c.insert_messages,
             c.nodes,
             c.edges,
             c.wall_nanos as f64 / 1e6,
@@ -289,4 +292,8 @@ fn main() {
     let out = json(&matrix, smoke, steps, dex_bound);
     std::fs::write(&out_path, &out).expect("write arena report");
     println!("\nwrote {out_path}");
+
+    if let Some(trace_path) = xheal_bench::trace_arg(&args) {
+        xheal_bench::capture_trace(&trace_path, ARENA_SEED);
+    }
 }

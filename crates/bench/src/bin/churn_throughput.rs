@@ -22,7 +22,9 @@
 //!   with fingerprints asserted bit-identical at every thread count.
 //!
 //! Output is `BENCH_throughput.json` (override with `--out`); `--smoke`
-//! shrinks sizes for CI. With the `bench` feature a counting global
+//! shrinks sizes for CI; `--trace <path>` additionally captures a fully
+//! instrumented cross-layer companion run as chrome://tracing JSON (see
+//! `xheal_bench::capture_trace`). With the `bench` feature a counting global
 //! allocator additionally records heap allocations per measurement phase
 //! (`"allocs"` fields, `"alloc_counting": true`), so regressions in the
 //! zero-alloc hot paths fail loudly. Run the full measurement with:
@@ -1046,4 +1048,8 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write throughput report");
     println!("{json}");
     eprintln!("wrote {out_path}");
+
+    if let Some(trace_path) = xheal_bench::trace_arg(&args) {
+        xheal_bench::capture_trace(&trace_path, PLANNER_SEED);
+    }
 }

@@ -21,10 +21,17 @@
 //!   tick-latency percentiles (p50/p95/p99 of injection-to-delivery
 //!   engine rounds), and delivered/lost accounting.
 //!
-//! Output is `BENCH_traffic.json` (schema `xheal-bench-traffic/v2`,
+//! A third section drives the distributed repair protocol over the async
+//! substrate and reports its per-kind message breakdown
+//! (`DistXheal::message_breakdown`), so the JSON records *where* the
+//! communication budget goes, not just its total.
+//!
+//! Output is `BENCH_traffic.json` (schema `xheal-bench-traffic/v3`,
 //! override the path with `--out`); `--smoke` shrinks sizes for CI. With
 //! the `bench` feature the shared counting allocator records the
-//! allocation ledger. Run the full measurement with:
+//! allocation ledger. `--trace <path>` additionally captures a fully
+//! instrumented cross-layer companion run as chrome://tracing JSON (see
+//! `xheal_bench::capture_trace`). Run the full measurement with:
 //!
 //! ```text
 //! cargo run --release -p xheal-bench --features bench --bin traffic_throughput
@@ -39,6 +46,7 @@ use rand::{Rng, SeedableRng};
 
 use xheal_bench::{alloc_count, ALLOC_COUNTING};
 use xheal_core::{Xheal, XhealConfig};
+use xheal_dist::{DistXheal, Msg};
 use xheal_graph::{generators, CsrView, NodeId};
 use xheal_sim::{AsyncConfig, AsyncNetwork, Counters, Envelope, NetworkEngine};
 use xheal_workload::{
@@ -625,6 +633,59 @@ fn traffic(
 }
 
 // ---------------------------------------------------------------------------
+// Protocol message breakdown
+// ---------------------------------------------------------------------------
+
+struct ProtocolReport {
+    nodes: usize,
+    deletions: u64,
+    batch_victims: u64,
+    rounds: u64,
+    messages: u64,
+    kinds: Vec<(&'static str, u64)>,
+}
+
+/// Drives the distributed repair protocol over the async substrate through
+/// a seeded deletion schedule (singles plus `DeleteBatch` bursts) and
+/// breaks its communication complexity down by message kind — the
+/// per-phase counters behind [`DistXheal::message_breakdown`], showing
+/// where the budget goes (probe/grant fan-out vs. splice gossip).
+fn protocol_breakdown(n: usize, deletions: usize, batches: usize) -> ProtocolReport {
+    let g0 = generators::ring_with_chords(n);
+    let mut net = DistXheal::builder()
+        .kappa(KAPPA)
+        .seed(PLANNER_SEED)
+        .engine(AsyncNetwork::<Msg>::new(AsyncConfig::uniform(
+            1, 3, LINK_SEED,
+        )))
+        .build(&g0);
+    let mut rng = StdRng::seed_from_u64(0xB4EAD);
+    let mut live: Vec<NodeId> = g0.nodes().collect();
+    for _ in 0..deletions {
+        let v = live.swap_remove(rng.random_range(0..live.len()));
+        net.delete(v).expect("victim is live");
+    }
+    let mut batch_victims = 0u64;
+    for _ in 0..batches {
+        let victims: Vec<NodeId> = (0..8)
+            .map(|_| live.swap_remove(rng.random_range(0..live.len())))
+            .collect();
+        batch_victims += victims.len() as u64;
+        net.delete_batch(&victims).expect("victims are live");
+    }
+    let c = net.counters();
+    let (labels, counts) = net.message_breakdown();
+    ProtocolReport {
+        nodes: n,
+        deletions: deletions as u64,
+        batch_victims,
+        rounds: c.rounds,
+        messages: c.messages,
+        kinds: labels.iter().copied().zip(counts.iter().copied()).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // main
 // ---------------------------------------------------------------------------
 
@@ -682,6 +743,28 @@ fn main() {
     );
     println!("  speedup        : {send_speedup:8.2}x send   {delivery_speedup:8.2}x delivery");
 
+    let (proto_nodes, proto_dels, proto_batches) = if smoke {
+        (200usize, 12usize, 2usize)
+    } else {
+        (2_000, 60, 6)
+    };
+    let proto = protocol_breakdown(proto_nodes, proto_dels, proto_batches);
+    println!(
+        "\nprotocol message breakdown: {} processors, {} deletions + {} victims batched",
+        proto.nodes, proto.deletions, proto.batch_victims
+    );
+    println!(
+        "  totals         : {} messages over {} rounds",
+        proto.messages, proto.rounds
+    );
+    let sent_total: u64 = proto.kinds.iter().map(|&(_, c)| c).sum();
+    for &(label, count) in &proto.kinds {
+        println!(
+            "  {label:<15}: {count:>8}  ({:.1}%)",
+            count as f64 * 100.0 / sent_total.max(1) as f64
+        );
+    }
+
     let t = traffic(n, requests, window, ttl, churn_events, stretch_samples);
     let allocs_per_step = t.steady_allocs as f64 / t.steady_steps.max(1) as f64;
     let allocs_per_million = t.steady_allocs as f64 * 1e6 / t.sends.max(1) as f64;
@@ -738,8 +821,20 @@ fn main() {
         }
     }
 
+    let kinds_json = proto
+        .kinds
+        .iter()
+        .map(|&(label, count)| format!("\"{label}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let proto_json = format!(
+        "{{\"nodes\": {}, \"deletions\": {}, \"batch_victims\": {}, \"rounds\": {}, \
+         \"messages\": {}, \"kinds\": {{{kinds_json}}}}}",
+        proto.nodes, proto.deletions, proto.batch_victims, proto.rounds, proto.messages,
+    );
     let json = format!(
-        "{{\n  \"schema\": \"xheal-bench-traffic/v2\",\n  \"smoke\": {smoke},\n  \
+        "{{\n  \"schema\": \"xheal-bench-traffic/v3\",\n  \"smoke\": {smoke},\n  \
+         \"protocol\": {proto_json},\n  \
          \"alloc_counting\": {ALLOC_COUNTING},\n  \"substrate\": {{\n    \
          \"nodes\": {micro_nodes},\n    \"preload_in_flight\": {preload},\n    \
          \"timed_sends\": {timed},\n    \"calendar\": {{\"ns_per_send\": {:.2}, \
@@ -790,4 +885,8 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write traffic report");
     println!("\nwrote {out_path}");
+
+    if let Some(trace_path) = xheal_bench::trace_arg(&args) {
+        xheal_bench::capture_trace(&trace_path, PLANNER_SEED);
+    }
 }

@@ -73,6 +73,124 @@ pub fn alloc_count() -> u64 {
 /// Whether allocation counting is live in this build.
 pub const ALLOC_COUNTING: bool = cfg!(feature = "bench");
 
+/// Shared `--trace <path>` implementation for the bench binaries: drives a
+/// compact, fully instrumented cross-layer repair scenario — the repair
+/// planner, the centralized executors (Xheal and DEX), the distributed
+/// actor protocol, the message transport, and the invariant monitor all
+/// recording into one tracer — then writes the chrome://tracing JSON to
+/// `path` and prints the per-phase summary, the metrics frame, and the
+/// repair-forensics ledger to stderr.
+///
+/// The measured benchmark loops stay untraced on purpose: instrumenting
+/// the timed hot paths would perturb the numbers the binaries exist to
+/// record, so `--trace` captures a representative companion run instead
+/// (same engines, same layers, bench-scale sizes).
+pub fn capture_trace(path: &str, seed: u64) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xheal_core::{Event, HealingEngine, Xheal, XhealConfig};
+    use xheal_dex::{Dex, DexConfig};
+    use xheal_dist::DistXheal;
+    use xheal_graph::{generators, NodeId};
+    use xheal_monitor::{HealthPolicy, Monitor, MonitorConfig};
+    use xheal_trace::{hook, Layer, Tracer};
+
+    let tracer = Tracer::shared(1 << 15);
+    let handle = Some(tracer.clone());
+    hook::begin(&handle, Layer::Harness, "bench.capture", 0, seed);
+
+    // Distributed segment: planner + protocol + transport + monitor. A
+    // tight degree-increase budget makes the monitor's band machine move,
+    // so health transitions land in the trace too.
+    let g0 = generators::ring_with_chords(96);
+    let mut net = DistXheal::new(&g0, XhealConfig::new(4).with_seed(seed));
+    let monitor = Rc::new(RefCell::new(Monitor::new(
+        net.graph(),
+        MonitorConfig {
+            policy: HealthPolicy {
+                max_degree_increase: Some(2.0),
+                warn_degree_increase: Some(1.5),
+                ..HealthPolicy::default()
+            },
+            ..MonitorConfig::default()
+        },
+    )));
+    monitor.borrow_mut().set_tracer(Some(tracer.clone()));
+    net.subscribe(Box::new(Rc::clone(&monitor)));
+    net.set_tracer(Some(tracer.clone()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<NodeId> = g0.nodes().collect();
+    for i in 0..10 {
+        let v = live.swap_remove(rng.random_range(0..live.len()));
+        net.delete(v).expect("victim is live");
+        hook::bump(&handle, "capture.deletes", 1);
+        if i % 4 == 3 {
+            monitor.borrow_mut().checkpoint();
+        }
+    }
+    let victims: Vec<NodeId> = (0..6)
+        .map(|_| live.swap_remove(rng.random_range(0..live.len())))
+        .collect();
+    net.delete_batch(&victims).expect("victims are live");
+    hook::bump(&handle, "capture.batches", 1);
+    let contact = live[0];
+    net.insert(NodeId::new(10_000), &[contact])
+        .expect("contact is live");
+    monitor.borrow_mut().checkpoint();
+
+    // Centralized executor segment: exec.repair / exec.apply spans.
+    let g1 = generators::ring_with_chords(64);
+    let mut xheal = Xheal::new(&g1, XhealConfig::new(4).with_seed(seed ^ 1));
+    xheal.set_tracer(Some(tracer.clone()));
+    let mut live: Vec<NodeId> = g1.nodes().collect();
+    for _ in 0..6 {
+        let v = live.swap_remove(rng.random_range(0..live.len()));
+        xheal.heal_delete(v).expect("victim is live");
+        hook::bump(&handle, "capture.deletes", 1);
+    }
+    let victims: Vec<NodeId> = (0..4)
+        .map(|_| live.swap_remove(rng.random_range(0..live.len())))
+        .collect();
+    xheal
+        .apply(&Event::DeleteBatch { nodes: victims })
+        .expect("victims are live");
+    hook::bump(&handle, "capture.batches", 1);
+
+    // DEX segment: exec.insert instants carrying the reconfiguration cost.
+    let mut dex = Dex::new(&generators::cycle(32), DexConfig::default());
+    HealingEngine::set_tracer(&mut dex, Some(tracer.clone()));
+    dex.apply(&Event::Insert {
+        node: NodeId::new(900),
+        neighbors: vec![NodeId::new(3)],
+    })
+    .expect("contact is live");
+    dex.apply(&Event::Delete {
+        node: NodeId::new(5),
+    })
+    .expect("victim is live");
+
+    hook::end(&handle, Layer::Harness, "bench.capture", 0, 0);
+
+    let t = hook::lock(&tracer);
+    std::fs::write(path, t.chrome_trace_json()).expect("write chrome trace");
+    eprintln!("\n--- trace phase summary ({path}) ---");
+    eprint!("{}", t.phase_summary());
+    eprint!("{}", t.metrics_ref().frame().render());
+    eprint!("{}", t.forensics().render());
+    eprintln!("wrote {path} ({} trace events)", t.len());
+}
+
+/// Parses `--trace <path>` from the argument list.
+pub fn trace_arg(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// Prints an experiment header with provenance.
 pub fn header(id: &str, claim: &str) {
     println!();

@@ -25,6 +25,7 @@
 use std::collections::BTreeSet;
 
 use xheal_graph::{Graph, NodeId};
+use xheal_trace::{hook, Layer};
 
 use crate::error::HealError;
 use crate::heal::Xheal;
@@ -228,7 +229,15 @@ impl Xheal {
     /// any mutation); duplicate victims are rejected the same way.
     pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
         let ctx = BatchVictim::capture(self.graph(), victims)?;
-        let (graph, planner, sinks, scratch) = self.batch_parts();
+        let (graph, planner, sinks, scratch, tracer) = self.batch_parts();
+        let seq = planner.peek_repair_seq();
+        hook::begin(
+            tracer,
+            Layer::Executor,
+            "exec.batch",
+            seq,
+            victims.len() as u64,
+        );
         for bv in &ctx {
             let _ = graph.remove_node(bv.node);
             if !sinks.is_empty() {
@@ -236,7 +245,16 @@ impl Xheal {
             }
         }
         let plan = planner.plan_batch_deletion(&ctx);
+        hook::begin(
+            tracer,
+            Layer::Executor,
+            "exec.apply",
+            seq,
+            plan.stages.len() as u64,
+        );
         plan.apply_streamed_with(graph, sinks, scratch);
+        hook::end(tracer, Layer::Executor, "exec.apply", seq, 0);
+        hook::end(tracer, Layer::Executor, "exec.batch", seq, 0);
         Ok(plan.report)
     }
 }

@@ -22,6 +22,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use xheal_graph::{CloudColor, Graph, NodeId};
+use xheal_trace::SharedTracer;
 
 use crate::batch::BatchReport;
 use crate::error::HealError;
@@ -300,8 +301,14 @@ pub struct DistCost {
 #[derive(Clone, Debug)]
 pub enum Outcome {
     /// An insertion was applied; the model heals nothing (Algorithm 3.1
-    /// lines 1–2).
-    Inserted,
+    /// lines 1–2). Engines whose insertions do structural work (DEX
+    /// virtual-node splits and spare takeovers) report its measured cost;
+    /// Xheal-family engines report `None` — insertion really is free there.
+    Inserted {
+        /// Reconfiguration cost of the insertion — `Some` for engines
+        /// whose insertions rewire (DEX), `None` otherwise.
+        cost: Option<DistCost>,
+    },
     /// A single deletion was healed.
     Healed {
         /// Per-deletion accounting, including the healing case taken.
@@ -322,7 +329,7 @@ impl Outcome {
     /// Colored edges the repair added (0 for insertions).
     pub fn edges_added(&self) -> usize {
         match self {
-            Outcome::Inserted => 0,
+            Outcome::Inserted { .. } => 0,
             Outcome::Healed { report, .. } => report.edges_added,
             Outcome::Batch { report, .. } => report.edges_added,
         }
@@ -331,7 +338,7 @@ impl Outcome {
     /// Colored-edge labels the repair stripped (0 for insertions).
     pub fn edges_removed(&self) -> usize {
         match self {
-            Outcome::Inserted => 0,
+            Outcome::Inserted { .. } => 0,
             Outcome::Healed { report, .. } => report.edges_removed,
             Outcome::Batch { report, .. } => report.edges_removed,
         }
@@ -340,17 +347,19 @@ impl Outcome {
     /// Number of nodes the event deleted (0 for insertions).
     pub fn victims(&self) -> usize {
         match self {
-            Outcome::Inserted => 0,
+            Outcome::Inserted { .. } => 0,
             Outcome::Healed { .. } => 1,
             Outcome::Batch { report, .. } => report.victims,
         }
     }
 
-    /// The distributed protocol cost, when the executor measured one.
+    /// The measured reconfiguration cost, when the executor reported one
+    /// (distributed repairs; DEX insertions).
     pub fn cost(&self) -> Option<&DistCost> {
         match self {
-            Outcome::Inserted => None,
-            Outcome::Healed { cost, .. } | Outcome::Batch { cost, .. } => cost.as_ref(),
+            Outcome::Inserted { cost }
+            | Outcome::Healed { cost, .. }
+            | Outcome::Batch { cost, .. } => cost.as_ref(),
         }
     }
 }
@@ -405,6 +414,16 @@ pub trait HealingEngine {
     /// Registers a [`TopologySink`] observing every structural change this
     /// engine applies from now on.
     fn subscribe(&mut self, sink: Box<dyn TopologySink>);
+
+    /// Attaches (or, with `None`, detaches) a structured tracer observing
+    /// this engine's repairs: planner phases, action application, protocol
+    /// rounds. The default does nothing — baselines without interesting
+    /// internal structure stay untraced. With no tracer attached every
+    /// instrumentation point in an engine is a single branch on a `None`
+    /// handle (see [`xheal_trace::hook`]).
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        let _ = tracer;
+    }
 }
 
 impl HealingEngine for Xheal {
@@ -420,7 +439,7 @@ impl HealingEngine for Xheal {
         match event {
             Event::Insert { node, neighbors } => {
                 self.heal_insert(*node, neighbors)?;
-                Ok(Outcome::Inserted)
+                Ok(Outcome::Inserted { cost: None })
             }
             Event::Delete { node } => Ok(Outcome::Healed {
                 report: self.heal_delete(*node)?,
@@ -435,6 +454,10 @@ impl HealingEngine for Xheal {
 
     fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
         Xheal::subscribe(self, sink);
+    }
+
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        Xheal::set_tracer(self, tracer);
     }
 }
 
@@ -457,7 +480,7 @@ mod tests {
                 neighbors: vec![n(1)],
             })
             .unwrap();
-        assert!(matches!(ins, Outcome::Inserted));
+        assert!(matches!(ins, Outcome::Inserted { cost: None }));
         assert_eq!((ins.victims(), ins.edges_added()), (0, 0));
         assert!(ins.cost().is_none());
 

@@ -10,6 +10,7 @@
 //! identical schedules.
 
 use xheal_graph::{CloudColor, CloudKind, EdgeLabels, Graph, NodeId};
+use xheal_trace::{hook, Layer, SharedTracer};
 
 use crate::cloud::{Cloud, NodeState};
 use crate::config::XhealConfig;
@@ -44,6 +45,9 @@ pub struct Xheal {
     scratch_incident: Vec<(NodeId, EdgeLabels)>,
     /// Reusable grouped-application buffers for plan flushes.
     scratch_apply: ApplyScratch,
+    /// Optional span recorder shared with the planner; `None` keeps every
+    /// instrumentation site a single branch.
+    tracer: Option<SharedTracer>,
 }
 
 impl Xheal {
@@ -56,7 +60,16 @@ impl Xheal {
             sinks: SinkRegistry::default(),
             scratch_incident: Vec::new(),
             scratch_apply: ApplyScratch::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer recording executor and
+    /// planner spans. The handle is forwarded to the planner so one ledger
+    /// holds both layers of each repair.
+    pub fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.planner.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Starts a builder composing configuration, seeding, and topology
@@ -164,6 +177,13 @@ impl Xheal {
             }
         }
         self.planner.note_insert(v);
+        hook::instant(
+            &self.tracer,
+            Layer::Executor,
+            "exec.insert",
+            0,
+            neighbors.len() as u64,
+        );
         Ok(())
     }
 
@@ -177,6 +197,14 @@ impl Xheal {
         if !self.graph.contains_node(v) {
             return Err(HealError::NodeMissing(v));
         }
+        let seq = self.planner.peek_repair_seq();
+        hook::begin(
+            &self.tracer,
+            Layer::Executor,
+            "exec.repair",
+            seq,
+            v.as_u64(),
+        );
         let degree = self.graph.degree(v).expect("checked present");
         let mut incident = std::mem::take(&mut self.scratch_incident);
         incident.clear();
@@ -188,7 +216,16 @@ impl Xheal {
         }
         let plan = self.planner.plan_deletion(v, &incident, degree);
         self.scratch_incident = incident;
+        hook::begin(
+            &self.tracer,
+            Layer::Executor,
+            "exec.apply",
+            seq,
+            plan.actions.len() as u64,
+        );
         plan.apply_streamed_with(&mut self.graph, &mut self.sinks, &mut self.scratch_apply);
+        hook::end(&self.tracer, Layer::Executor, "exec.apply", seq, 0);
+        hook::end(&self.tracer, Layer::Executor, "exec.repair", seq, 0);
         Ok(plan.report)
     }
 
@@ -197,8 +234,9 @@ impl Xheal {
     // ------------------------------------------------------------------
 
     /// Simultaneous access to the graph, the planner, the sink registry,
-    /// and the grouped-apply scratch for the batch executor, which must
-    /// mutate all of them around one planning call.
+    /// the grouped-apply scratch, and the tracer handle for the batch
+    /// executor, which must mutate the first four around one planning call
+    /// while recording its own spans.
     pub(crate) fn batch_parts(
         &mut self,
     ) -> (
@@ -206,12 +244,14 @@ impl Xheal {
         &mut RepairPlanner,
         &mut SinkRegistry,
         &mut ApplyScratch,
+        &Option<SharedTracer>,
     ) {
         (
             &mut self.graph,
             &mut self.planner,
             &mut self.sinks,
             &mut self.scratch_apply,
+            &self.tracer,
         )
     }
 }

@@ -15,6 +15,7 @@
 
 use xheal_graph::{CloudColor, CloudKind, Graph, NodeId};
 use xheal_pool::WorkerPool;
+use xheal_trace::{hook, Layer, SharedTracer};
 
 use crate::batch::{BatchReport, BatchVictim};
 use crate::cloud::{Cloud, NodeState};
@@ -113,6 +114,12 @@ impl ParallelXheal {
         self.inner.subscribe(sink);
     }
 
+    /// Attaches (or detaches, with `None`) a tracer recording executor and
+    /// planner spans, including the per-component speculation lanes.
+    pub fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.inner.set_tracer(tracer);
+    }
+
     /// Handles an adversarial insertion (delegates to the sequential path —
     /// insertions do no healing work).
     pub fn heal_insert(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), HealError> {
@@ -129,7 +136,15 @@ impl ParallelXheal {
     pub fn heal_delete_batch(&mut self, victims: &[NodeId]) -> Result<BatchReport, HealError> {
         let ctx = BatchVictim::capture(self.inner.graph(), victims)?;
         let pool = &self.pool;
-        let (graph, planner, sinks, scratch) = self.inner.batch_parts();
+        let (graph, planner, sinks, scratch, tracer) = self.inner.batch_parts();
+        let seq = planner.peek_repair_seq();
+        hook::begin(
+            tracer,
+            Layer::Executor,
+            "exec.batch",
+            seq,
+            victims.len() as u64,
+        );
         for bv in &ctx {
             let _ = graph.remove_node(bv.node);
             if !sinks.is_empty() {
@@ -137,7 +152,16 @@ impl ParallelXheal {
             }
         }
         let plan = planner.plan_batch_deletion_parallel(&ctx, pool);
+        hook::begin(
+            tracer,
+            Layer::Executor,
+            "exec.apply",
+            seq,
+            plan.stages.len() as u64,
+        );
         plan.apply_streamed_with(graph, sinks, scratch);
+        hook::end(tracer, Layer::Executor, "exec.apply", seq, 0);
+        hook::end(tracer, Layer::Executor, "exec.batch", seq, 0);
         Ok(plan.report)
     }
 }
@@ -155,7 +179,7 @@ impl HealingEngine for ParallelXheal {
         match event {
             Event::Insert { node, neighbors } => {
                 self.heal_insert(*node, neighbors)?;
-                Ok(Outcome::Inserted)
+                Ok(Outcome::Inserted { cost: None })
             }
             Event::Delete { node } => Ok(Outcome::Healed {
                 report: self.heal_delete(*node)?,
@@ -170,6 +194,10 @@ impl HealingEngine for ParallelXheal {
 
     fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
         ParallelXheal::subscribe(self, sink);
+    }
+
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        ParallelXheal::set_tracer(self, tracer);
     }
 }
 

@@ -26,6 +26,7 @@ use rand::{Rng as _, SeedableRng};
 use xheal_expander::{EdgeDelta, MaintainedExpander};
 use xheal_graph::{CloudColor, CloudKind, EdgeLabels, FxHashMap, NodeId};
 use xheal_pool::WorkerPool;
+use xheal_trace::{hook, Layer, SharedTracer};
 
 use crate::batch::{victim_components, BatchRepairPlan, BatchReport, BatchStage, BatchVictim};
 use crate::cloud::{Cloud, NodeState};
@@ -83,6 +84,12 @@ pub struct RepairPlanner {
     /// Reusable scratch for per-deletion black-neighbor extraction, so the
     /// churn hot loop allocates nothing per event.
     scratch_black: Vec<NodeId>,
+    /// Optional span recorder; `None` (the default) keeps every
+    /// instrumentation site a single branch.
+    tracer: Option<SharedTracer>,
+    /// Monotone repair sequence number; each planned deletion (single or
+    /// batch) gets the next one, keying its spans in the forensics ledger.
+    repair_seq: u64,
     // Per-operation counters (reset at the start of each deletion).
     op_added: usize,
     op_removed: usize,
@@ -110,6 +117,8 @@ impl RepairPlanner {
             stats: HealStats::default(),
             actions: Vec::new(),
             scratch_black: Vec::new(),
+            tracer: None,
+            repair_seq: 0,
             op_added: 0,
             op_removed: 0,
             op_shares: 0,
@@ -130,6 +139,25 @@ impl RepairPlanner {
     /// Cumulative healing statistics.
     pub fn stats(&self) -> &HealStats {
         &self.stats
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer recording planner spans.
+    /// Executors forward their own handle here so planner and executor spans
+    /// of one repair land in the same ledger.
+    pub fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The repair sequence number of the most recently planned deletion
+    /// (0 before any).
+    pub fn repair_seq(&self) -> u64 {
+        self.repair_seq
+    }
+
+    /// The repair sequence number the *next* planned deletion will carry —
+    /// executors use it to open their wrapping span before planning starts.
+    pub fn peek_repair_seq(&self) -> u64 {
+        self.repair_seq + 1
     }
 
     /// All live cloud colors with their kinds, ascending.
@@ -223,6 +251,15 @@ impl RepairPlanner {
     ) -> RepairPlan {
         self.reset_op_counters();
         self.actions.clear();
+        self.repair_seq += 1;
+        let seq = self.repair_seq;
+        hook::begin(
+            &self.tracer,
+            Layer::Planner,
+            "plan.single",
+            seq,
+            degree as u64,
+        );
 
         let state = self.nodes.remove(&v).unwrap_or_default();
         let mut black_nbrs = std::mem::take(&mut self.scratch_black);
@@ -261,6 +298,20 @@ impl RepairPlanner {
             degree,
         };
         self.fold_op_counters();
+        hook::instant(
+            &self.tracer,
+            Layer::Planner,
+            "plan.case",
+            seq,
+            case_code(case),
+        );
+        hook::end(
+            &self.tracer,
+            Layer::Planner,
+            "plan.single",
+            seq,
+            self.actions.len() as u64,
+        );
         RepairPlan {
             actions: std::mem::take(&mut self.actions),
             report,
@@ -473,6 +524,15 @@ impl RepairPlanner {
     fn plan_batch_in(&mut self, ctx: &[BatchVictim], pool: Option<&WorkerPool>) -> BatchRepairPlan {
         self.reset_op_counters();
         self.actions.clear();
+        self.repair_seq += 1;
+        let seq = self.repair_seq;
+        hook::begin(
+            &self.tracer,
+            Layer::Planner,
+            "plan.batch",
+            seq,
+            ctx.len() as u64,
+        );
         let secondaries_before = self.stats.secondaries_built;
         // One master draw; everything else derives from it, so the repair
         // streams of distinct clouds/components are independent of execution
@@ -503,14 +563,22 @@ impl RepairPlanner {
         // cloud is an independent task with its own derived RNG; the
         // parallel path merges results back in ascending color order, so the
         // emitted prologue is identical either way.
+        hook::begin(
+            &self.tracer,
+            Layer::Planner,
+            "plan.detach",
+            seq,
+            by_cloud.len() as u64,
+        );
         match pool {
             None => {
                 for (&c, vs) in &by_cloud {
                     self.detach_one(c, vs, batch_seed);
                 }
             }
-            Some(pool) => self.detach_parallel(&by_cloud, batch_seed, pool),
+            Some(pool) => self.detach_parallel(&by_cloud, batch_seed, pool, seq),
         }
+        hook::end(&self.tracer, Layer::Planner, "plan.detach", seq, 0);
         // Stage boundaries inside the flat action buffer: prologue end,
         // then one checkpoint per component.
         let mut checkpoints: Vec<usize> = vec![self.actions.len()];
@@ -556,9 +624,23 @@ impl RepairPlanner {
         }
         let color_end = acc;
 
+        hook::begin(
+            &self.tracer,
+            Layer::Planner,
+            "plan.components",
+            seq,
+            inputs.len() as u64,
+        );
         match pool {
             None => {
                 for (i, input) in inputs.iter().enumerate() {
+                    hook::begin(
+                        &self.tracer,
+                        Layer::Planner,
+                        "plan.component",
+                        seq,
+                        i as u64,
+                    );
                     let derived =
                         StdRng::seed_from_u64(derive_seed(batch_seed, SEED_COMPONENT, i as u64));
                     let saved = std::mem::replace(&mut self.rng, derived);
@@ -570,10 +652,17 @@ impl RepairPlanner {
                     );
                     self.rng = saved;
                     checkpoints.push(self.actions.len());
+                    hook::end(
+                        &self.tracer,
+                        Layer::Planner,
+                        "plan.component",
+                        seq,
+                        i as u64,
+                    );
                 }
             }
             Some(pool) => {
-                let mut slots = self.speculate_components(&inputs, &bases, batch_seed, pool);
+                let mut slots = self.speculate_components(&inputs, &bases, batch_seed, pool, seq);
                 // Commit in component order. A speculative outcome whose
                 // footprint is disjoint from everything committed so far saw
                 // exactly the state a sequential replay would have seen, so
@@ -587,6 +676,13 @@ impl RepairPlanner {
                     let outcome = match speculative {
                         Some(o) if !o.conflicts_with(&fence_colors, &fence_nodes) => o,
                         _ => {
+                            hook::instant(
+                                &self.tracer,
+                                Layer::Planner,
+                                "plan.replay",
+                                seq,
+                                i as u64,
+                            );
                             let mut replay = CompShard::new(
                                 &*self,
                                 derive_seed(batch_seed, SEED_COMPONENT, i as u64),
@@ -604,6 +700,7 @@ impl RepairPlanner {
                 }
             }
         }
+        hook::end(&self.tracer, Layer::Planner, "plan.components", seq, 0);
         self.next_color = color_end;
 
         self.stats.deletions += ctx.len();
@@ -617,6 +714,13 @@ impl RepairPlanner {
             edges_removed: self.op_removed,
         };
         self.fold_op_counters();
+        hook::end(
+            &self.tracer,
+            Layer::Planner,
+            "plan.batch",
+            seq,
+            self.actions.len() as u64,
+        );
 
         // Split the flat buffer into stages at the checkpoints (from the
         // back, so each split is a cheap tail move).
@@ -658,6 +762,7 @@ impl RepairPlanner {
         by_cloud: &BTreeMap<CloudColor, Vec<NodeId>>,
         batch_seed: u64,
         pool: &WorkerPool,
+        seq: u64,
     ) {
         let mut tasks: Vec<(CloudColor, Cloud, &[NodeId])> = Vec::with_capacity(by_cloud.len());
         for (&c, vs) in by_cloud {
@@ -665,14 +770,21 @@ impl RepairPlanner {
                 tasks.push((c, cloud, vs.as_slice()));
             }
         }
+        let tracer = &self.tracer;
         let (tx, rx) = std::sync::mpsc::channel();
         pool.scope(|scope| {
             for (i, (c, mut cloud, vs)) in tasks.into_iter().enumerate() {
                 let tx = tx.clone();
                 let seed = derive_seed(batch_seed, SEED_DETACH, c.as_u64());
+                // Lanes key on *task* identity (the deterministic merge
+                // index), never on thread id, so the recorded tree is
+                // identical at every thread count.
+                let lane = i as u64 + 1;
                 scope.spawn(move || {
+                    hook::begin_lane(tracer, lane, Layer::Planner, "spec.detach", seq, c.as_u64());
                     let mut rng = StdRng::seed_from_u64(seed);
                     let (action, emptied) = detach_cloud(c, &mut cloud, vs, &mut rng);
+                    hook::end_lane(tracer, lane, Layer::Planner, "spec.detach", seq, c.as_u64());
                     let _ = tx.send((i, c, cloud, action, emptied));
                 });
             }
@@ -714,19 +826,40 @@ impl RepairPlanner {
         bases: &[u64],
         batch_seed: u64,
         pool: &WorkerPool,
+        seq: u64,
     ) -> Vec<Option<CompOutcome>> {
         let mut slots: Vec<Option<CompOutcome>> = Vec::with_capacity(inputs.len());
         slots.resize_with(inputs.len(), || None);
         let base: &RepairPlanner = self;
+        let tracer = &self.tracer;
         let (tx, rx) = std::sync::mpsc::channel();
         pool.scope(|scope| {
             for (i, input) in inputs.iter().enumerate() {
                 let tx = tx.clone();
                 let seed = derive_seed(batch_seed, SEED_COMPONENT, i as u64);
                 let color_base = bases[i];
+                // Lane = component index, so the speculation spans land in
+                // the same slot whichever worker picks the task up.
+                let lane = i as u64 + 1;
                 scope.spawn(move || {
+                    hook::begin_lane(
+                        tracer,
+                        lane,
+                        Layer::Planner,
+                        "spec.component",
+                        seq,
+                        i as u64,
+                    );
                     let mut sh = CompShard::new(base, seed, color_base, input.color_bound());
                     shard::heal_component(&mut sh, input);
+                    hook::end_lane(
+                        tracer,
+                        lane,
+                        Layer::Planner,
+                        "spec.component",
+                        seq,
+                        i as u64,
+                    );
                     let _ = tx.send((i, sh.into_outcome()));
                 });
             }
@@ -781,6 +914,18 @@ impl RepairPlanner {
             self.attach_dec(ci, f);
         }
         ci
+    }
+}
+
+/// Stable numeric code of a healing case for the `plan.case` instant's `arg`
+/// (part of the deterministic trace projection — do not renumber).
+fn case_code(case: HealCase) -> u64 {
+    match case {
+        HealCase::Dropped => 0,
+        HealCase::AllBlack => 1,
+        HealCase::PrimaryOnly => 2,
+        HealCase::Bridge => 3,
+        HealCase::Batch => 4,
     }
 }
 

@@ -65,6 +65,7 @@ use xheal_core::{
     Outcome, SinkRegistry, TopologyDelta, TopologySink,
 };
 use xheal_graph::{CloudColor, Graph, NodeId};
+use xheal_trace::{hook, Layer, SharedTracer};
 
 /// The cloud color all DEX overlay edges carry: DEX owns its whole topology,
 /// so one reserved color marks every projected edge as healer-installed
@@ -119,6 +120,10 @@ pub struct Dex {
     /// Colored edges added/removed by the event being applied.
     ev_added: usize,
     ev_removed: usize,
+    /// Optional executor-span recorder; `None` keeps `apply` branch-only.
+    tracer: Option<SharedTracer>,
+    /// Repairs executed so far — the span/forensics key for each deletion.
+    repair_seq: u64,
 }
 
 impl Dex {
@@ -158,6 +163,8 @@ impl Dex {
             rng,
             ev_added: 0,
             ev_removed: 0,
+            tracer: None,
+            repair_seq: 0,
         };
         dex.reconcile();
         dex
@@ -171,6 +178,13 @@ impl Dex {
     /// The current projected real network.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer recording executor spans
+    /// (`exec.insert` / `exec.repair` / `exec.batch`) keyed by DEX's own
+    /// repair sequence.
+    pub fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.tracer = tracer;
     }
 
     /// The hard upper bound on any real node's degree: `max_load * degree`.
@@ -460,13 +474,37 @@ impl HealingEngine for Dex {
     fn apply(&mut self, event: &Event) -> Result<Outcome, HealError> {
         match event {
             Event::Insert { node, neighbors } => {
-                self.begin_event();
+                let ops = self.begin_event();
                 self.insert(*node, neighbors)?;
-                Ok(Outcome::Inserted)
+                let cost = self.cost(ops, 0, 1);
+                hook::instant(
+                    &self.tracer,
+                    Layer::Executor,
+                    "exec.insert",
+                    0,
+                    cost.messages,
+                );
+                Ok(Outcome::Inserted { cost: Some(cost) })
             }
             Event::Delete { node } => {
+                self.repair_seq += 1;
+                let seq = self.repair_seq;
+                hook::begin(
+                    &self.tracer,
+                    Layer::Executor,
+                    "exec.repair",
+                    seq,
+                    node.as_u64(),
+                );
                 let ops = self.begin_event();
                 let (degree, merges, rehomed) = self.delete_one(*node)?;
+                hook::end(
+                    &self.tracer,
+                    Layer::Executor,
+                    "exec.repair",
+                    seq,
+                    (self.ev_added + self.ev_removed) as u64,
+                );
                 Ok(Outcome::Healed {
                     report: DeletionReport {
                         // DEX edges are all colored primaries of one cloud.
@@ -487,6 +525,15 @@ impl HealingEngine for Dex {
             }
             Event::DeleteBatch { nodes } => {
                 BatchVictim::validate(&self.graph, nodes)?;
+                self.repair_seq += 1;
+                let seq = self.repair_seq;
+                hook::begin(
+                    &self.tracer,
+                    Layer::Executor,
+                    "exec.batch",
+                    seq,
+                    nodes.len() as u64,
+                );
                 let ops = self.begin_event();
                 let mut merges = 0;
                 let mut rehomed = 0;
@@ -501,6 +548,13 @@ impl HealingEngine for Dex {
                     added += self.ev_added;
                     removed += self.ev_removed;
                 }
+                hook::end(
+                    &self.tracer,
+                    Layer::Executor,
+                    "exec.batch",
+                    seq,
+                    (added + removed) as u64,
+                );
                 Ok(Outcome::Batch {
                     report: BatchReport {
                         victims: nodes.len(),
@@ -518,6 +572,10 @@ impl HealingEngine for Dex {
 
     fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
         self.sinks.register(sink);
+    }
+
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        Dex::set_tracer(self, tracer);
     }
 }
 

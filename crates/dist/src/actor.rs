@@ -154,6 +154,10 @@ impl<N: NetworkEngine<Msg>> ActorRuntime<N> {
         &self.engine
     }
 
+    pub(crate) fn engine_mut(&mut self) -> &mut N {
+        &mut self.engine
+    }
+
     pub(crate) fn counters(&self) -> Counters {
         self.engine.counters()
     }

@@ -84,6 +84,7 @@ use xheal_core::{
 };
 use xheal_graph::{EdgeLabels, Graph, NodeId};
 use xheal_sim::{Counters, NetworkEngine, SyncNetwork};
+use xheal_trace::{hook, Layer, SharedTracer};
 
 use actor::{ActorRuntime, CostMeta};
 
@@ -109,6 +110,9 @@ pub struct DistXheal<N: NetworkEngine<Msg> = SyncNetwork<Msg>> {
     scratch_free: Vec<NodeId>,
     /// Reusable grouped-application buffers for plan flushes.
     scratch_apply: ApplyScratch,
+    /// Optional span recorder shared with the planner; `None` keeps every
+    /// instrumentation site a single branch.
+    tracer: Option<SharedTracer>,
 }
 
 impl DistXheal<SyncNetwork<Msg>> {
@@ -164,7 +168,20 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
             scratch_incident: Vec::new(),
             scratch_free: Vec::new(),
             scratch_apply: ApplyScratch::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer recording protocol and
+    /// planner spans. Protocol instants (`proto.round`, `proto.done`) land
+    /// next to the planner's decision spans in the same ledger. Note that
+    /// this executor's repair sequence advances per *protocol* (one per
+    /// batch stage), so after batch deletions it runs ahead of the
+    /// planner's per-plan sequence.
+    pub fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.planner.set_tracer(tracer.clone());
+        self.runtime.engine_mut().set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Registers a [`TopologySink`] observing every structural change this
@@ -263,7 +280,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
     /// [`HealError::NodeMissing`] if `v` is not in the network.
     pub fn delete(&mut self, v: NodeId) -> Result<DeletionReport, HealError> {
         let report = self.start_deletion(v)?;
-        self.runtime.run_active();
+        self.run_protocol();
         self.collect_costs();
         Ok(report)
     }
@@ -291,7 +308,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         for &v in victims {
             reports.push(self.start_deletion(v).expect("validated above"));
         }
-        self.runtime.run_active();
+        self.run_protocol();
         self.collect_costs();
         Ok(reports)
     }
@@ -328,6 +345,13 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
                 continue; // structurally empty detach prologue
             }
             self.repair_seq += 1;
+            hook::instant(
+                &self.tracer,
+                Layer::Protocol,
+                "proto.launch",
+                self.repair_seq,
+                stage.actions.len() as u64,
+            );
             let black_degree = stage
                 .component
                 .iter()
@@ -351,7 +375,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         }
         free_before.clear();
         self.scratch_free = free_before;
-        self.runtime.run_active();
+        self.run_protocol();
         self.collect_costs();
         Ok(plan.report)
     }
@@ -382,7 +406,7 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
             self.runtime.step_once(); // deliver the probe wave…
         }
         self.runtime.remove_node(casualty); // …then the adversary strikes
-        self.runtime.run_active();
+        self.run_protocol();
         self.collect_costs();
         let second = self.delete(casualty)?;
         Ok((first, second))
@@ -412,6 +436,13 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         let plan = self.planner.plan_deletion(v, &incident, degree);
         plan.apply_streamed_with(&mut self.graph, &mut self.sinks, &mut self.scratch_apply);
         self.repair_seq += 1;
+        hook::instant(
+            &self.tracer,
+            Layer::Protocol,
+            "proto.launch",
+            self.repair_seq,
+            plan.actions.len() as u64,
+        );
         self.runtime.begin_repair(
             self.repair_seq,
             &plan.actions,
@@ -445,8 +476,40 @@ impl<N: NetworkEngine<Msg>> DistXheal<N> {
         free
     }
 
+    /// Runs every active repair protocol to completion, recording one
+    /// `proto.round` instant per engine round when a tracer is attached.
+    fn run_protocol(&mut self) {
+        if self.tracer.is_none() {
+            self.runtime.run_active();
+            return;
+        }
+        hook::begin(&self.tracer, Layer::Protocol, "proto.run", 0, 0);
+        let mut rounds = 0u64;
+        while self.runtime.has_pending() {
+            let before = self.runtime.counters();
+            self.runtime.step_once();
+            let moved = self.runtime.counters().since(before).messages;
+            rounds += 1;
+            hook::instant(&self.tracer, Layer::Protocol, "proto.round", 0, moved);
+        }
+        // Close out repairs whose live participants all died (mirrors the
+        // stuck-repair handling inside `run_active`).
+        self.runtime.run_active();
+        hook::end(&self.tracer, Layer::Protocol, "proto.run", 0, rounds);
+    }
+
     fn collect_costs(&mut self) {
-        self.costs.extend(self.runtime.take_completed());
+        let completed = self.runtime.take_completed();
+        for c in &completed {
+            hook::instant(
+                &self.tracer,
+                Layer::Protocol,
+                "proto.done",
+                c.repair,
+                c.messages,
+            );
+        }
+        self.costs.extend(completed);
     }
 }
 
@@ -505,7 +568,7 @@ impl<N: NetworkEngine<Msg>> HealingEngine for DistXheal<N> {
         match event {
             Event::Insert { node, neighbors } => {
                 self.insert(*node, neighbors)?;
-                Ok(Outcome::Inserted)
+                Ok(Outcome::Inserted { cost: None })
             }
             Event::Delete { node } => {
                 let mark = self.cost_mark();
@@ -528,6 +591,10 @@ impl<N: NetworkEngine<Msg>> HealingEngine for DistXheal<N> {
 
     fn subscribe(&mut self, sink: Box<dyn TopologySink>) {
         DistXheal::subscribe(self, sink);
+    }
+
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        DistXheal::set_tracer(self, tracer);
     }
 }
 

@@ -62,6 +62,7 @@ use std::rc::Rc;
 use xheal_core::{Event, Outcome, TopologyDelta, TopologySink};
 use xheal_graph::Graph;
 use xheal_spectral::sweep_cut_csr;
+use xheal_trace::{hook, Layer, SharedTracer};
 use xheal_workload::{HealthNote, RunObserver, Severity};
 
 pub use csr::{DeltaEffect, IncrementalCsr};
@@ -155,6 +156,8 @@ pub struct Monitor {
     policy: HealthPolicy,
     breaches: BreachState,
     alerts: Vec<HealthEvent>,
+    /// Optional monitor-span recorder; `None` keeps evaluation branch-only.
+    tracer: Option<SharedTracer>,
 }
 
 impl Monitor {
@@ -202,6 +205,36 @@ impl Monitor {
             policy: config.policy,
             breaches: BreachState::default(),
             alerts: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer recording
+    /// `mon.checkpoint` spans and one `mon.health` instant per band
+    /// transition (arg encodes the severity: 0 = info/recovery, 1 =
+    /// warning, 2 = critical).
+    pub fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Emits one `mon.health` instant per alert appended past `from`.
+    fn trace_health(&self, from: usize) {
+        if self.tracer.is_none() {
+            return;
+        }
+        for alert in &self.alerts[from..] {
+            let code = match alert.severity {
+                Severity::Info => 0,
+                Severity::Warning => 1,
+                Severity::Critical => 2,
+            };
+            hook::instant(
+                &self.tracer,
+                Layer::Monitor,
+                "mon.health",
+                alert.generation,
+                code,
+            );
         }
     }
 
@@ -275,6 +308,15 @@ impl Monitor {
     /// warm-started spectral gap, sweep-cut expansion, sampled stretch),
     /// evaluates the full policy, and returns the report.
     pub fn checkpoint(&mut self) -> HealthReport {
+        let generation = self.csr.generation();
+        hook::begin(
+            &self.tracer,
+            Layer::Monitor,
+            "mon.checkpoint",
+            generation,
+            self.csr.node_count() as u64,
+        );
+        let alerts_before = self.alerts.len();
         let view = self.csr.snapshot();
         let components = component_count(&view);
         let gap = self.spectral.estimate(&view);
@@ -290,6 +332,14 @@ impl Monitor {
         };
         self.policy
             .evaluate(&snap, &mut self.breaches, &mut self.alerts);
+        self.trace_health(alerts_before);
+        hook::end(
+            &self.tracer,
+            Layer::Monitor,
+            "mon.checkpoint",
+            generation,
+            components as u64,
+        );
         HealthReport {
             generation: self.csr.generation(),
             nodes: self.csr.node_count(),
@@ -405,6 +455,7 @@ impl Monitor {
     /// events. ([`Monitor::checkpoint`] runs the full evaluation,
     /// expensive metrics included.)
     pub fn evaluate_policy(&mut self) {
+        let alerts_before = self.alerts.len();
         let snap = MetricsSnapshot {
             generation: self.csr.generation(),
             degree_increase: self.degree_increase.max(),
@@ -414,6 +465,7 @@ impl Monitor {
         };
         self.policy
             .evaluate(&snap, &mut self.breaches, &mut self.alerts);
+        self.trace_health(alerts_before);
     }
 }
 

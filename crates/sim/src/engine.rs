@@ -1,6 +1,7 @@
 //! The engine abstraction: what any message-delivery substrate must provide.
 
 use xheal_graph::NodeId;
+use xheal_trace::SharedTracer;
 
 /// One in-flight message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -131,5 +132,13 @@ pub trait NetworkEngine<M> {
     /// [`NetworkEngine::set_classifier`].
     fn kind_counts(&self) -> (&'static [&'static str], &[u64]) {
         (&[], &[])
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer recording a `net.step`
+    /// transport instant per delivering round. The default implementation
+    /// ignores the handle — engines without transport instrumentation stay
+    /// silent in traces.
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        let _ = tracer;
     }
 }

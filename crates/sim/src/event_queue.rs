@@ -44,6 +44,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xheal_graph::NodeId;
+use xheal_trace::{hook, Layer, SharedTracer};
 
 use crate::engine::{Counters, Envelope, NetworkEngine};
 use crate::mailbox::Mailboxes;
@@ -221,6 +222,8 @@ pub struct AsyncNetwork<M> {
     now: u64,
     rng: StdRng,
     config: AsyncConfig,
+    /// Optional transport-span recorder; `None` keeps stepping branch-only.
+    tracer: Option<SharedTracer>,
 }
 
 impl<M> AsyncNetwork<M> {
@@ -253,6 +256,7 @@ impl<M> AsyncNetwork<M> {
             now: 0,
             rng: StdRng::seed_from_u64(config.seed),
             config,
+            tracer: None,
         }
     }
 
@@ -347,6 +351,15 @@ impl<M> NetworkEngine<M> for AsyncNetwork<M> {
         // The drained (still-warm) buffer goes back into its slot.
         self.wheel[slot] = bucket;
         self.mail.count_delivered(delivered);
+        if delivered > 0 {
+            hook::instant(
+                &self.tracer,
+                Layer::Transport,
+                "net.step",
+                0,
+                delivered as u64,
+            );
+        }
         delivered
     }
 
@@ -376,6 +389,10 @@ impl<M> NetworkEngine<M> for AsyncNetwork<M> {
 
     fn kind_counts(&self) -> (&'static [&'static str], &[u64]) {
         self.mail.kind_counts()
+    }
+
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.tracer = tracer;
     }
 }
 

@@ -1,6 +1,7 @@
 //! The synchronous-round engine: the paper's LOCAL model taken literally.
 
 use xheal_graph::NodeId;
+use xheal_trace::{hook, Layer, SharedTracer};
 
 use crate::engine::{Counters, Envelope, NetworkEngine};
 use crate::mailbox::Mailboxes;
@@ -18,6 +19,8 @@ use crate::mailbox::Mailboxes;
 pub struct SyncNetwork<M> {
     mail: Mailboxes<M>,
     staged: Vec<Envelope<M>>,
+    /// Optional transport-span recorder; `None` keeps stepping branch-only.
+    tracer: Option<SharedTracer>,
 }
 
 impl<M> SyncNetwork<M> {
@@ -26,6 +29,7 @@ impl<M> SyncNetwork<M> {
         SyncNetwork {
             mail: Mailboxes::new(),
             staged: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -79,6 +83,15 @@ impl<M> SyncNetwork<M> {
             }
         }
         self.mail.count_delivered(delivered);
+        if delivered > 0 {
+            hook::instant(
+                &self.tracer,
+                Layer::Transport,
+                "net.step",
+                0,
+                delivered as u64,
+            );
+        }
         delivered
     }
 
@@ -180,6 +193,10 @@ impl<M> NetworkEngine<M> for SyncNetwork<M> {
 
     fn kind_counts(&self) -> (&'static [&'static str], &[u64]) {
         self.mail.kind_counts()
+    }
+
+    fn set_tracer(&mut self, tracer: Option<SharedTracer>) {
+        self.tracer = tracer;
     }
 }
 

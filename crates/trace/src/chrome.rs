@@ -1,0 +1,144 @@
+//! Chrome Trace Event JSON export (the `chrome://tracing` / Perfetto
+//! "JSON Array Format" with duration events).
+//!
+//! Guarantees the downstream validators rely on, per tid (= lane):
+//! `B`/`E` pairs balance (orphan `E`s from ring wraparound are skipped,
+//! dangling `B`s are closed at the lane's last timestamp) and timestamps
+//! are monotone non-decreasing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::{EvKind, SpanEvent};
+
+fn push_event(out: &mut String, ev: &SpanEvent, ph: char, ts_nanos: u64) {
+    // Span names are static identifiers; escape defensively anyway.
+    let name: String = ev
+        .name
+        .chars()
+        .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+        .collect();
+    let _ = write!(
+        out,
+        "    {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"{ph}\", \
+         \"pid\": 0, \"tid\": {tid}, \"ts\": {us}.{frac:03}",
+        cat = ev.layer.label(),
+        tid = ev.lane,
+        us = ts_nanos / 1_000,
+        frac = ts_nanos % 1_000,
+    );
+    if ph == 'i' {
+        let _ = write!(out, ", \"s\": \"t\"");
+    }
+    let _ = write!(
+        out,
+        ", \"args\": {{\"repair\": {}, \"arg\": {}}}}}",
+        ev.repair, ev.arg
+    );
+}
+
+/// Renders `events` (ring order, oldest first) as a complete JSON document.
+pub(crate) fn render(events: &[SpanEvent]) -> String {
+    // Per-lane open-span stacks (the events that produced them) and the
+    // last timestamp seen, for closing dangling spans monotonically.
+    let mut open: BTreeMap<u64, Vec<SpanEvent>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut body = String::new();
+    let mut first = true;
+    let mut emit = |body: &mut String, ev: &SpanEvent, ph: char, ts: u64| {
+        if !std::mem::take(&mut first) {
+            body.push_str(",\n");
+        }
+        push_event(body, ev, ph, ts);
+    };
+    for ev in events {
+        let ts = last_ts.entry(ev.lane).or_insert(0);
+        // Defensive clamp: the clock is monotone already, this makes the
+        // invariant structural.
+        let at = (*ts).max(ev.ts_nanos);
+        *ts = at;
+        match ev.kind {
+            EvKind::Begin => {
+                emit(&mut body, ev, 'B', at);
+                open.entry(ev.lane).or_default().push(*ev);
+            }
+            EvKind::End => {
+                // Orphan End (its Begin was overwritten): skip.
+                if open.entry(ev.lane).or_default().pop().is_some() {
+                    emit(&mut body, ev, 'E', at);
+                }
+            }
+            EvKind::Instant => emit(&mut body, ev, 'i', at),
+        }
+    }
+    // Close dangling spans innermost-first at the lane's last timestamp.
+    for (lane, stack) in &mut open {
+        let ts = last_ts.get(lane).copied().unwrap_or(0);
+        while let Some(ev) = stack.pop() {
+            emit(&mut body, &ev, 'E', ts);
+        }
+    }
+    format!("{{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n{body}\n  ]\n}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Layer, Tracer};
+
+    fn balanced_per_tid(json: &str) -> bool {
+        // Count "ph": "B" and "ph": "E" per tid with a crude scan — the
+        // format is machine-written, one event per line.
+        let mut depth: std::collections::BTreeMap<&str, i64> = std::collections::BTreeMap::new();
+        for line in json.lines() {
+            let Some(tid_at) = line.find("\"tid\": ") else {
+                continue;
+            };
+            let tid = &line[tid_at + 7..line[tid_at..].find(',').unwrap() + tid_at];
+            let d = depth.entry(tid).or_insert(0);
+            if line.contains("\"ph\": \"B\"") {
+                *d += 1;
+            } else if line.contains("\"ph\": \"E\"") {
+                *d -= 1;
+                if *d < 0 {
+                    return false;
+                }
+            }
+        }
+        depth.values().all(|&d| d == 0)
+    }
+
+    #[test]
+    fn export_is_balanced_and_well_formed() {
+        let mut t = Tracer::new(64);
+        t.begin(Layer::Executor, "repair", 1, 0);
+        t.begin(Layer::Planner, "plan.single", 1, 0);
+        t.instant(Layer::Planner, "plan.case", 1, 2);
+        t.end(Layer::Planner, "plan.single", 1, 0);
+        // "repair" left open deliberately: the exporter must close it.
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"cat\": \"planner\""));
+        assert!(json.contains("\"s\": \"t\""));
+        assert!(balanced_per_tid(&json));
+    }
+
+    #[test]
+    fn wrapped_ring_still_balances() {
+        let mut t = Tracer::new(16);
+        for i in 0..50u64 {
+            t.begin(Layer::Executor, "repair", i, 0);
+            t.instant(Layer::Transport, "net.step", i, 1);
+            t.end(Layer::Executor, "repair", i, 0);
+        }
+        assert!(t.dropped() > 0);
+        assert!(balanced_per_tid(&t.chrome_trace_json()));
+    }
+
+    #[test]
+    fn empty_tracer_exports_empty_array() {
+        let t = Tracer::new(16);
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(balanced_per_tid(&json));
+    }
+}

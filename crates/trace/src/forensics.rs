@@ -1,0 +1,186 @@
+//! The repair-forensics ledger: every span and instant carrying a repair
+//! sequence number, grouped per repair into one inspectable tree — the
+//! planner's decisions, the executor's action application, and the
+//! protocol's message rounds of one repair, side by side.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::{CompletedSpan, Layer};
+
+/// One entry of a repair's forensic tree (a span with duration, or an
+/// instant without).
+#[derive(Clone, Copy, Debug)]
+pub struct ForensicEntry {
+    /// Lane the entry was recorded on (0 = coordinator).
+    pub lane: u64,
+    /// Nesting depth within the lane.
+    pub depth: u32,
+    /// Architectural layer.
+    pub layer: Layer,
+    /// Span name.
+    pub name: &'static str,
+    /// Free-form argument.
+    pub arg: u64,
+    /// Duration in nanoseconds (`None` for instants).
+    pub dur_nanos: Option<u64>,
+}
+
+/// Everything recorded about one repair, in deterministic
+/// `(lane, lane_seq)` order.
+#[derive(Clone, Debug)]
+pub struct RepairRecord {
+    /// The repair sequence number.
+    pub repair: u64,
+    /// The repair's tree, coordinator lane first.
+    pub entries: Vec<ForensicEntry>,
+}
+
+impl RepairRecord {
+    /// Total time of the repair's top-level spans (depth 0, lane 0).
+    pub fn total_nanos(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.lane == 0 && e.depth == 0)
+            .filter_map(|e| e.dur_nanos)
+            .sum()
+    }
+
+    /// Number of entries from `layer`.
+    pub fn layer_count(&self, layer: Layer) -> usize {
+        self.entries.iter().filter(|e| e.layer == layer).count()
+    }
+
+    /// Count of instants named `name` (e.g. protocol rounds).
+    pub fn instant_count(&self, name: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name && e.dur_nanos.is_none())
+            .count()
+    }
+
+    /// Sum of `arg` over instants named `name` (e.g. delivered messages).
+    pub fn instant_arg_sum(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name && e.dur_nanos.is_none())
+            .map(|e| e.arg)
+            .sum()
+    }
+}
+
+/// The per-repair ledger: one [`RepairRecord`] per repair sequence number
+/// observed in the trace, ascending.
+#[derive(Clone, Debug, Default)]
+pub struct ForensicsLedger {
+    /// Records sorted by repair sequence number.
+    pub repairs: Vec<RepairRecord>,
+}
+
+impl ForensicsLedger {
+    /// Groups completed spans by repair seq (0 — untagged events — is
+    /// excluded). `spans` must be in deterministic order, as produced by
+    /// `Tracer::completed_spans`.
+    pub(crate) fn from_spans(spans: &[CompletedSpan]) -> Self {
+        let mut by_repair: BTreeMap<u64, Vec<ForensicEntry>> = BTreeMap::new();
+        for s in spans {
+            if s.repair == 0 {
+                continue;
+            }
+            by_repair.entry(s.repair).or_default().push(ForensicEntry {
+                lane: s.lane,
+                depth: s.depth,
+                layer: s.layer,
+                name: s.name,
+                arg: s.arg,
+                dur_nanos: s.dur_nanos,
+            });
+        }
+        ForensicsLedger {
+            repairs: by_repair
+                .into_iter()
+                .map(|(repair, entries)| RepairRecord { repair, entries })
+                .collect(),
+        }
+    }
+
+    /// The record of repair `seq`, if traced.
+    pub fn repair(&self, seq: u64) -> Option<&RepairRecord> {
+        self.repairs.iter().find(|r| r.repair == seq)
+    }
+
+    /// Renders the ledger as indented per-repair trees.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.repairs {
+            let _ = writeln!(
+                out,
+                "repair #{} ({} entries, {:.1} us top-level)",
+                r.repair,
+                r.entries.len(),
+                r.total_nanos() as f64 / 1e3
+            );
+            for e in &r.entries {
+                let indent = "  ".repeat(e.depth as usize + 1);
+                let lane = if e.lane == 0 {
+                    String::new()
+                } else {
+                    format!(" [lane {}]", e.lane)
+                };
+                match e.dur_nanos {
+                    Some(d) => {
+                        let _ = writeln!(
+                            out,
+                            "{indent}{} {} (arg {}) {:.1} us{lane}",
+                            e.layer.label(),
+                            e.name,
+                            e.arg,
+                            d as f64 / 1e3
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "{indent}{} {} (arg {}){lane}",
+                            e.layer.label(),
+                            e.name,
+                            e.arg
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Layer, Tracer};
+
+    #[test]
+    fn ledger_groups_by_repair_and_renders() {
+        let mut t = Tracer::new(64);
+        for seq in 1..=3u64 {
+            t.begin(Layer::Executor, "repair", seq, 0);
+            t.begin(Layer::Planner, "plan.single", seq, 0);
+            t.instant(Layer::Planner, "plan.case", seq, 1);
+            t.end(Layer::Planner, "plan.single", seq, 0);
+            t.instant(Layer::Protocol, "proto.round", seq, 5);
+            t.instant(Layer::Protocol, "proto.round", seq, 7);
+            t.end(Layer::Executor, "repair", seq, 0);
+        }
+        t.instant(Layer::Transport, "net.step", 0, 1); // untagged: excluded
+        let ledger = t.forensics();
+        assert_eq!(ledger.repairs.len(), 3);
+        let r2 = ledger.repair(2).unwrap();
+        assert_eq!(r2.instant_count("proto.round"), 2);
+        assert_eq!(r2.instant_arg_sum("proto.round"), 12);
+        assert!(r2.layer_count(Layer::Planner) >= 2);
+        assert!(r2.total_nanos() > 0 || r2.entries.iter().any(|e| e.dur_nanos.is_some()));
+        let text = ledger.render();
+        assert!(text.contains("repair #1"));
+        assert!(text.contains("plan.single"));
+        assert!(!text.contains("net.step"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Instrumentation hooks: free functions over `&Option<SharedTracer>`.
+//!
+//! Every instrumented call site in the workspace goes through these, so the
+//! disabled path (`None` handle) is exactly one branch — no lock, no clock
+//! read, no allocation. This is the contract the bench suite's counting
+//! allocator and the churn overhead gate verify.
+
+use std::sync::MutexGuard;
+
+use crate::{Layer, SharedTracer, Tracer};
+
+/// Locks the tracer, recovering from a poisoned mutex (a panicking worker
+/// must not take the trace down with it).
+pub fn lock(t: &SharedTracer) -> MutexGuard<'_, Tracer> {
+    t.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Opens a span on lane 0 if a tracer is attached.
+#[inline]
+pub fn begin(t: &Option<SharedTracer>, layer: Layer, name: &'static str, repair: u64, arg: u64) {
+    if let Some(t) = t {
+        lock(t).begin(layer, name, repair, arg);
+    }
+}
+
+/// Closes a span on lane 0 if a tracer is attached.
+#[inline]
+pub fn end(t: &Option<SharedTracer>, layer: Layer, name: &'static str, repair: u64, arg: u64) {
+    if let Some(t) = t {
+        lock(t).end(layer, name, repair, arg);
+    }
+}
+
+/// Records a point event on lane 0 if a tracer is attached.
+#[inline]
+pub fn instant(t: &Option<SharedTracer>, layer: Layer, name: &'static str, repair: u64, arg: u64) {
+    if let Some(t) = t {
+        lock(t).instant(layer, name, repair, arg);
+    }
+}
+
+/// Opens a span on an explicit lane (worker threads; key the lane on task
+/// identity, not thread id).
+#[inline]
+pub fn begin_lane(
+    t: &Option<SharedTracer>,
+    lane: u64,
+    layer: Layer,
+    name: &'static str,
+    repair: u64,
+    arg: u64,
+) {
+    if let Some(t) = t {
+        lock(t).begin_lane(lane, layer, name, repair, arg);
+    }
+}
+
+/// Closes a span on an explicit lane.
+#[inline]
+pub fn end_lane(
+    t: &Option<SharedTracer>,
+    lane: u64,
+    layer: Layer,
+    name: &'static str,
+    repair: u64,
+    arg: u64,
+) {
+    if let Some(t) = t {
+        lock(t).end_lane(lane, layer, name, repair, arg);
+    }
+}
+
+/// Bumps the named metrics counter by `n` if a tracer is attached.
+#[inline]
+pub fn bump(t: &Option<SharedTracer>, name: &'static str, n: u64) {
+    if let Some(t) = t {
+        lock(t).metrics().bump(name, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvKind;
+
+    #[test]
+    fn hooks_are_noops_without_a_tracer() {
+        let none: Option<SharedTracer> = None;
+        begin(&none, Layer::Executor, "repair", 1, 0);
+        end(&none, Layer::Executor, "repair", 1, 0);
+        instant(&none, Layer::Transport, "net.step", 0, 3);
+        bump(&none, "repairs", 1);
+    }
+
+    #[test]
+    fn hooks_record_through_the_shared_handle() {
+        let t = Some(Tracer::shared(32));
+        begin(&t, Layer::Executor, "repair", 1, 0);
+        begin_lane(&t, 2, Layer::Planner, "spec.component", 1, 1);
+        end_lane(&t, 2, Layer::Planner, "spec.component", 1, 1);
+        end(&t, Layer::Executor, "repair", 1, 0);
+        bump(&t, "repairs", 2);
+        let g = lock(t.as_ref().unwrap());
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.metrics_ref().counter_value("repairs"), Some(2));
+        let tree = g.span_tree();
+        assert_eq!(tree[0].kind, EvKind::Begin);
+        assert_eq!(tree[0].lane, 0);
+        assert_eq!(tree[2].lane, 2);
+    }
+}

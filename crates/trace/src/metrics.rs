@@ -1,0 +1,320 @@
+//! The metrics registry: counters, gauges, and log-bucket histograms,
+//! registered once by static name and snapshot-diffable per event.
+
+/// Handle of a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle of a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle of a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// Power-of-two bucket count: bucket 0 holds value 0, bucket `b` holds
+/// values in `[2^(b-1), 2^b)`, the last bucket absorbs the tail.
+pub(crate) const BUCKETS: usize = 65;
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A registry of named counters, gauges, and log-bucket histograms.
+///
+/// Registration (by `&'static str` name) allocates; recording through a
+/// returned id touches one slot and never allocates — the hot-path contract
+/// the instrumented engines rely on.
+///
+/// # Examples
+///
+/// ```
+/// use xheal_trace::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// let repairs = m.counter("repairs");
+/// let lat = m.histogram("repair_rounds");
+/// let before = m.frame();
+/// m.add(repairs, 3);
+/// m.record(lat, 12);
+/// m.record(lat, 900);
+/// let delta = m.frame().diff(&before);
+/// assert_eq!(delta.counter("repairs"), Some(3));
+/// assert_eq!(delta.hist_count("repair_rounds"), 2);
+/// assert!(delta.hist_quantile("repair_rounds", 0.5) <= 16);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, i64)>,
+    hists: Vec<(&'static str, [u64; BUCKETS])>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or finds) the counter named `name`.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) the gauge named `name`.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name, 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) the histogram named `name`.
+    pub fn histogram(&mut self, name: &'static str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| *n == name) {
+            return HistId(i);
+        }
+        self.hists.push((name, [0; BUCKETS]));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Adds `n` to a counter. Never allocates.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Registers `name` if needed and adds `n` — the convenience path for
+    /// cold call sites; hot paths should hold a [`CounterId`].
+    pub fn bump(&mut self, name: &'static str, n: u64) {
+        let id = self.counter(name);
+        self.add(id, n);
+    }
+
+    /// Sets a gauge. Never allocates.
+    pub fn set(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Records one observation into a histogram. Never allocates.
+    pub fn record(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].1[bucket_of(v)] += 1;
+    }
+
+    /// Current value of the counter named `name`, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A point-in-time copy of every metric, diffable against another frame.
+    pub fn frame(&self) -> MetricsFrame {
+        MetricsFrame {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self.hists.clone(),
+        }
+    }
+}
+
+/// A snapshot of a [`MetricsRegistry`] — either absolute (from
+/// [`MetricsRegistry::frame`]) or a delta (from [`MetricsFrame::diff`]).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsFrame {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, i64)>,
+    hists: Vec<(&'static str, [u64; BUCKETS])>,
+}
+
+impl MetricsFrame {
+    /// The change from `earlier` to `self`: counters and histogram buckets
+    /// subtract (saturating, by name); gauges keep their later value.
+    /// Metrics registered only in `self` pass through unchanged.
+    pub fn diff(&self, earlier: &MetricsFrame) -> MetricsFrame {
+        let counters = self
+            .counters
+            .iter()
+            .map(|&(name, v)| {
+                let e = earlier.counter(name).unwrap_or(0);
+                (name, v.saturating_sub(e))
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|&(name, buckets)| {
+                let mut out = buckets;
+                if let Some((_, eb)) = earlier.hists.iter().find(|(n, _)| *n == name) {
+                    for (o, e) in out.iter_mut().zip(eb.iter()) {
+                        *o = o.saturating_sub(*e);
+                    }
+                }
+                (name, out)
+            })
+            .collect();
+        MetricsFrame {
+            counters,
+            gauges: self.gauges.clone(),
+            hists,
+        }
+    }
+
+    /// Value of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Total observations recorded in the histogram named `name`.
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.hists
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, b)| b.iter().sum())
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (e.g. `0.5`, `0.99`)
+    /// of the histogram named `name`; 0 when empty. Log-bucket resolution:
+    /// the answer is exact to within a factor of two.
+    pub fn hist_quantile(&self, name: &str, q: f64) -> u64 {
+        let Some((_, b)) = self.hists.iter().find(|(n, _)| *n == name) else {
+            return 0;
+        };
+        let total: u64 = b.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &cnt) in b.iter().enumerate() {
+            seen += cnt;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// All counters `(name, value)`, registration order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All gauges `(name, value)`, registration order.
+    pub fn gauges(&self) -> &[(&'static str, i64)] {
+        &self.gauges
+    }
+
+    /// Histogram names, registration order.
+    pub fn hist_names(&self) -> Vec<&'static str> {
+        self.hists.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Renders the nonzero metrics as aligned text lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            if v > 0 {
+                let _ = writeln!(out, "{name:<26}{v:>12}");
+            }
+        }
+        for &(name, v) in &self.gauges {
+            if v != 0 {
+                let _ = writeln!(out, "{name:<26}{v:>12}");
+            }
+        }
+        for (name, _) in &self.hists {
+            let count = self.hist_count(name);
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "{name:<26}{count:>12}  p50<={} p99<={}",
+                    self.hist_quantile(name, 0.5),
+                    self.hist_quantile(name, 0.99),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        assert_eq!(a, b);
+        m.add(a, 2);
+        m.add(b, 3);
+        assert_eq!(m.counter_value("x"), Some(5));
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn frame_diff_subtracts() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("msgs");
+        let h = m.histogram("rounds");
+        let g = m.gauge("nodes");
+        m.add(c, 10);
+        m.record(h, 7);
+        let before = m.frame();
+        m.add(c, 5);
+        m.record(h, 7);
+        m.record(h, 100);
+        m.set(g, 42);
+        let d = m.frame().diff(&before);
+        assert_eq!(d.counter("msgs"), Some(5));
+        assert_eq!(d.hist_count("rounds"), 2);
+        assert_eq!(d.gauge("nodes"), Some(42));
+        assert!(d.render().contains("msgs"));
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat");
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 1000] {
+            m.record(h, v);
+        }
+        let f = m.frame();
+        assert!(f.hist_quantile("lat", 0.5) <= 8);
+        assert!(f.hist_quantile("lat", 1.0) >= 1000);
+    }
+}

@@ -227,6 +227,11 @@ pub struct ArenaCell {
     pub rounds: u64,
     /// Protocol messages spent healing (0 for engines reporting no cost).
     pub messages: u64,
+    /// The share of [`ArenaCell::rounds`] attributable to insertions
+    /// (DEX reconfiguration; 0 for engines whose insertions are free).
+    pub insert_rounds: u64,
+    /// The share of [`ArenaCell::messages`] attributable to insertions.
+    pub insert_messages: u64,
     /// Node count of the final graph.
     pub nodes: usize,
     /// Edge count of the final graph.
@@ -336,6 +341,8 @@ where
                 edges_removed: summary.edges_removed,
                 rounds: summary.rounds,
                 messages: summary.messages,
+                insert_rounds: summary.insert_rounds,
+                insert_messages: summary.insert_messages,
                 nodes: engine.graph().node_count(),
                 edges: engine.graph().edge_count(),
                 wall_nanos,

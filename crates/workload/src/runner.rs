@@ -90,6 +90,12 @@ pub struct RunSummary {
     /// Protocol messages delivered while healing (0 for centralized
     /// engines).
     pub messages: u64,
+    /// The share of [`RunSummary::rounds`] attributable to insertions —
+    /// nonzero only for engines whose insertions rewire (DEX virtual-node
+    /// splits and spare takeovers).
+    pub insert_rounds: u64,
+    /// The share of [`RunSummary::messages`] attributable to insertions.
+    pub insert_messages: u64,
     /// Health observations recorded by the [`RunObserver`] (empty for
     /// unobserved runs).
     pub health: Vec<HealthNote>,
@@ -106,6 +112,8 @@ impl RunSummary {
             edges_removed: 0,
             rounds: 0,
             messages: 0,
+            insert_rounds: 0,
+            insert_messages: 0,
             health: Vec::new(),
         }
     }
@@ -119,7 +127,7 @@ impl RunSummary {
     /// insertions (deletions never touch it, per the model).
     fn absorb(&mut self, event: &Event, outcome: &Outcome) {
         match outcome {
-            Outcome::Inserted => {
+            Outcome::Inserted { cost } => {
                 let Event::Insert { node, neighbors } = event else {
                     unreachable!("engines report Inserted only for Event::Insert");
                 };
@@ -128,6 +136,10 @@ impl RunSummary {
                     let _ = self.gprime.add_black_edge(*node, u);
                 }
                 self.insertions += 1;
+                if let Some(c) = cost {
+                    self.insert_rounds += c.rounds;
+                    self.insert_messages += c.messages;
+                }
             }
             Outcome::Healed { .. } | Outcome::Batch { .. } => {
                 self.deletions += outcome.victims();

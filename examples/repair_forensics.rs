@@ -1,0 +1,157 @@
+//! Repair forensics: one tracer attached across the planner, the protocol
+//! runtime, the transport, and the monitor; a seeded outage schedule healed
+//! under it; then single repairs replayed from the ledger — which planner
+//! case fired, how many protocol messages it cost, what the monitor saw —
+//! and the whole run exported as chrome://tracing JSON.
+//!
+//! Run with `cargo run -p xheal-examples --example repair_forensics`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use xheal_core::XhealConfig;
+use xheal_dist::DistXheal;
+use xheal_examples::{banner, describe};
+use xheal_graph::{generators, NodeId};
+use xheal_monitor::{HealthPolicy, Monitor, MonitorConfig};
+use xheal_trace::{hook, Layer, RepairRecord, Tracer};
+
+/// Human name for the `plan.case` instant's argument (the planner's
+/// case code, in declaration order of `xheal_core::HealCase`).
+fn case_name(code: u64) -> &'static str {
+    match code {
+        0 => "Dropped",
+        1 => "AllBlack",
+        2 => "PrimaryOnly",
+        3 => "Bridge",
+        4 => "Batch",
+        _ => "?",
+    }
+}
+
+/// The planner case a repair record carries, if its `plan.case` instant
+/// survived ring wraparound.
+fn recorded_case(r: &RepairRecord) -> Option<u64> {
+    r.entries
+        .iter()
+        .find(|e| e.name == "plan.case" && e.dur_nanos.is_none())
+        .map(|e| e.arg)
+}
+
+fn main() {
+    banner("repair forensics: one ledger entry per repair");
+    let n = 128usize;
+    let g0 = generators::ring_with_chords(n);
+    describe("initial overlay", &g0);
+
+    // One tracer observes every layer at once. A tight degree budget makes
+    // the monitor's band machine move, so health transitions land too.
+    let tracer = Tracer::shared(1 << 14);
+    let mut net = DistXheal::new(&g0, XhealConfig::new(4).with_seed(7));
+    net.set_tracer(Some(tracer.clone()));
+    let monitor = Rc::new(RefCell::new(Monitor::new(
+        net.graph(),
+        MonitorConfig {
+            policy: HealthPolicy {
+                max_degree_increase: Some(2.0),
+                warn_degree_increase: Some(1.5),
+                ..HealthPolicy::default()
+            },
+            ..MonitorConfig::default()
+        },
+    )));
+    monitor.borrow_mut().set_tracer(Some(tracer.clone()));
+    net.subscribe(Box::new(Rc::clone(&monitor)));
+
+    // The schedule: 14 single deletions with periodic monitor checkpoints,
+    // then one clustered six-victim batch.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut live: Vec<NodeId> = g0.nodes().collect();
+    for i in 0..14 {
+        let v = live.swap_remove(rng.random_range(0..live.len()));
+        net.delete(v).expect("victim is live");
+        if i % 5 == 4 {
+            monitor.borrow_mut().checkpoint();
+        }
+    }
+    let victims: Vec<NodeId> = (0..6)
+        .map(|_| live.swap_remove(rng.random_range(0..live.len())))
+        .collect();
+    net.delete_batch(&victims).expect("victims are live");
+    monitor.borrow_mut().checkpoint();
+
+    let t = hook::lock(&tracer);
+
+    banner("per-repair ledger");
+    let ledger = t.forensics();
+    println!(
+        "{:<8}{:>9}{:>14}{:>11}{:>10}",
+        "repair", "entries", "case", "messages", "planner"
+    );
+    for r in &ledger.repairs {
+        println!(
+            "{:<8}{:>9}{:>14}{:>11}{:>10}",
+            format!("#{}", r.repair),
+            r.entries.len(),
+            recorded_case(r).map_or("-", case_name),
+            r.instant_arg_sum("proto.done"),
+            r.layer_count(Layer::Planner),
+        );
+    }
+
+    // Drill into the most message-expensive repair: its full span tree, the
+    // planner's decisions and the protocol's completion side by side.
+    let worst = ledger
+        .repairs
+        .iter()
+        .max_by_key(|r| r.instant_arg_sum("proto.done"))
+        .expect("schedule healed at least one repair");
+    banner(&format!(
+        "most expensive repair: #{} ({} protocol messages)",
+        worst.repair,
+        worst.instant_arg_sum("proto.done")
+    ));
+    for e in &worst.entries {
+        let indent = "  ".repeat(e.depth as usize);
+        match e.dur_nanos {
+            Some(d) => println!(
+                "{indent}{} {} (arg {}) {:.1} us",
+                e.layer.label(),
+                e.name,
+                e.arg,
+                d as f64 / 1e3
+            ),
+            None => println!("{indent}{} {} (arg {})", e.layer.label(), e.name, e.arg),
+        }
+    }
+
+    banner("phase summary (whole run)");
+    print!("{}", t.phase_summary());
+
+    let path = std::env::temp_dir().join("repair_forensics_trace.json");
+    std::fs::write(&path, t.chrome_trace_json()).expect("write chrome trace");
+    println!(
+        "\nchrome trace: {} ({} events; load in chrome://tracing or Perfetto)",
+        path.display(),
+        t.len()
+    );
+
+    // The ledger is an API, not just a report: cross-check it against the
+    // engine's own cost accounting.
+    drop(t);
+    let traced: u64 = {
+        let t = hook::lock(&tracer);
+        t.forensics()
+            .repairs
+            .iter()
+            .map(|r| r.instant_arg_sum("proto.done"))
+            .sum()
+    };
+    assert_eq!(
+        traced,
+        net.counters().messages,
+        "ledger message totals must match engine counters"
+    );
+    println!("ledger cross-check: {traced} messages match engine counters");
+}

@@ -103,7 +103,7 @@ fn main() {
             Event::DeleteBatch { nodes } => format!("burst x{}", nodes.len()),
         };
         let case = match &outcome {
-            Outcome::Inserted => "-".to_string(),
+            Outcome::Inserted { .. } => "-".to_string(),
             Outcome::Healed { report, .. } => format!("{:?}", report.case),
             Outcome::Batch { report, .. } => format!("{} comps", report.components),
         };
